@@ -1,0 +1,45 @@
+// Ablation: the adaptive H_hot threshold (paper §IV.C.1) vs disabling the
+// hot set entirely (everything clean stays cold / unprotected).
+//
+// The hot set's value is *availability after a failure*: the protected
+// objects keep serving while unprotected data is gone. Measured with the
+// retention methodology of Fig 8: warm cache, one device failure,
+// admissions frozen so re-warming cannot mask the loss.
+#include "figure_common.h"
+
+using namespace reo;
+using namespace reo::bench;
+
+int main() {
+  MediSynConfig wl = MediumLocalityConfig();
+  wl.num_requests = 30000;
+  auto trace = GenerateMediSyn(wl);
+
+  std::printf("Hot-set ablation (medium workload, Reo-20%%, cache 10%%,\n"
+              "failure at request 15k, admissions frozen afterwards)\n\n");
+  std::printf("%-26s %14s %13s %10s\n", "Variant", "hit-before(%)",
+              "hit-after(%)", "drop(pp)");
+
+  for (auto [interval, label] :
+       {std::pair<uint64_t, const char*>{2000, "adaptive H_hot (refresh)"},
+        std::pair<uint64_t, const char*>{0, "no hot set (all cold)"}}) {
+    Config cfg{"Reo-20%", ProtectionMode::kReo, 0.20};
+    SimulationConfig sim = MakeSimConfig(cfg, 0.10);
+    sim.warmup_pass = true;
+    sim.cache.hhot_refresh_interval = interval;
+    sim.cache.admit_while_degraded = false;
+    sim.probe_window_requests = 2000;
+    sim.failures = {{.at_request = 15000, .device = 0}};
+    CacheSimulator s(trace, sim);
+    auto r = s.Run();
+    double before = r.windows[0].HitRatio() * 100;
+    double after = r.windows[1].HitRatio() * 100;  // probe window
+    std::printf("%-26s %14.1f %13.1f %10.1f\n", label, before, after,
+                before - after);
+  }
+  std::printf("\nWithout the hot set the reserve protects nothing: the first\n"
+              "failure wipes the unprotected cache, while the adaptive\n"
+              "threshold keeps the protected hot set serving (graceful\n"
+              "degradation, paper §IV.C.1 / §VI.C).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation: direct vs delta parity updating (paper §II.B: "we choose the
+// encoding method that incurs the least disk reads").
+//
+// Measures the CPU cost of both methods across geometries and prints the
+// chunk-read counts the cost model uses, showing where the crossover lies.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "ec/parity_update.h"
+
+namespace {
+
+using namespace reo;
+
+std::vector<std::vector<uint8_t>> RandomChunks(size_t n, size_t len) {
+  Pcg32 rng(7);
+  std::vector<std::vector<uint8_t>> chunks(n, std::vector<uint8_t>(len));
+  for (auto& c : chunks) {
+    for (auto& b : c) b = static_cast<uint8_t>(rng.Next());
+  }
+  return chunks;
+}
+
+void BM_DirectUpdate(benchmark::State& state) {
+  size_t m = static_cast<size_t>(state.range(0));
+  size_t k = static_cast<size_t>(state.range(1));
+  size_t len = 64 * 1024;
+  RsCode code(m, k);
+  auto data = RandomChunks(m, len);
+  std::vector<std::vector<uint8_t>> parity(k, std::vector<uint8_t>(len));
+  std::vector<std::span<const uint8_t>> ds(data.begin(), data.end());
+  std::vector<std::span<uint8_t>> ps(parity.begin(), parity.end());
+  for (auto _ : state) {
+    // Direct: re-encode all parity from all data chunks.
+    code.Encode(ds, ps);
+    benchmark::DoNotOptimize(parity[0].data());
+  }
+}
+BENCHMARK(BM_DirectUpdate)->Args({4, 1})->Args({3, 2})->Args({8, 2});
+
+void BM_DeltaUpdate(benchmark::State& state) {
+  size_t m = static_cast<size_t>(state.range(0));
+  size_t k = static_cast<size_t>(state.range(1));
+  size_t len = 64 * 1024;
+  RsCode code(m, k);
+  auto data = RandomChunks(m + 1, len);  // last one is the "new" content
+  std::vector<std::vector<uint8_t>> parity(k, std::vector<uint8_t>(len));
+  std::vector<std::span<const uint8_t>> ds(data.begin(), data.begin() + static_cast<long>(m));
+  std::vector<std::span<uint8_t>> ps(parity.begin(), parity.end());
+  code.Encode(ds, ps);
+  for (auto _ : state) {
+    // Delta: apply P' = P + g * (D' ^ D) for each parity chunk.
+    for (size_t p = 0; p < k; ++p) {
+      ApplyDeltaUpdate(code, p, 0, data[0], data[m], parity[p]);
+    }
+    benchmark::DoNotOptimize(parity[0].data());
+  }
+}
+BENCHMARK(BM_DeltaUpdate)->Args({4, 1})->Args({3, 2})->Args({8, 2});
+
+/// Prints the disk-read cost table behind ChooseStrategy.
+void BM_CostTable(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ChooseStrategy(4, 2));
+  }
+  std::printf("\nparity-update read costs (m live data chunks, k parity):\n");
+  std::printf("%6s %6s %12s %12s %10s\n", "m", "k", "direct-reads",
+              "delta-reads", "choice");
+  for (size_t m = 1; m <= 8; ++m) {
+    for (size_t k = 1; k <= 3; ++k) {
+      auto c = ComputeUpdateCost(m, k);
+      std::printf("%6zu %6zu %12zu %12zu %10s\n", m, k, c.direct_reads,
+                  c.delta_reads,
+                  ChooseStrategy(m, k) == ParityUpdateStrategy::kDelta
+                      ? "delta"
+                      : "direct");
+    }
+  }
+}
+BENCHMARK(BM_CostTable)->Iterations(1);
+
+}  // namespace

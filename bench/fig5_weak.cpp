@@ -1,0 +1,8 @@
+// Figure 5: hit ratio, bandwidth, and latency vs cache size for the
+// weak-locality workload under normal run (paper §VI.B).
+#include "figure_common.h"
+
+int main() {
+  reo::bench::RunNormalFigure("Fig 5", reo::WeakLocalityConfig());
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 6: hit ratio, bandwidth, and latency vs cache size for the
+// medium-locality workload under normal run (paper §VI.B).
+#include "figure_common.h"
+
+int main() {
+  reo::bench::RunNormalFigure("Fig 6", reo::MediumLocalityConfig());
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 7: hit ratio, bandwidth, and latency vs cache size for the
+// strong-locality workload under normal run (paper §VI.B).
+#include "figure_common.h"
+
+int main() {
+  reo::bench::RunNormalFigure("Fig 7", reo::StrongLocalityConfig());
+  return 0;
+}

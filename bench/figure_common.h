@@ -1,0 +1,107 @@
+// Shared harness for the paper-figure benches (Figs 5-9, §VI).
+//
+// Each figure binary sweeps the paper's configurations and prints one
+// table per metric panel (hit ratio / bandwidth / latency), with the same
+// series the figure plots. Absolute values come from the device models;
+// the *shapes* are the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/cache_simulator.h"
+#include "workload/medisyn.h"
+
+namespace reo::bench {
+
+/// One line of a figure: a named protection configuration.
+struct Config {
+  std::string label;
+  ProtectionMode mode;
+  double reserve = 0.0;
+};
+
+/// The six series of Figs 5-8.
+inline std::vector<Config> PaperConfigs() {
+  return {
+      {"0-parity", ProtectionMode::kUniform0, 0.0},
+      {"1-parity", ProtectionMode::kUniform1, 0.0},
+      {"2-parity", ProtectionMode::kUniform2, 0.0},
+      {"Reo-10%", ProtectionMode::kReo, 0.10},
+      {"Reo-20%", ProtectionMode::kReo, 0.20},
+      {"Reo-40%", ProtectionMode::kReo, 0.40},
+  };
+}
+
+/// Data-plane scale shift for benches: 1:128 by default, overridable with
+/// REO_SCALE_SHIFT (0 = full-size payloads; slower, more memory).
+inline uint32_t BenchScaleShift() {
+  if (const char* env = std::getenv("REO_SCALE_SHIFT")) {
+    return static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  return 7;
+}
+
+inline SimulationConfig MakeSimConfig(const Config& cfg, double cache_fraction,
+                                      uint64_t chunk_bytes = 64 * 1024) {
+  SimulationConfig sim;
+  sim.name = cfg.label;
+  sim.policy = {.mode = cfg.mode, .reo_reserve_fraction = cfg.reserve};
+  sim.cache_fraction = cache_fraction;
+  sim.chunk_logical_bytes = chunk_bytes;
+  sim.scale_shift = BenchScaleShift();
+  return sim;
+}
+
+/// Runs the Figs 5-7 sweep (normal run; cache size 4-12 % of the dataset)
+/// and prints the three panels.
+inline void RunNormalFigure(const char* figure, const MediSynConfig& workload) {
+  auto trace = GenerateMediSyn(workload);
+  const std::vector<double> fractions{0.04, 0.06, 0.08, 0.10, 0.12};
+  auto configs = PaperConfigs();
+
+  std::printf("%s: %s-locality workload, %zu requests, dataset %.2f GB\n",
+              figure, workload.name.c_str(), trace.requests.size(),
+              static_cast<double>(trace.catalog.TotalBytes()) / 1e9);
+
+  // results[c][f]
+  std::vector<std::vector<RunReport>> results(configs.size());
+  for (size_t c = 0; c < configs.size(); ++c) {
+    for (double f : fractions) {
+      CacheSimulator sim(trace, MakeSimConfig(configs[c], f));
+      results[c].push_back(sim.Run());
+    }
+  }
+
+  auto print_panel = [&](const char* title, auto value) {
+    std::printf("\n(%s)\n%-12s", title, "CacheSize");
+    for (double f : fractions) std::printf("%9.0f%%", f * 100);
+    std::printf("\n");
+    for (size_t c = 0; c < configs.size(); ++c) {
+      std::printf("%-12s", configs[c].label.c_str());
+      for (size_t i = 0; i < fractions.size(); ++i) {
+        std::printf("%10.1f", value(results[c][i]));
+      }
+      std::printf("\n");
+    }
+  };
+  print_panel("a: Hit Ratio (%)",
+              [](const RunReport& r) { return r.total.HitRatio() * 100; });
+  print_panel("b: Bandwidth (MB/sec)",
+              [](const RunReport& r) { return r.total.BandwidthMBps(); });
+  print_panel("c: Latency (ms)",
+              [](const RunReport& r) { return r.total.AvgLatencyMs(); });
+
+  std::printf("\n(space efficiency at run end)\n");
+  for (size_t c = 0; c < configs.size(); ++c) {
+    std::printf("%-12s", configs[c].label.c_str());
+    for (size_t i = 0; i < fractions.size(); ++i) {
+      std::printf("%9.1f%%", results[c][i].space.SpaceEfficiency() * 100);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace reo::bench

@@ -1,0 +1,203 @@
+// reo_cli: command-line experiment driver.
+//
+// Runs one simulation with everything configurable from flags — workload
+// (built-in preset or a trace file), protection policy, cache size, chunk
+// size, failure/spare schedule — and prints the full report. Examples:
+//
+//   reo_cli --workload medium --policy reo --reserve 0.2 --cache 0.10
+//   reo_cli --workload strong --policy 1-parity --fail 10000:0 --fail 20000:1
+//   reo_cli --trace-file my.trace --policy full-repl
+//   reo_cli --workload weak --save-trace weak.trace
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/cache_simulator.h"
+#include "workload/medisyn.h"
+#include "workload/trace_io.h"
+
+using namespace reo;
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --workload weak|medium|strong   built-in MediSyn preset (default medium)\n"
+      "  --trace-file PATH               load a trace file instead\n"
+      "  --save-trace PATH               write the workload to a trace file and exit\n"
+      "  --write-ratio F                 mix writes into the preset (0..1)\n"
+      "  --policy reo|0-parity|1-parity|2-parity|full-repl   (default reo)\n"
+      "  --reserve F                     Reo redundancy reserve fraction (default 0.2)\n"
+      "  --cache F                       cache size / dataset bytes (default 0.10)\n"
+      "  --chunk-kb N                    chunk size in KiB (default 64)\n"
+      "  --scale-shift N                 data-plane scale (default 7)\n"
+      "  --devices N                     flash devices (default 5)\n"
+      "  --fail REQ:DEV                  inject failure (repeatable)\n"
+      "  --spare REQ:DEV                 insert spare (repeatable)\n"
+      "  --warmup                        unmeasured warm-up pass first\n"
+      "  --verify                        CRC-verify every hit\n",
+      argv0);
+}
+
+bool ParseEvent(const char* arg, uint64_t* req, uint32_t* dev) {
+  char* end = nullptr;
+  *req = std::strtoull(arg, &end, 10);
+  if (end == nullptr || *end != ':') return false;
+  *dev = static_cast<uint32_t>(std::strtoul(end + 1, &end, 10));
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = "medium";
+  std::string trace_file, save_trace;
+  double write_ratio = -1.0;
+  SimulationConfig cfg;
+  cfg.policy = {.mode = ProtectionMode::kReo, .reo_reserve_fraction = 0.2};
+  cfg.cache_fraction = 0.10;
+  cfg.chunk_logical_bytes = 64 * 1024;
+  cfg.scale_shift = 7;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--workload")) {
+      workload = next();
+    } else if (!std::strcmp(argv[i], "--trace-file")) {
+      trace_file = next();
+    } else if (!std::strcmp(argv[i], "--save-trace")) {
+      save_trace = next();
+    } else if (!std::strcmp(argv[i], "--write-ratio")) {
+      write_ratio = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--policy")) {
+      std::string p = next();
+      if (p == "reo") cfg.policy.mode = ProtectionMode::kReo;
+      else if (p == "0-parity") cfg.policy.mode = ProtectionMode::kUniform0;
+      else if (p == "1-parity") cfg.policy.mode = ProtectionMode::kUniform1;
+      else if (p == "2-parity") cfg.policy.mode = ProtectionMode::kUniform2;
+      else if (p == "full-repl") cfg.policy.mode = ProtectionMode::kFullReplication;
+      else {
+        std::fprintf(stderr, "unknown policy %s\n", p.c_str());
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--reserve")) {
+      cfg.policy.reo_reserve_fraction = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--cache")) {
+      cfg.cache_fraction = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--chunk-kb")) {
+      cfg.chunk_logical_bytes = std::strtoull(next(), nullptr, 10) * 1024;
+    } else if (!std::strcmp(argv[i], "--scale-shift")) {
+      cfg.scale_shift = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--devices")) {
+      cfg.num_devices = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--fail")) {
+      FailureEvent ev;
+      uint64_t req;
+      uint32_t dev;
+      if (!ParseEvent(next(), &req, &dev)) {
+        std::fprintf(stderr, "--fail expects REQ:DEV\n");
+        return 2;
+      }
+      ev.at_request = req;
+      ev.device = dev;
+      cfg.failures.push_back(ev);
+    } else if (!std::strcmp(argv[i], "--spare")) {
+      SpareEvent ev;
+      uint64_t req;
+      uint32_t dev;
+      if (!ParseEvent(next(), &req, &dev)) {
+        std::fprintf(stderr, "--spare expects REQ:DEV\n");
+        return 2;
+      }
+      ev.at_request = req;
+      ev.device = dev;
+      cfg.spares.push_back(ev);
+    } else if (!std::strcmp(argv[i], "--warmup")) {
+      cfg.warmup_pass = true;
+    } else if (!std::strcmp(argv[i], "--verify")) {
+      cfg.verify_hits = true;
+    } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // Build the workload.
+  Trace trace;
+  if (!trace_file.empty()) {
+    auto loaded = LoadTraceFile(trace_file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", trace_file.c_str(),
+                   loaded.status().to_string().c_str());
+      return 1;
+    }
+    trace = std::move(loaded).value();
+  } else {
+    MediSynConfig wl;
+    if (workload == "weak") wl = WeakLocalityConfig();
+    else if (workload == "medium") wl = MediumLocalityConfig();
+    else if (workload == "strong") wl = StrongLocalityConfig();
+    else {
+      std::fprintf(stderr, "unknown workload %s\n", workload.c_str());
+      return 2;
+    }
+    if (write_ratio >= 0.0) wl.write_ratio = write_ratio;
+    trace = GenerateMediSyn(wl);
+  }
+
+  if (!save_trace.empty()) {
+    Status st = SaveTraceFile(trace, save_trace);
+    if (!st.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu requests / %zu objects to %s\n",
+                trace.requests.size(), trace.catalog.count(),
+                save_trace.c_str());
+    return 0;
+  }
+
+  cfg.name = std::string(to_string(cfg.policy.mode));
+  CacheSimulator sim(trace, cfg);
+  auto report = sim.Run();
+
+  std::printf("workload: %s (%zu requests, %zu objects, %.2f GB dataset)\n",
+              trace.name.c_str(), trace.requests.size(), trace.catalog.count(),
+              static_cast<double>(trace.catalog.TotalBytes()) / 1e9);
+  std::printf("%s\n", FormatReportRow(report).c_str());
+  if (report.windows.size() > 1) {
+    for (const auto& w : report.windows) {
+      std::printf("  %-16s hit=%5.1f%%  bw=%7.1f MB/s  lat=%6.2f ms"
+                  "  p99=%6.2f ms  (%llu reqs)\n",
+                  w.label.c_str(), w.HitRatio() * 100, w.BandwidthMBps(),
+                  w.AvgLatencyMs(), w.P99LatencyMs(),
+                  static_cast<unsigned long long>(w.requests));
+    }
+  }
+  std::printf("cache: %llu hits / %llu misses, %llu evictions, %llu rebuilds,"
+              " %llu flushes, dirty lost %llu\n",
+              static_cast<unsigned long long>(report.cache.hits),
+              static_cast<unsigned long long>(report.cache.misses),
+              static_cast<unsigned long long>(report.cache.evictions),
+              static_cast<unsigned long long>(report.cache.rebuilds),
+              static_cast<unsigned long long>(report.cache.flushes),
+              static_cast<unsigned long long>(report.cache.dirty_lost));
+  std::printf("space: eff=%.1f%% (user %.1f MB + redundancy %.1f MB), wear %.4f%%\n",
+              report.space.SpaceEfficiency() * 100,
+              static_cast<double>(report.space.user_bytes) / 1e6,
+              static_cast<double>(report.space.redundancy_bytes) / 1e6,
+              report.max_wear * 100);
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Failure marking and chunk reconstruction (paper §IV.D).
+//
+// These are the StripeManager members implemented in reconstruction.cpp:
+// OnDeviceFailure / RebuildObject / DamagedObjects. This header exists for
+// documentation symmetry; include stripe_manager.h for the API.
+#pragma once
+
+#include "array/stripe_manager.h"

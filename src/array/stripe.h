@@ -1,0 +1,107 @@
+// Stripe and chunk types for the differentiated-redundancy flash array
+// (paper §IV.C.3, Figure 4).
+//
+// The array's basic management unit is a stripe: up to `width` chunks, one
+// per device. Unlike RAID, stripes carry a *variable* number of parity
+// chunks — 0, 1 or 2 parity, or full replication — and parity positions
+// rotate round-robin with the stripe ID.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/object_id.h"
+#include "common/status.h"
+#include "flash/flash_device.h"
+
+namespace reo {
+
+using StripeId = uint64_t;
+
+/// Redundancy levels Reo assigns (paper §IV.C.4).
+enum class RedundancyLevel : uint8_t {
+  kNone,       ///< 0-parity: cold clean data (Class 3)
+  kParity1,    ///< 1 parity chunk per stripe (uniform baseline)
+  kParity2,    ///< 2 parity chunks per stripe: hot clean data (Class 2)
+  kReplicate,  ///< copies on every device: metadata & dirty data (Class 0/1)
+};
+
+constexpr std::string_view to_string(RedundancyLevel l) {
+  switch (l) {
+    case RedundancyLevel::kNone: return "0-parity";
+    case RedundancyLevel::kParity1: return "1-parity";
+    case RedundancyLevel::kParity2: return "2-parity";
+    case RedundancyLevel::kReplicate: return "replicate";
+  }
+  return "?";
+}
+
+/// Parity/replica chunk count for a level at a given stripe width.
+constexpr size_t RedundantChunkCount(RedundancyLevel l, size_t width) {
+  switch (l) {
+    case RedundancyLevel::kNone: return 0;
+    case RedundancyLevel::kParity1: return width >= 2 ? 1 : 0;
+    case RedundancyLevel::kParity2: return width >= 3 ? 2 : (width >= 2 ? 1 : 0);
+    case RedundancyLevel::kReplicate: return width >= 1 ? width - 1 : 0;
+  }
+  return 0;
+}
+
+/// Device failures a level survives at a given width.
+constexpr size_t FailuresSurvived(RedundancyLevel l, size_t width) {
+  return RedundantChunkCount(l, width);
+}
+
+enum class ChunkKind : uint8_t { kData, kParity, kReplica };
+
+/// One chunk slot within a stripe.
+struct StripeChunk {
+  ChunkKind kind = ChunkKind::kData;
+  DeviceIndex device = 0;
+  SlotId slot = 0;
+  uint64_t logical_bytes = 0;
+  bool lost = false;  ///< resides on a failed device, not yet rebuilt
+  /// For data chunks: which chunk of the owning object this is.
+  uint32_t owner_chunk_index = 0;
+};
+
+/// A sealed or in-flight stripe. All chunks of a stripe belong to the same
+/// object (per-object striping; see DESIGN.md §5).
+struct Stripe {
+  StripeId id = 0;
+  ObjectId owner;
+  RedundancyLevel level = RedundancyLevel::kNone;
+  /// Data chunks in Reed-Solomon fragment order 0..m-1.
+  std::vector<StripeChunk> data;
+  /// Parity chunks (fragment order m..m+k-1) or replicas.
+  std::vector<StripeChunk> redundancy;
+
+  size_t lost_count() const {
+    size_t n = 0;
+    for (const auto& c : data) n += c.lost ? 1 : 0;
+    for (const auto& c : redundancy) n += c.lost ? 1 : 0;
+    return n;
+  }
+
+  size_t lost_data_count() const {
+    size_t n = 0;
+    for (const auto& c : data) n += c.lost ? 1 : 0;
+    return n;
+  }
+
+  /// True if every lost chunk can still be reconstructed.
+  bool recoverable() const {
+    if (level == RedundancyLevel::kReplicate) {
+      // A replica stripe survives while any copy survives.
+      size_t copies = 1 + redundancy.size();
+      return lost_count() < copies;
+    }
+    return lost_count() <= redundancy.size();
+  }
+
+  /// True if no chunk is lost.
+  bool intact() const { return lost_count() == 0; }
+};
+
+}  // namespace reo

@@ -1,0 +1,79 @@
+#include "backend/backend_store.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace reo {
+
+void BackendStore::RegisterObject(ObjectId id, uint64_t logical_bytes,
+                                  uint64_t physical_bytes) {
+  auto [it, inserted] = catalog_.emplace(
+      id, Entry{.logical_bytes = logical_bytes, .physical_bytes = physical_bytes});
+  if (inserted) {
+    total_logical_ += logical_bytes;
+  } else {
+    total_logical_ += logical_bytes - it->second.logical_bytes;
+    it->second.logical_bytes = logical_bytes;
+    it->second.physical_bytes = physical_bytes;
+  }
+}
+
+std::vector<uint8_t> BackendStore::SynthesizePayload(ObjectId id,
+                                                     uint64_t version,
+                                                     uint64_t physical_bytes) {
+  std::vector<uint8_t> out(static_cast<size_t>(physical_bytes));
+  Pcg32 rng(id.oid * 0x9E3779B97F4A7C15ULL ^ id.pid, version + 1);
+  size_t i = 0;
+  for (; i + 4 <= out.size(); i += 4) {
+    uint32_t w = rng.Next();
+    out[i] = static_cast<uint8_t>(w);
+    out[i + 1] = static_cast<uint8_t>(w >> 8);
+    out[i + 2] = static_cast<uint8_t>(w >> 16);
+    out[i + 3] = static_cast<uint8_t>(w >> 24);
+  }
+  for (; i < out.size(); ++i) out[i] = static_cast<uint8_t>(rng.Next());
+  return out;
+}
+
+Result<BackendFetch> BackendStore::Fetch(ObjectId id, SimTime now) {
+  auto it = catalog_.find(id);
+  if (it == catalog_.end()) return Status{ErrorCode::kNotFound, "not in backend"};
+  const Entry& e = it->second;
+
+  // HDD: seek + sequential transfer, serialized on the single spindle.
+  SimTime disk_start = std::max(now, disk_busy_until_);
+  disk_busy_until_ = disk_start + hdd_.seek_ns +
+                     TransferTime(e.logical_bytes, hdd_.transfer_mbps);
+  // Then the object crosses the network to the cache server.
+  SimTime done = link_.Transfer(disk_busy_until_, e.logical_bytes);
+
+  BackendFetch f;
+  f.complete = done;
+  f.version = e.version;
+  f.payload = SynthesizePayload(id, e.version, e.physical_bytes);
+  ++fetches_;
+  return f;
+}
+
+Result<SimTime> BackendStore::Flush(ObjectId id, uint64_t version, SimTime now) {
+  auto it = catalog_.find(id);
+  if (it == catalog_.end()) return Status{ErrorCode::kNotFound, "not in backend"};
+  Entry& e = it->second;
+
+  SimTime arrived = link_.Transfer(now, e.logical_bytes);
+  SimTime disk_start = std::max(arrived, disk_busy_until_);
+  disk_busy_until_ = disk_start + hdd_.seek_ns +
+                     TransferTime(e.logical_bytes, hdd_.transfer_mbps);
+  e.version = version;
+  ++flushes_;
+  return disk_busy_until_;
+}
+
+Result<uint64_t> BackendStore::VersionOf(ObjectId id) const {
+  auto it = catalog_.find(id);
+  if (it == catalog_.end()) return Status{ErrorCode::kNotFound, "not in backend"};
+  return it->second.version;
+}
+
+}  // namespace reo

@@ -1,0 +1,2 @@
+// NetworkLink is header-only; this translation unit anchors the library.
+#include "backend/network_link.h"

@@ -1,0 +1,46 @@
+// Network model: the 10 Gbps Ethernet connecting cache server, storage
+// server, and clients in the paper's testbed (§VI.A).
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_clock.h"
+
+namespace reo {
+
+struct NetworkLinkConfig {
+  double gbps = 10.0;               ///< link bandwidth
+  SimTime rtt_ns = 100 * kNsPerUs;  ///< request/response round trip
+};
+
+/// Serializing point-to-point link with fixed RTT + store-and-forward
+/// transfer time. Single queue (one link per path in the testbed).
+class NetworkLink {
+ public:
+  explicit NetworkLink(NetworkLinkConfig config = {}) : config_(config) {}
+
+  const NetworkLinkConfig& config() const { return config_; }
+
+  /// Time to move `bytes` one way, excluding queueing.
+  SimTime TransferDuration(uint64_t bytes) const {
+    double bytes_per_sec = config_.gbps * 1e9 / 8.0;
+    return config_.rtt_ns / 2 +
+           static_cast<SimTime>(static_cast<double>(bytes) / bytes_per_sec * 1e9);
+  }
+
+  /// Schedules a transfer beginning no earlier than `start`; the link
+  /// serializes transfers. Returns completion time.
+  SimTime Transfer(SimTime start, uint64_t bytes) {
+    SimTime begin = start > busy_until_ ? start : busy_until_;
+    busy_until_ = begin + TransferDuration(bytes);
+    return busy_until_;
+  }
+
+  void Reset() { busy_until_ = 0; }
+
+ private:
+  NetworkLinkConfig config_;
+  SimTime busy_until_ = 0;
+};
+
+}  // namespace reo

@@ -1,0 +1,14 @@
+// CRC32C (Castagnoli) checksum, used to verify chunk payload integrity in
+// the flash data plane and to detect corruption injected by device failures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace reo {
+
+/// Computes CRC32C over `data`, continuing from `seed` (0 for a fresh CRC).
+uint32_t Crc32c(std::span<const uint8_t> data, uint32_t seed = 0);
+
+}  // namespace reo

@@ -1,0 +1,104 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace reo {
+
+void StatAccumulator::Add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+void StatAccumulator::Merge(const StatAccumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void StatAccumulator::Reset() { *this = StatAccumulator{}; }
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::BucketFor(double v) {
+  if (v <= 1.0) return 0;
+  // 8 buckets per factor of 2 (~9 % resolution), covering up to ~2^31.
+  int b = static_cast<int>(std::log2(v) * 8.0) + 1;
+  return std::clamp(b, 0, kBuckets - 1);
+}
+
+double Histogram::BucketLow(int b) {
+  if (b <= 0) return 0.0;
+  return std::exp2(static_cast<double>(b - 1) / 8.0);
+}
+
+double Histogram::BucketHigh(int b) {
+  return std::exp2(static_cast<double>(b) / 8.0);
+}
+
+void Histogram::Add(double v) {
+  if (v < 0) v = 0;
+  buckets_[static_cast<size_t>(BucketFor(v))]++;
+  ++total_;
+  sum_ += v;
+  max_ = std::max(max_, v);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  total_ += other.total_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+  sum_ = 0.0;
+  max_ = 0.0;
+}
+
+double Histogram::mean() const {
+  return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+double Histogram::Percentile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  auto target = static_cast<uint64_t>(q * static_cast<double>(total_ - 1));
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    uint64_t n = buckets_[static_cast<size_t>(b)];
+    if (seen + n > target) {
+      double frac = n ? static_cast<double>(target - seen) / static_cast<double>(n) : 0.0;
+      double lo = BucketLow(b), hi = std::min(BucketHigh(b), max_ > 0 ? max_ : BucketHigh(b));
+      return lo + frac * (hi - lo);
+    }
+    seen += n;
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.2f p50=%.2f p99=%.2f max=%.2f",
+                static_cast<unsigned long long>(total_), mean(),
+                Percentile(0.50), Percentile(0.99), max_);
+  return buf;
+}
+
+}  // namespace reo

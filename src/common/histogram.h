@@ -1,0 +1,63 @@
+// Streaming statistics used by the simulator's metrics plane: a running
+// mean/min/max accumulator and a log-bucketed latency histogram with
+// percentile queries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reo {
+
+/// Running summary of a stream of doubles (count/mean/min/max/sum).
+class StatAccumulator {
+ public:
+  void Add(double v);
+  void Merge(const StatAccumulator& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Log-bucketed histogram for non-negative values (e.g. latencies in µs).
+/// Buckets grow geometrically (8 per factor of 2); percentile queries
+/// interpolate within a bucket. ~9% relative error — ample for reporting.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(double v);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return total_; }
+  double mean() const;
+  /// Value at quantile q in [0, 1]; 0 if empty.
+  double Percentile(double q) const;
+
+  /// One-line summary: count, mean, p50, p99, max.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kBuckets = 256;
+  static int BucketFor(double v);
+  static double BucketLow(int b);
+  static double BucketHigh(int b);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace reo

@@ -1,0 +1,58 @@
+// Object identity shared by the OSD layer and the flash array layer.
+//
+// T10 OSD names every object by a (Partition ID, Object ID) pair; the pair
+// is unique within a logical unit (paper §II.A, Table I).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace reo {
+
+/// (PID, OID) pair identifying one object within an OSD logical unit.
+struct ObjectId {
+  uint64_t pid = 0;
+  uint64_t oid = 0;
+
+  friend bool operator==(const ObjectId&, const ObjectId&) = default;
+  friend auto operator<=>(const ObjectId&, const ObjectId&) = default;
+
+  std::string ToString() const {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "0x%llx:0x%llx",
+                  static_cast<unsigned long long>(pid),
+                  static_cast<unsigned long long>(oid));
+    return buf;
+  }
+};
+
+// --- Reserved IDs (paper Table I; exofs conventions) ---------------------
+
+/// Root object: PID 0x0, OID 0x0.
+inline constexpr ObjectId kRootObject{0x0, 0x0};
+/// First non-reserved partition / object number.
+inline constexpr uint64_t kFirstUserId = 0x10000;
+/// exofs metadata objects inside partition 0x10000.
+inline constexpr ObjectId kSuperBlockObject{0x10000, 0x10000};
+inline constexpr ObjectId kDeviceTableObject{0x10000, 0x10001};
+inline constexpr ObjectId kRootDirectoryObject{0x10000, 0x10002};
+/// Reo's control/communication object (paper §IV.C.2): all classification
+/// and query messages are written to this reserved object.
+inline constexpr ObjectId kControlObject{0x10000, 0x10004};
+
+struct ObjectIdHash {
+  size_t operator()(const ObjectId& id) const {
+    // Mix the two words; splitmix64 finalizer.
+    uint64_t x = id.pid * 0x9E3779B97F4A7C15ULL ^ id.oid;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace reo

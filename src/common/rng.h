@@ -1,0 +1,57 @@
+// Deterministic PRNG (PCG32). All randomness in Reo — workload generation,
+// synthetic payloads, failure placement — flows through seeded Pcg32
+// instances so every experiment is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace reo {
+
+/// PCG32: small, fast, statistically solid 32-bit generator.
+/// (O'Neill, "PCG: A Family of Simple Fast Space-Efficient Statistically
+/// Good Algorithms for Random Number Generation".)
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL)
+      : state_(0), inc_((stream << 1u) | 1u) {
+    Next();
+    state_ += seed;
+    Next();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t Next() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+  }
+
+  /// Uniform value in [0, bound). Unbiased (rejection sampling).
+  uint32_t NextBounded(uint32_t bound) {
+    if (bound <= 1) return 0;
+    uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      uint32_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return Next() * (1.0 / 4294967296.0);
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next64() {
+    return (static_cast<uint64_t>(Next()) << 32) | Next();
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace reo

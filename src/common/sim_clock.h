@@ -1,0 +1,54 @@
+// Virtual time for the whole simulation.
+//
+// Reo's evaluation metrics (bandwidth, latency) are computed on a discrete
+// virtual clock: device models return service durations; the simulator
+// advances the clock by completion times. Nothing in the library reads wall
+// time, so runs are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace reo {
+
+/// Nanoseconds of virtual time.
+using SimTime = uint64_t;
+
+constexpr SimTime kNsPerUs = 1000;
+constexpr SimTime kNsPerMs = 1000 * kNsPerUs;
+constexpr SimTime kNsPerSec = 1000 * kNsPerMs;
+
+/// Converts virtual nanoseconds to floating-point milliseconds / seconds.
+constexpr double ToMs(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToSec(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+/// Duration (ns) to move `bytes` at `mb_per_sec` megabytes per second.
+constexpr SimTime TransferTime(uint64_t bytes, double mb_per_sec) {
+  if (mb_per_sec <= 0.0) return 0;
+  return static_cast<SimTime>(static_cast<double>(bytes) / (mb_per_sec * 1e6) * 1e9);
+}
+
+/// Monotone virtual clock shared by all simulated components.
+class SimClock {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Advances by `delta` ns and returns the new time.
+  SimTime Advance(SimTime delta) {
+    now_ += delta;
+    return now_;
+  }
+
+  /// Moves the clock forward to `t` (no-op if `t` is in the past).
+  void AdvanceTo(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  void Reset() { now_ = 0; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace reo

@@ -1,0 +1,127 @@
+// Lightweight error-handling vocabulary used across all Reo subsystems.
+//
+// The library does not throw for expected storage conditions (corrupted
+// chunk, cache full, object missing); those travel as Status / Result<T>.
+// Exceptions are reserved for programming errors (checked via REO_CHECK).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace reo {
+
+/// Error categories for storage-level outcomes. Kept deliberately small;
+/// OSD-level sense codes (paper Table III) map onto these in osd/sense.h.
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kNotFound,       ///< object / chunk / device does not exist
+  kCorrupted,      ///< data present but failed verification or device dead
+  kUnrecoverable,  ///< lost beyond the stripe's parity capability
+  kNoSpace,        ///< cache or device is full
+  kInvalidArgument,
+  kAlreadyExists,
+  kUnavailable,    ///< device offline / recovery in progress
+  kInternal,
+};
+
+/// Human-readable name for an ErrorCode.
+constexpr std::string_view to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kCorrupted: return "CORRUPTED";
+    case ErrorCode::kUnrecoverable: return "UNRECOVERABLE";
+    case ErrorCode::kNoSpace: return "NO_SPACE";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// A status: either OK or an ErrorCode plus optional context message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message = {})
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    std::string s{reo::to_string(code_)};
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or a Status error — a minimal std::expected stand-in.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+  Result(ErrorCode code, std::string message = {})
+      : status_(code, std::move(message)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+  ErrorCode code() const { return ok() ? ErrorCode::kOk : status_.code(); }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  /// Returns the contained value or `fallback` on error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Fatal invariant check: programming errors only, never data conditions.
+#define REO_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "REO_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define REO_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::reo::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace reo

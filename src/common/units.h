@@ -1,0 +1,29 @@
+// Byte-size literals and formatting helpers.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace reo {
+
+constexpr uint64_t kKiB = 1024ULL;
+constexpr uint64_t kMiB = 1024ULL * kKiB;
+constexpr uint64_t kGiB = 1024ULL * kMiB;
+
+/// "4.40 MB"-style human-readable byte count.
+inline std::string HumanBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", static_cast<double>(bytes) / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", static_cast<double>(bytes) / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace reo

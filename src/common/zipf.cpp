@@ -1,0 +1,40 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace reo {
+
+ZipfSampler::ZipfSampler(uint32_t n, double skew) : n_(n), skew_(skew) {
+  REO_CHECK(n > 0);
+  REO_CHECK(skew >= 0.0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (uint32_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i) + 1.0, skew);
+    cdf_[i] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint32_t ZipfSampler::Sample(Pcg32& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(uint32_t rank) const {
+  REO_CHECK(rank < n_);
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+double ZipfSampler::Cdf(uint32_t rank) const {
+  REO_CHECK(rank < n_);
+  return cdf_[rank];
+}
+
+}  // namespace reo

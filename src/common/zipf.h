@@ -1,0 +1,41 @@
+// Zipf(ian) popularity sampler used by the MediSyn-like workload generator.
+//
+// MediSyn (NOSSDAV'03) models media-object popularity as a (generalized)
+// Zipf distribution; the paper's weak/medium/strong locality traces are
+// Zipfian with different skews. We precompute the CDF once and sample by
+// binary search, so sampling is O(log N) and fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace reo {
+
+/// Samples ranks in [0, n) with probability proportional to 1 / (rank+1)^s.
+class ZipfSampler {
+ public:
+  /// @param n      number of distinct items (ranks 0..n-1)
+  /// @param skew   Zipf exponent s; 0 = uniform, larger = more skewed
+  ZipfSampler(uint32_t n, double skew);
+
+  /// Draws one rank using the supplied generator.
+  uint32_t Sample(Pcg32& rng) const;
+
+  /// Probability mass of a single rank.
+  double Pmf(uint32_t rank) const;
+
+  /// Cumulative probability of ranks [0, rank].
+  double Cdf(uint32_t rank) const;
+
+  uint32_t n() const { return n_; }
+  double skew() const { return skew_; }
+
+ private:
+  uint32_t n_;
+  double skew_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i); cdf_.back() == 1.0
+};
+
+}  // namespace reo

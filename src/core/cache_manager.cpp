@@ -1,0 +1,627 @@
+#include "core/cache_manager.h"
+
+#include <algorithm>
+
+#include "common/crc32c.h"
+
+namespace reo {
+namespace {
+
+/// The exofs metadata objects are small; the paper notes the largest
+/// (root directory) is 4 KB (§IV.C.4).
+constexpr uint64_t kMetadataObjectBytes = 4096;
+
+}  // namespace
+
+CacheManager::CacheManager(OsdTarget& target, ReoDataPlane& plane,
+                           BackendStore& backend, CacheManagerConfig config)
+    : initiator_(target),
+      plane_(plane),
+      backend_(backend),
+      config_(config),
+      classifier_([&s = plane.stripes()](uint64_t size) {
+        // Redundancy bytes protecting `size` at the hot level (2-parity).
+        return s.FootprintEstimate(size, RedundancyLevel::kParity2) - size;
+      }) {
+  initiator_.set_control_latency(config_.control_write_ns);
+}
+
+void CacheManager::Initialize(SimTime now) {
+  (void)initiator_.FormatOsd(plane_.stripes().array().total_capacity_bytes(),
+                             now);
+
+  // Install the Table I metadata objects as Class 0 (replicated).
+  for (ObjectId id : {kSuperBlockObject, kDeviceTableObject,
+                      kRootDirectoryObject}) {
+    Entry e;
+    e.logical_size = kMetadataObjectBytes;
+    e.freq = 1;
+    e.metadata = true;
+    e.cls = DataClass::kMetadata;
+    entries_[id] = e;
+    resident_bytes_ += kMetadataObjectBytes;
+    (void)SendClassification(id, DataClass::kMetadata, now);
+    (void)initiator_.WriteObject(
+        id,
+        BackendStore::SynthesizePayload(
+            id, 0, plane_.stripes().PhysicalSize(kMetadataObjectBytes)),
+        kMetadataObjectBytes, now);
+  }
+}
+
+ObjectState CacheManager::StateOf(ObjectId id, const Entry& e) const {
+  return ObjectState{.id = id,
+                     .logical_size = e.logical_size,
+                     .freq = e.freq,
+                     .dirty = e.dirty,
+                     .is_metadata = e.metadata};
+}
+
+SenseCode CacheManager::SendClassification(ObjectId id, DataClass cls,
+                                           SimTime now) {
+  SenseCode sense =
+      initiator_.SetClassId(id, static_cast<uint8_t>(cls), now);
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    // On 0x67 the target kept the object at reduced protection; track the
+    // effective class so later refreshes retry once the reserve frees up.
+    it->second.cls = sense == SenseCode::kRedundancyFull
+                         ? DataClass::kColdClean
+                         : cls;
+  }
+  return sense;
+}
+
+SenseCode CacheManager::QueryObject(ObjectId id, bool is_write, uint64_t size,
+                                    SimTime now) {
+  return initiator_.Query(id, is_write, 0, size, now);
+}
+
+// ---------------------------------------------------------------------------
+// Client requests
+// ---------------------------------------------------------------------------
+
+RequestResult CacheManager::Get(ObjectId id, uint64_t logical_size, SimTime now) {
+  ++request_counter_;
+  ++stats_.gets;
+  RequestResult res;
+  res.bytes = logical_size;
+
+  if (array_unusable_) {
+    // The striped volume is gone: every request goes to the backend.
+    ++stats_.misses;
+    ++stats_.uncacheable;
+    auto fetch = backend_.Fetch(id, now);
+    res.sense = fetch.ok() ? SenseCode::kOk : SenseCode::kFail;
+    if (fetch.ok()) res.latency = fetch->complete - now;
+    return res;
+  }
+
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    auto resp = initiator_.ReadObject(id, now);
+    if (resp.ok()) {
+      ++stats_.hits;
+      res.hit = true;
+      res.degraded = resp.degraded;
+      res.latency = resp.complete > now ? resp.complete - now : 0;
+      res.sense = resp.sense;
+      it->second.freq++;
+      (void)lru_.Touch(id);
+      if (resp.degraded) ++stats_.degraded_reads;
+
+      // This access may have pushed the object across H_hot: upgrade it
+      // now rather than waiting for the next periodic refresh, so the
+      // redundancy reserve stays committed under LRU churn. (Downgrades
+      // and threshold adaptation happen at refresh time.)
+      if (plane_.policy().mode() == ProtectionMode::kReo &&
+          !reserve_full_hint_) {
+        Entry& e = it->second;
+        if (!e.dirty && !e.metadata && e.cls == DataClass::kColdClean &&
+            StateOf(id, e).H() >= classifier_.h_hot()) {
+          SenseCode sense = SendClassification(id, DataClass::kHotClean, now);
+          ++stats_.reclassifications;
+          // 0x67: the reserve is exhausted; stop retrying on every hit
+          // until the next refresh frees budget (avoids a control-message
+          // storm the target would reject anyway).
+          if (sense == SenseCode::kRedundancyFull) reserve_full_hint_ = true;
+        }
+      }
+
+      if (config_.verify_hits) {
+        auto expected = BackendStore::SynthesizePayload(
+            id, it->second.version, plane_.stripes().PhysicalSize(logical_size));
+        if (Crc32c(expected) != Crc32c(resp.data)) ++stats_.verify_failures;
+      }
+
+      if (resp.degraded && plane_.policy().mode() == ProtectionMode::kReo) {
+        // On-demand recovery first (§IV.D): repair this object now so the
+        // next access is clean, and drop it from the background queue.
+        // Uniform (block-based) protection has no object-level repair: it
+        // pays the reconstruction on every degraded access until a spare
+        // arrives and the block-level rebuild reaches the data.
+        recovery_.Remove(id);
+        auto rb = plane_.stripes().RebuildObject(id, resp.complete);
+        if (rb.ok()) ++stats_.rebuilds;
+        if (recovery_.empty()) plane_.set_recovery_active(false);
+      }
+
+      MaybeRefresh(now);
+      AdvanceBackground(now);
+      return res;
+    }
+    // 0x63 or worse: the cached copy is gone. Evict and fall through.
+    EvictObject(id, now, /*lost=*/true);
+  }
+
+  ++stats_.misses;
+  auto fetch = backend_.Fetch(id, now);
+  if (!fetch.ok()) {
+    res.sense = SenseCode::kFail;
+    return res;
+  }
+  res.latency = fetch->complete - now;
+  res.sense = SenseCode::kOk;
+
+  auto& array = plane_.stripes().array();
+  bool degraded_array = array.healthy_count() < array.size();
+  if (degraded_array && !config_.admit_while_degraded) {
+    ++stats_.uncacheable;
+  } else {
+    SimTime io_complete = fetch->complete;
+    if (!Admit(id, logical_size, fetch->payload, fetch->version,
+               /*dirty=*/false, fetch->complete, io_complete)) {
+      ++stats_.uncacheable;
+    }
+  }
+  MaybeRefresh(now);
+  AdvanceBackground(now);
+  return res;
+}
+
+RequestResult CacheManager::Put(ObjectId id, uint64_t logical_size, SimTime now) {
+  ++request_counter_;
+  ++stats_.writes;
+  RequestResult res;
+  res.is_write = true;
+  res.bytes = logical_size;
+
+  uint64_t physical = plane_.stripes().PhysicalSize(logical_size);
+  backend_.RegisterObject(id, logical_size, physical);
+
+  uint64_t version = next_version_++;
+  if (array_unusable_) {
+    ++stats_.uncacheable;
+    auto done = backend_.Flush(id, version, now);
+    res.latency = done.ok() ? *done - now : 0;
+    return res;
+  }
+  auto payload = BackendStore::SynthesizePayload(id, version, physical);
+
+  // Whole-object overwrite: drop the old copy (its pending flush, if any,
+  // is superseded) and admit the new version as dirty.
+  if (auto it = entries_.find(id); it != entries_.end() && !it->second.metadata) {
+    recovery_.Remove(id);
+    (void)lru_.Remove(id);
+    resident_bytes_ -= it->second.logical_size;
+    entries_.erase(it);
+    (void)initiator_.RemoveObject(id, now);
+  }
+
+  if (config_.write_policy == WritePolicy::kWriteThrough) {
+    // Persist first; the cached copy is clean from the start.
+    auto done = backend_.Flush(id, version, now);
+    res.latency = done.ok() ? *done - now : 0;
+    SimTime io_complete = now;
+    if (!Admit(id, logical_size, payload, version, /*dirty=*/false, now,
+               io_complete)) {
+      ++stats_.uncacheable;
+    }
+    MaybeRefresh(now);
+    AdvanceBackground(now);
+    return res;
+  }
+
+  SimTime io_complete = now;
+  if (Admit(id, logical_size, payload, version, /*dirty=*/true, now,
+            io_complete)) {
+    res.hit = true;  // absorbed by the cache
+    res.latency = io_complete > now ? io_complete - now : 0;
+  } else {
+    // Cannot cache: write through to the backend synchronously.
+    ++stats_.uncacheable;
+    auto done = backend_.Flush(id, version, now);
+    res.latency = done.ok() ? *done - now : 0;
+  }
+  MaybeRefresh(now);
+  AdvanceBackground(now);
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Admission & eviction
+// ---------------------------------------------------------------------------
+
+bool CacheManager::Admit(ObjectId id, uint64_t logical_size,
+                         std::span<const uint8_t> payload, uint64_t version,
+                         bool dirty, SimTime now, SimTime& io_complete) {
+  Entry e;
+  e.logical_size = logical_size;
+  e.freq = 1;
+  e.version = version;
+  e.dirty = dirty;
+  ObjectState state = StateOf(id, e);
+  DataClass cls = Classify(state, classifier_.h_hot());
+  e.cls = cls;  // SendClassification below runs before the entry exists
+
+  // Make room, then create/classify/write. The write itself can still see
+  // 0x64 (per-device fragmentation), in which case we evict and retry.
+  size_t attempts = entries_.size() + 2;
+  while (attempts-- > 0) {
+    while (!plane_.HasSpaceFor(logical_size, static_cast<uint8_t>(cls))) {
+      if (!EvictOne(now)) return false;
+    }
+    // CREATE is idempotent from the initiator's view: AlreadyExists maps
+    // to kFail, which is fine for a re-admission.
+    (void)initiator_.CreateObject(id, logical_size, now);
+    (void)SendClassification(id, cls, now);
+
+    auto resp = initiator_.WriteObject(id, payload, logical_size, now);
+    if (resp.ok()) {
+      entries_[id] = e;
+      (void)lru_.Insert(id);
+      resident_bytes_ += logical_size;
+      if (dirty) {
+        flush_queue_.push_back(
+            {.id = id, .version = version, .ready_time = now + config_.flush_delay_ns});
+      }
+      io_complete = std::max(io_complete, resp.complete);
+      return true;
+    }
+    if (resp.sense != SenseCode::kCacheFull) return false;
+    if (!EvictOne(now)) return false;
+  }
+  return false;
+}
+
+bool CacheManager::EvictOne(SimTime now) {
+  // LRU-first among clean objects; dirty objects must be flushed before
+  // they can leave the cache (write-back invariant).
+  ObjectId victim;
+  bool found = false;
+  lru_.ForEachLruFirst([&](ObjectId id) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return true;
+    if (it->second.metadata) return true;
+    if (!it->second.dirty) {
+      victim = id;
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  if (!found) {
+    // Everything is dirty: flush the LRU-most dirty object, then evict it.
+    lru_.ForEachLruFirst([&](ObjectId id) {
+      auto it = entries_.find(id);
+      if (it == entries_.end() || it->second.metadata) return true;
+      victim = id;
+      found = true;
+      return false;
+    });
+    if (!found) return false;
+    auto it = entries_.find(victim);
+    FlushObject(victim, it->second, now);
+  }
+  EvictObject(victim, now, /*lost=*/false);
+  return true;
+}
+
+void CacheManager::EvictObject(ObjectId id, SimTime now, bool lost) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  if (it->second.cls == DataClass::kHotClean) {
+    // Evicting a hot object releases its parity: the reserve may have
+    // room again, so hit-time upgrades can resume.
+    reserve_full_hint_ = false;
+  }
+  if (lost) {
+    ++stats_.lost_evictions;
+  } else {
+    ++stats_.evictions;
+  }
+  resident_bytes_ -= it->second.logical_size;
+  entries_.erase(it);
+  (void)lru_.Remove(id);
+  recovery_.Remove(id);
+  (void)initiator_.RemoveObject(id, now);
+}
+
+// ---------------------------------------------------------------------------
+// Write-back flusher
+// ---------------------------------------------------------------------------
+
+void CacheManager::FlushObject(ObjectId id, Entry& e, SimTime now) {
+  auto done = backend_.Flush(id, e.version, std::max(now, flusher_busy_until_));
+  if (done.ok()) flusher_busy_until_ = *done;
+  e.dirty = false;
+  ++stats_.flushes;
+  // The object is clean now: reclassify (hot or cold) so replication space
+  // is returned to the reserve.
+  DataClass cls = Classify(StateOf(id, e), classifier_.h_hot());
+  (void)SendClassification(id, cls, now);
+}
+
+void CacheManager::AdvanceBackground(SimTime now) {
+  // Flusher: drain eligible dirty objects while the (virtual) flusher is
+  // idle. The queue is in write order, so ready times are monotone.
+  while (!flush_queue_.empty() && flusher_busy_until_ <= now &&
+         flush_queue_.front().ready_time <= now) {
+    PendingFlush pf = flush_queue_.front();
+    flush_queue_.pop_front();
+    auto it = entries_.find(pf.id);
+    if (it == entries_.end() || !it->second.dirty ||
+        it->second.version != pf.version) {
+      continue;  // superseded or evicted
+    }
+    // The background flusher ran continuously: this flush started when the
+    // object became eligible (or when the flusher freed up), not at the
+    // moment we happen to observe the queue.
+    FlushObject(pf.id, it->second, std::max(pf.ready_time, flusher_busy_until_));
+  }
+  // Paced background reconstruction.
+  if (!recovery_.empty()) {
+    RunRecoveryBudget(now, config_.recovery_bytes_per_request);
+  }
+  // Paced reclassification (re-encode) maintenance.
+  size_t applied = 0;
+  while (!reclass_queue_.empty() && applied < config_.reclass_per_request) {
+    auto [id, cls] = reclass_queue_.front();
+    reclass_queue_.pop_front();
+    auto it = entries_.find(id);
+    if (it == entries_.end() || it->second.dirty || it->second.cls == cls) {
+      continue;  // evicted, dirtied, or already there
+    }
+    (void)SendClassification(id, cls, now);
+    ++stats_.reclassifications;
+    ++applied;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Classification refresh
+// ---------------------------------------------------------------------------
+
+void CacheManager::MaybeRefresh(SimTime now) {
+  if (plane_.policy().mode() != ProtectionMode::kReo) return;
+  if (config_.hhot_refresh_interval == 0) return;
+  if (request_counter_ % config_.hhot_refresh_interval != 0) return;
+  RefreshClassification(now);
+}
+
+void CacheManager::RefreshClassification(SimTime now) {
+  auto& stripes = plane_.stripes();
+  // Budget for hot-data parity = reserve minus what replication (metadata +
+  // dirty) already consumes.
+  uint64_t repl_used = stripes.redundancy_bytes_at(RedundancyLevel::kReplicate);
+  uint64_t reserve = plane_.reserve_bytes();
+  uint64_t hot_budget = reserve > repl_used ? reserve - repl_used : 0;
+  hot_budget = static_cast<uint64_t>(static_cast<double>(hot_budget) *
+                                     config_.hot_admission_headroom);
+
+  std::vector<ObjectState> candidates;
+  candidates.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) {
+    if (e.metadata || e.dirty) continue;
+    candidates.push_back(StateOf(id, e));
+  }
+  classifier_.Refresh(candidates, hot_budget);
+  double h_hot = classifier_.h_hot();
+  reserve_full_hint_ = false;  // downgrades below may free budget
+
+  // Apply class changes: downgrades first (they release reserve budget),
+  // then upgrades by H descending. Demotion uses hysteresis — an object
+  // just under the threshold keeps its parity — so boundary objects do
+  // not ping-pong (each flip is a full re-encode).
+  struct Change {
+    ObjectId id;
+    DataClass to;
+    double h;
+  };
+  constexpr double kDemoteHysteresis = 0.8;
+  std::vector<Change> downs, ups;
+  for (const auto& [id, e] : entries_) {
+    if (e.metadata || e.dirty) continue;
+    double h = StateOf(id, e).H();
+    DataClass want = Classify(StateOf(id, e), h_hot);
+    if (want == e.cls) continue;
+    if (want == DataClass::kColdClean && e.cls == DataClass::kHotClean &&
+        h >= kDemoteHysteresis * h_hot) {
+      continue;  // within the hysteresis band: stay hot
+    }
+    (want == DataClass::kColdClean ? downs : ups).push_back({id, want, h});
+  }
+  std::sort(downs.begin(), downs.end(),
+            [](const Change& a, const Change& b) { return a.h < b.h; });
+  std::sort(ups.begin(), ups.end(),
+            [](const Change& a, const Change& b) { return a.h > b.h; });
+
+  // Queue the changes (downgrades first, so drained budget frees before
+  // upgrades need it); the re-encode IO itself is background maintenance,
+  // applied a few objects per request by AdvanceBackground.
+  reclass_queue_.clear();  // superseded by the fresh snapshot
+  size_t queued = 0;
+  for (const auto* batch : {&downs, &ups}) {
+    for (const Change& c : *batch) {
+      if (queued >= config_.max_reclass_per_refresh) return;
+      reclass_queue_.emplace_back(c.id, c.to);
+      ++queued;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failure plane
+// ---------------------------------------------------------------------------
+
+void CacheManager::OnDeviceFailure(DeviceIndex device, SimTime now) {
+  auto& stripes = plane_.stripes();
+  (void)stripes.array().FailDevice(device);
+  auto affected = stripes.OnDeviceFailure(device);
+
+  // Uniform protection is RAID-style striping: once the failure count
+  // exceeds the parity tolerance, the whole volume is gone — not just the
+  // resident data, the array itself is unusable until re-formatted
+  // (paper §VI.C). Object-based Reo never enters this state.
+  if (plane_.policy().mode() != ProtectionMode::kReo) {
+    auto& array = stripes.array();
+    size_t failed = array.size() - array.healthy_count();
+    size_t tolerance = FailuresSurvived(
+        plane_.policy().LevelFor(DataClass::kColdClean), array.size());
+    if (failed > tolerance) {
+      array_unusable_ = true;
+      std::vector<ObjectId> resident;
+      resident.reserve(entries_.size());
+      for (const auto& [id, e] : entries_) {
+        if (e.dirty) ++stats_.dirty_lost;
+        resident.push_back(id);
+      }
+      for (ObjectId id : resident) EvictObject(id, now, /*lost=*/true);
+      recovery_.Clear();
+      flush_queue_.clear();
+      plane_.set_recovery_active(false);
+      return;
+    }
+  }
+
+  for (const auto& a : affected) {
+    auto it = entries_.find(a.id);
+    if (it == entries_.end()) continue;
+    switch (a.survival) {
+      case ObjectSurvival::kIntact:
+        break;
+      case ObjectSurvival::kLost:
+        if (it->second.dirty) ++stats_.dirty_lost;
+        EvictObject(a.id, now, /*lost=*/true);
+        break;
+      case ObjectSurvival::kRecoverable:
+        // Differentiated recovery is Reo's mechanism (§IV.D). Uniform
+        // protection reconstructs only when a spare is inserted, block by
+        // block — see OnSpareInserted.
+        if (plane_.policy().mode() == ProtectionMode::kReo) {
+          recovery_.Enqueue(a.id, it->second.cls, StateOf(a.id, it->second).H(),
+                            a.lost_bytes);
+        }
+        break;
+    }
+  }
+  if (!recovery_.empty()) plane_.set_recovery_active(true);
+
+  // §IV.D: "prioritized recovery minimizes this vulnerable window by
+  // reconstructing the most important data first to create additional
+  // data redundancy ... as quickly as possible." Class 0/1 (metadata,
+  // dirty) are small and their loss is permanent, so they are re-protected
+  // synchronously at failure time; classes 2/3 recover at the background
+  // pace.
+  RecoverCriticalNow(now);
+}
+
+void CacheManager::RecoverCriticalNow(SimTime now) {
+  while (auto next = recovery_.Peek()) {
+    auto it = entries_.find(*next);
+    if (it == entries_.end()) {
+      recovery_.Pop();
+      continue;
+    }
+    if (it->second.cls > DataClass::kDirty) break;  // queue is class-ordered
+    auto rb = plane_.stripes().RebuildObject(*next, now);
+    if (rb.ok()) {
+      recovery_.Pop();
+      ++stats_.rebuilds;
+    } else if (rb.code() == ErrorCode::kUnrecoverable) {
+      recovery_.Pop();
+      if (it->second.dirty) ++stats_.dirty_lost;
+      EvictObject(*next, now, /*lost=*/true);
+    } else {
+      break;  // transient (e.g. no space): keep it queued, retry later
+    }
+  }
+  if (recovery_.empty()) plane_.set_recovery_active(false);
+}
+
+void CacheManager::OnSpareInserted(DeviceIndex device, SimTime now) {
+  (void)plane_.stripes().array().ReplaceDevice(device);
+  if (array_unusable_ &&
+      plane_.stripes().array().healthy_count() == plane_.stripes().array().size()) {
+    // A fully repaired uniform array comes back empty (re-formatted).
+    array_unusable_ = false;
+    return;
+  }
+  if (plane_.policy().mode() != ProtectionMode::kReo) {
+    // Traditional block-based reconstruction "simply rebuilds the entire
+    // storage from block 0" (§IV.D): every damaged object, in allocation
+    // order, with no priority by importance.
+    for (ObjectId id : plane_.stripes().DamagedObjects()) {
+      recovery_.Enqueue(id, DataClass::kColdClean, 0.0,
+                        plane_.stripes().LogicalSizeOf(id).value_or(0));
+    }
+    if (!recovery_.empty()) plane_.set_recovery_active(true);
+    return;
+  }
+  // Stripes rebuilt at reduced width keep several chunks on one device;
+  // with the width restored, fault isolation must be restored too, most
+  // important data first (replicated metadata/dirty are the worst case —
+  // all their copies may sit on one surviving device).
+  for (ObjectId id : plane_.stripes().PoorlyPlacedObjects()) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) continue;
+    recovery_.Enqueue(id, it->second.cls, StateOf(id, it->second).H(),
+                      it->second.logical_size);
+  }
+  if (!recovery_.empty()) plane_.set_recovery_active(true);
+  RecoverCriticalNow(now);
+}
+
+void CacheManager::RunRecoveryBudget(SimTime now, uint64_t byte_budget) {
+  uint64_t rebuilt = 0;
+  while (rebuilt < byte_budget) {
+    auto next = recovery_.Peek();
+    if (!next) break;
+    auto it = entries_.find(*next);
+    if (it == entries_.end()) {
+      recovery_.Pop();
+      continue;
+    }
+    auto rb = plane_.stripes().RebuildObject(*next, now);
+    if (rb.ok()) {
+      recovery_.Pop();
+      ++stats_.rebuilds;
+      rebuilt += it->second.logical_size;
+    } else if (rb.code() == ErrorCode::kUnrecoverable) {
+      recovery_.Pop();
+      if (it->second.dirty) ++stats_.dirty_lost;
+      EvictObject(*next, now, /*lost=*/true);
+    } else {
+      break;  // e.g. no space to place rebuilt chunks; keep queued
+    }
+  }
+  if (recovery_.empty()) plane_.set_recovery_active(false);
+}
+
+SimTime CacheManager::DrainRecovery(SimTime now) {
+  RunRecoveryBudget(now, UINT64_MAX);
+  return now;
+}
+
+StripeManager::ScrubReport CacheManager::RunScrub(SimTime now) {
+  auto report = plane_.stripes().Scrub(now);
+  for (ObjectId id : report.lost) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) continue;
+    if (it->second.dirty) ++stats_.dirty_lost;
+    EvictObject(id, now, /*lost=*/true);
+  }
+  return report;
+}
+
+}  // namespace reo

@@ -1,0 +1,245 @@
+// The Reo cache manager — the initiator-side component of the paper's
+// prototype (§V: "an object-based cache manager ... on the osd-initiator
+// side", ~2,000 lines of C).
+//
+// Responsibilities:
+//   * object-granular LRU replacement;
+//   * hot/cold classification with the adaptive H_hot threshold (§IV.C.1),
+//     delivered to the target through #SETID# control messages (§IV.C.2);
+//   * write-back caching with a background flusher (dirty objects are
+//     Class 1 until flushed, then reclassified);
+//   * failure reaction: evicting lost objects, queueing recoverable ones
+//     for differentiated recovery (§IV.D), repair-on-read for on-demand
+//     accesses, and paced background reconstruction.
+//
+// All traffic to the target flows through an OsdInitiator session, exactly
+// as the paper's initiator-side cache manager talks to osd-target.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "backend/backend_store.h"
+#include "common/sim_clock.h"
+#include "core/classifier.h"
+#include "core/data_plane.h"
+#include "core/lru.h"
+#include "core/recovery_scheduler.h"
+#include "osd/osd_initiator.h"
+#include "osd/osd_target.h"
+
+namespace reo {
+
+/// How client writes reach the backend (cf. the write-policy design space
+/// the paper cites [18]; Reo's evaluation uses write-back).
+enum class WritePolicy : uint8_t {
+  kWriteBack,     ///< absorb in cache as Class 1, flush asynchronously
+  kWriteThrough,  ///< persist to the backend first, cache a clean copy
+};
+
+struct CacheManagerConfig {
+  WritePolicy write_policy = WritePolicy::kWriteBack;
+  /// Requests between adaptive H_hot refreshes (§IV.C.1 "updated
+  /// periodically"). 0 disables refresh.
+  uint64_t hhot_refresh_interval = 2000;
+  /// Re-encodes queued per refresh (bounds reclassification churn; the
+  /// first refresh after warm-up legitimately re-encodes the whole hot set).
+  size_t max_reclass_per_refresh = 1024;
+  /// Queued reclassifications applied per client request: spreads the
+  /// re-encode IO instead of stalling the device queues in one burst at
+  /// refresh time (maintenance IO is background work).
+  size_t reclass_per_request = 2;
+  /// Multiplier on the hot-set budget during threshold selection. The walk
+  /// sizes the hot set against a point-in-time snapshot, but LRU churn
+  /// keeps part of that set out of cache; a headroom > 1 keeps the reserve
+  /// committed, while the hard reserve cap (sense 0x67) still bounds
+  /// actual redundancy usage.
+  double hot_admission_headroom = 2.0;
+  /// Background reconstruction pacing: logical bytes rebuilt per client
+  /// request while the recovery queue is non-empty.
+  uint64_t recovery_bytes_per_request = 16ULL << 20;
+  /// Latency of one fsync'd control-object write (§IV.C.2: "a few dozen
+  /// bytes ... completed very quickly").
+  SimTime control_write_ns = 150 * kNsPerUs;
+  /// Write-back delay: a dirty object becomes eligible for background
+  /// flushing this long after its write (absorbs overwrites; during this
+  /// window the object is Class 1 and replicated). Forced flushes during
+  /// eviction ignore the delay.
+  SimTime flush_delay_ns = 5 * kNsPerSec;
+  /// CRC-verify hit payloads against the expected generated content.
+  bool verify_hits = true;
+  /// Admit new (clean) objects while the array is degraded (a failed
+  /// device with no spare). On by default: the surviving devices still
+  /// form a working object store, so the cache re-warms (an unusable
+  /// uniform RAID volume is handled separately — see array_unusable()).
+  /// Set false to freeze the cache contents during failures, which makes
+  /// post-failure hit ratios reflect exactly the data each policy
+  /// protected (used by the failure benches' probe analysis). Writes
+  /// (dirty data) are always absorbed — write-back safety never pauses.
+  bool admit_while_degraded = true;
+};
+
+/// Outcome of one client request against the cache.
+struct RequestResult {
+  bool hit = false;
+  bool is_write = false;
+  bool degraded = false;       ///< served via parity reconstruction
+  SimTime latency = 0;
+  uint64_t bytes = 0;          ///< logical bytes served
+  SenseCode sense = SenseCode::kOk;
+};
+
+/// Cumulative cache-manager counters.
+struct CacheStats {
+  uint64_t gets = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t writes = 0;
+  uint64_t evictions = 0;
+  uint64_t lost_evictions = 0;   ///< evicted because a failure destroyed them
+  uint64_t dirty_lost = 0;       ///< permanent data loss events
+  uint64_t degraded_reads = 0;
+  uint64_t rebuilds = 0;         ///< objects reconstructed (bg + on-demand)
+  uint64_t flushes = 0;
+  uint64_t reclassifications = 0;
+  uint64_t verify_failures = 0;
+  uint64_t uncacheable = 0;      ///< served but not admitted
+
+  double HitRatio() const {
+    return gets ? static_cast<double>(hits) / static_cast<double>(gets) : 0.0;
+  }
+};
+
+class CacheManager {
+ public:
+  /// All references must outlive the manager.
+  CacheManager(OsdTarget& target, ReoDataPlane& plane, BackendStore& backend,
+               CacheManagerConfig config);
+
+  /// Formats the OSD and installs the Table I metadata objects (Class 0,
+  /// replicated). Call once before serving.
+  void Initialize(SimTime now);
+
+  /// Client read of a whole object. Serves from cache (possibly degraded)
+  /// or fetches from the backend and admits.
+  RequestResult Get(ObjectId id, uint64_t logical_size, SimTime now);
+
+  /// Client whole-object update: write-back — the new version is stored in
+  /// cache as dirty (Class 1) and flushed to the backend asynchronously.
+  RequestResult Put(ObjectId id, uint64_t logical_size, SimTime now);
+
+  /// Progress background work (flusher, paced reconstruction). Called
+  /// automatically after each request; exposed for tests and idle periods.
+  void AdvanceBackground(SimTime now);
+
+  // --- Failure plane ---------------------------------------------------------
+
+  /// Device shootdown (paper §VI.C): marks data lost, evicts unrecoverable
+  /// objects, queues recoverable ones for differentiated recovery.
+  void OnDeviceFailure(DeviceIndex device, SimTime now);
+
+  /// Spare insertion: swaps in an empty device; reconstruction will start
+  /// placing rebuilt chunks on it.
+  void OnSpareInserted(DeviceIndex device, SimTime now);
+
+  /// Drains the whole recovery queue immediately (end-of-run barrier or
+  /// explicit "rebuild now" tooling). Returns completion time.
+  SimTime DrainRecovery(SimTime now);
+
+  /// Runs a full scrub pass over the flash array: latent corruption is
+  /// repaired from redundancy where possible; objects damaged beyond
+  /// their protection are evicted (dirty ones count as permanent loss).
+  StripeManager::ScrubReport RunScrub(SimTime now);
+
+  // --- Introspection ---------------------------------------------------------
+
+  const CacheStats& stats() const { return stats_; }
+  /// True when a uniform-protection array has lost more devices than its
+  /// parity tolerates: RAID-style striping makes the whole volume unusable
+  /// (§VI.C: "a cache with uniform data protection ... becomes completely
+  /// unusable, with a hit ratio of 0%"). Reo never bricks — object-based
+  /// management keeps the surviving objects addressable.
+  bool array_unusable() const { return array_unusable_; }
+  size_t resident_objects() const { return entries_.size(); }
+  uint64_t resident_bytes() const { return resident_bytes_; }
+  double h_hot() const { return classifier_.h_hot(); }
+  const AdaptiveHotClassifier& classifier() const { return classifier_; }
+  bool recovery_active() const { return plane_.recovery_active(); }
+  size_t recovery_backlog() const { return recovery_.size(); }
+  ReoDataPlane& plane() { return plane_; }
+  const OsdInitiator& initiator() const { return initiator_; }
+  /// Mutable access for session plumbing (e.g. attaching a wire transport).
+  OsdInitiator& initiator_mutable() { return initiator_; }
+
+  /// Sends a #QUERY# control message for an object and returns the sense
+  /// code (exercises the paper's query path; used by examples/tests).
+  SenseCode QueryObject(ObjectId id, bool is_write, uint64_t size, SimTime now);
+
+ private:
+  struct Entry {
+    uint64_t logical_size = 0;
+    uint64_t freq = 0;
+    uint64_t version = 0;   ///< content version (flushed to backend on flush)
+    bool dirty = false;
+    bool metadata = false;
+    DataClass cls = DataClass::kColdClean;
+  };
+
+  ObjectState StateOf(ObjectId id, const Entry& e) const;
+
+  /// Sends a #SETID# control write and applies the class locally.
+  SenseCode SendClassification(ObjectId id, DataClass cls, SimTime now);
+
+  /// Admits a fetched/written object. Returns false if it cannot fit even
+  /// after evicting everything evictable.
+  bool Admit(ObjectId id, uint64_t logical_size,
+             std::span<const uint8_t> payload, uint64_t version, bool dirty,
+             SimTime now, SimTime& io_complete);
+
+  /// Evicts the best victim (LRU-first, clean preferred; dirty objects are
+  /// flushed first). Returns false if nothing can be evicted.
+  bool EvictOne(SimTime now);
+
+  void EvictObject(ObjectId id, SimTime now, bool lost);
+
+  /// Synchronously flushes one dirty object and reclassifies it clean.
+  void FlushObject(ObjectId id, Entry& e, SimTime now);
+
+  void RefreshClassification(SimTime now);
+  /// Synchronously rebuilds queued Class 0/1 (metadata, dirty) objects.
+  void RecoverCriticalNow(SimTime now);
+  void MaybeRefresh(SimTime now);
+  void RunRecoveryBudget(SimTime now, uint64_t byte_budget);
+
+  OsdInitiator initiator_;
+  ReoDataPlane& plane_;
+  BackendStore& backend_;
+  CacheManagerConfig config_;
+
+  std::unordered_map<ObjectId, Entry, ObjectIdHash> entries_;
+  LruList lru_;
+  uint64_t resident_bytes_ = 0;
+
+  AdaptiveHotClassifier classifier_;
+  RecoveryScheduler recovery_;
+  struct PendingFlush {
+    ObjectId id;
+    uint64_t version;
+    SimTime ready_time;  ///< earliest background-flush time
+  };
+  std::deque<PendingFlush> flush_queue_;
+  /// Pending class changes from the last refresh, drained incrementally.
+  std::deque<std::pair<ObjectId, DataClass>> reclass_queue_;
+  SimTime flusher_busy_until_ = 0;
+
+  CacheStats stats_;
+  uint64_t request_counter_ = 0;
+  uint64_t next_version_ = 1;
+  bool array_unusable_ = false;
+  /// Set when a hot upgrade bounced off the reserve (0x67); suppresses
+  /// hit-time upgrade attempts until the next refresh frees budget.
+  bool reserve_full_hint_ = false;
+};
+
+}  // namespace reo

@@ -1,0 +1,45 @@
+#include "core/classifier.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/status.h"
+
+namespace reo {
+
+DataClass Classify(const ObjectState& obj, double h_hot) {
+  if (obj.is_metadata) return DataClass::kMetadata;
+  if (obj.dirty) return DataClass::kDirty;
+  if (obj.H() >= h_hot) return DataClass::kHotClean;
+  return DataClass::kColdClean;
+}
+
+AdaptiveHotClassifier::AdaptiveHotClassifier(
+    std::function<uint64_t(uint64_t)> redundancy_cost)
+    : redundancy_cost_(std::move(redundancy_cost)),
+      h_hot_(std::numeric_limits<double>::infinity()) {
+  REO_CHECK(redundancy_cost_ != nullptr);
+}
+
+double AdaptiveHotClassifier::Refresh(std::vector<ObjectState> candidates,
+                                      uint64_t hot_budget_bytes) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ObjectState& a, const ObjectState& b) {
+              double ha = a.H(), hb = b.H();
+              if (ha != hb) return ha > hb;
+              return a.id < b.id;  // deterministic tie-break
+            });
+  uint64_t spent = 0;
+  hot_count_ = 0;
+  h_hot_ = std::numeric_limits<double>::infinity();
+  for (const auto& obj : candidates) {
+    uint64_t cost = redundancy_cost_(obj.logical_size);
+    if (spent + cost > hot_budget_bytes) break;
+    spent += cost;
+    h_hot_ = obj.H();
+    ++hot_count_;
+  }
+  return h_hot_;
+}
+
+}  // namespace reo

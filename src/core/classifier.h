@@ -1,0 +1,83 @@
+// Data classification (paper §IV.C.1, Table II).
+//
+// Four classes by semantic importance: system metadata (0), dirty cache
+// data (1), hot clean data (2), cold clean data (3). Hotness is
+// H = Freq / Size; the cutoff H_hot is chosen adaptively so the redundancy
+// the hot set would need fits the reserved fraction of flash space.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "common/object_id.h"
+
+namespace reo {
+
+/// Table II class IDs, ordered by importance (0 = most important).
+enum class DataClass : uint8_t {
+  kMetadata = 0,   ///< system metadata (root/partition/super block/…)
+  kDirty = 1,      ///< write-back data not yet flushed
+  kHotClean = 2,   ///< frequently read, synchronized with backend
+  kColdClean = 3,  ///< infrequently read, synchronized with backend
+};
+
+constexpr std::string_view to_string(DataClass c) {
+  switch (c) {
+    case DataClass::kMetadata: return "metadata";
+    case DataClass::kDirty: return "dirty";
+    case DataClass::kHotClean: return "hot-clean";
+    case DataClass::kColdClean: return "cold-clean";
+  }
+  return "?";
+}
+
+/// The attributes classification needs for one object.
+struct ObjectState {
+  ObjectId id;
+  uint64_t logical_size = 0;
+  uint64_t freq = 0;  ///< reads since the object entered the cache
+  bool dirty = false;
+  bool is_metadata = false;
+
+  /// Hotness indicator H = Freq / Size (paper §IV.C.1): frequently read,
+  /// small objects rank highest.
+  double H() const {
+    if (logical_size == 0) return static_cast<double>(freq);
+    return static_cast<double>(freq) / static_cast<double>(logical_size);
+  }
+};
+
+/// Pure Table II classification given the current hot threshold.
+DataClass Classify(const ObjectState& obj, double h_hot);
+
+/// Adaptive H_hot selection (paper §IV.C.1).
+///
+/// Given the clean resident objects and the redundancy budget left for hot
+/// data, sort by H descending and "presumably add" objects — accumulating
+/// the redundancy each would need — until the budget is consumed. The H of
+/// the last included object becomes the threshold.
+class AdaptiveHotClassifier {
+ public:
+  /// @param redundancy_cost  callback returning the redundancy bytes (not
+  ///        counting the data itself) protecting an object of a given
+  ///        logical size at the hot level would cost.
+  explicit AdaptiveHotClassifier(
+      std::function<uint64_t(uint64_t logical_size)> redundancy_cost);
+
+  /// Recomputes the threshold. `candidates` are clean resident objects.
+  /// Returns the new H_hot (+inf when the budget admits nothing).
+  double Refresh(std::vector<ObjectState> candidates, uint64_t hot_budget_bytes);
+
+  double h_hot() const { return h_hot_; }
+  /// Number of objects the last Refresh admitted as hot.
+  size_t hot_count() const { return hot_count_; }
+
+ private:
+  std::function<uint64_t(uint64_t)> redundancy_cost_;
+  double h_hot_;
+  size_t hot_count_ = 0;
+};
+
+}  // namespace reo

@@ -1,0 +1,98 @@
+#include "core/data_plane.h"
+
+#include <algorithm>
+
+namespace reo {
+namespace {
+
+DataPlaneIo ToDataPlaneIo(ArrayIo io) {
+  DataPlaneIo out;
+  out.complete = io.complete;
+  out.degraded = io.degraded;
+  out.payload = std::move(io.payload);
+  return out;
+}
+
+}  // namespace
+
+ReoDataPlane::ReoDataPlane(StripeManager& stripes, RedundancyPolicy policy)
+    : stripes_(stripes), policy_(policy) {
+  // Reo-X% reserves X% of the *cache budget* (the configured cache size),
+  // which may be far below the raw capacity of the device array.
+  uint64_t budget = stripes_.array().total_capacity_bytes();
+  if (uint64_t limit = stripes_.config().capacity_limit_bytes; limit > 0) {
+    budget = std::min(budget, limit);
+  }
+  reserve_bytes_ = policy_.ReserveBytes(budget);
+}
+
+RedundancyLevel ReoDataPlane::EffectiveLevel(uint64_t logical_bytes,
+                                             uint8_t class_id) const {
+  auto cls = static_cast<DataClass>(class_id);
+  RedundancyLevel level = policy_.LevelFor(cls);
+  if (level == RedundancyLevel::kNone || !policy_.ReserveApplies(cls)) {
+    return level;
+  }
+  uint64_t cost =
+      stripes_.FootprintEstimate(logical_bytes, level) - logical_bytes;
+  if (stripes_.redundancy_bytes() + cost > reserve_bytes_) {
+    // Reserve exhausted: store the data unprotected rather than reject it
+    // (the paper reports this condition with sense 0x67).
+    return RedundancyLevel::kNone;
+  }
+  return level;
+}
+
+Result<DataPlaneIo> ReoDataPlane::WriteObject(ObjectId id,
+                                              std::span<const uint8_t> payload,
+                                              uint64_t logical_bytes,
+                                              uint8_t class_id, SimTime now) {
+  RedundancyLevel desired = policy_.LevelFor(static_cast<DataClass>(class_id));
+  RedundancyLevel level = EffectiveLevel(logical_bytes, class_id);
+  if (level != desired) ++reserve_rejections_;
+  auto io = stripes_.PutObject(id, payload, logical_bytes, level, now);
+  if (!io.ok()) return io.status();
+  return ToDataPlaneIo(std::move(*io));
+}
+
+Result<DataPlaneIo> ReoDataPlane::ReadObject(ObjectId id, SimTime now) {
+  auto io = stripes_.GetObject(id, now);
+  if (!io.ok()) return io.status();
+  return ToDataPlaneIo(std::move(*io));
+}
+
+Status ReoDataPlane::RemoveObject(ObjectId id) {
+  return stripes_.RemoveObject(id);
+}
+
+Status ReoDataPlane::SetObjectClass(ObjectId id, uint8_t class_id, SimTime now) {
+  auto size = stripes_.LogicalSizeOf(id);
+  if (!size.ok()) return size.status();
+  RedundancyLevel desired = policy_.LevelFor(static_cast<DataClass>(class_id));
+  RedundancyLevel effective = EffectiveLevel(*size, class_id);
+  auto io = stripes_.ReencodeObject(id, effective, now);
+  if (!io.ok()) return io.status();
+  if (effective != desired) {
+    ++reserve_rejections_;
+    // Data stored, but at reduced protection: report "redundancy space
+    // full" so the initiator can react (paper Table III, 0x67).
+    return {ErrorCode::kNoSpace, "redundancy reserve exhausted"};
+  }
+  return Status::Ok();
+}
+
+ObjectHealth ReoDataPlane::Health(ObjectId id) const {
+  if (!stripes_.Contains(id)) return ObjectHealth::kAbsent;
+  switch (stripes_.SurvivalOf(id)) {
+    case ObjectSurvival::kIntact: return ObjectHealth::kIntact;
+    case ObjectSurvival::kRecoverable: return ObjectHealth::kDegraded;
+    case ObjectSurvival::kLost: return ObjectHealth::kLost;
+  }
+  return ObjectHealth::kLost;
+}
+
+bool ReoDataPlane::HasSpaceFor(uint64_t logical_bytes, uint8_t class_id) const {
+  return stripes_.HasSpaceFor(logical_bytes, EffectiveLevel(logical_bytes, class_id));
+}
+
+}  // namespace reo

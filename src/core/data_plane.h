@@ -1,0 +1,61 @@
+// ReoDataPlane: the target-side differentiated-redundancy engine.
+//
+// Implements the osd::DataPlane interface over the StripeManager: maps
+// class IDs to redundancy levels via the active policy, enforces the
+// redundancy reserve (sense 0x67 when the reserved space is exhausted —
+// the object is then stored/kept unprotected rather than rejected), and
+// exposes recovery state to the control-object protocol.
+#pragma once
+
+#include <cstdint>
+
+#include "array/stripe_manager.h"
+#include "core/policy.h"
+#include "osd/osd_target.h"
+
+namespace reo {
+
+class ReoDataPlane final : public DataPlane {
+ public:
+  /// @param stripes storage engine; must outlive the plane.
+  ReoDataPlane(StripeManager& stripes, RedundancyPolicy policy);
+
+  // --- DataPlane -------------------------------------------------------------
+  Result<DataPlaneIo> WriteObject(ObjectId id, std::span<const uint8_t> payload,
+                                  uint64_t logical_bytes, uint8_t class_id,
+                                  SimTime now) override;
+  Result<DataPlaneIo> ReadObject(ObjectId id, SimTime now) override;
+  Status RemoveObject(ObjectId id) override;
+  Status SetObjectClass(ObjectId id, uint8_t class_id, SimTime now) override;
+  ObjectHealth Health(ObjectId id) const override;
+  bool recovery_active() const override { return recovery_active_; }
+  bool HasSpaceFor(uint64_t logical_bytes, uint8_t class_id) const override;
+
+  // --- Reo-specific ----------------------------------------------------------
+
+  const RedundancyPolicy& policy() const { return policy_; }
+  StripeManager& stripes() { return stripes_; }
+
+  /// Redundancy byte budget (from the Reo-X% reserve fraction).
+  uint64_t reserve_bytes() const { return reserve_bytes_; }
+  /// Redundancy bytes currently in use.
+  uint64_t redundancy_in_use() const { return stripes_.redundancy_bytes(); }
+
+  /// Level an object of `class_id` would be stored at *right now*,
+  /// including the reserve-cap downgrade for hot-clean data.
+  RedundancyLevel EffectiveLevel(uint64_t logical_bytes, uint8_t class_id) const;
+
+  void set_recovery_active(bool active) { recovery_active_ = active; }
+
+  /// Counters for reserve-cap downgrades (observable as sense 0x67).
+  uint64_t reserve_rejections() const { return reserve_rejections_; }
+
+ private:
+  StripeManager& stripes_;
+  RedundancyPolicy policy_;
+  uint64_t reserve_bytes_ = 0;
+  bool recovery_active_ = false;
+  uint64_t reserve_rejections_ = 0;
+};
+
+}  // namespace reo

@@ -1,0 +1,33 @@
+#include "core/lru.h"
+
+namespace reo {
+
+Status LruList::Insert(ObjectId id) {
+  if (index_.contains(id)) return {ErrorCode::kAlreadyExists, "already cached"};
+  order_.push_front(id);
+  index_.emplace(id, order_.begin());
+  return Status::Ok();
+}
+
+Status LruList::Touch(ObjectId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return {ErrorCode::kNotFound, "not cached"};
+  order_.splice(order_.begin(), order_, it->second);
+  it->second = order_.begin();
+  return Status::Ok();
+}
+
+Status LruList::Remove(ObjectId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return {ErrorCode::kNotFound, "not cached"};
+  order_.erase(it->second);
+  index_.erase(it);
+  return Status::Ok();
+}
+
+std::optional<ObjectId> LruList::Lru() const {
+  if (order_.empty()) return std::nullopt;
+  return order_.back();
+}
+
+}  // namespace reo

@@ -1,0 +1,51 @@
+// Object-granular LRU list — the paper's cache replacement algorithm
+// ("we use the standard LRU replacement algorithm ... implemented at the
+// object level", §V).
+#pragma once
+
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/object_id.h"
+#include "common/status.h"
+
+namespace reo {
+
+/// Intrusive-style LRU over ObjectIds. O(1) touch/insert/remove.
+class LruList {
+ public:
+  /// Inserts at the MRU end; fails if already present.
+  Status Insert(ObjectId id);
+
+  /// Moves an existing entry to the MRU end.
+  Status Touch(ObjectId id);
+
+  /// Removes an entry.
+  Status Remove(ObjectId id);
+
+  bool Contains(ObjectId id) const { return index_.contains(id); }
+  size_t size() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
+
+  /// The LRU-most entry (eviction candidate), if any.
+  std::optional<ObjectId> Lru() const;
+
+  /// Walks from LRU toward MRU, invoking `fn(id)`; stops when `fn` returns
+  /// false. Iterates over a snapshot, so `fn` may freely remove entries.
+  template <typename Fn>
+  void ForEachLruFirst(Fn&& fn) const {
+    std::vector<ObjectId> snapshot(order_.rbegin(), order_.rend());
+    for (const ObjectId& id : snapshot) {
+      if (!index_.contains(id)) continue;  // removed by an earlier fn call
+      if (!fn(id)) break;
+    }
+  }
+
+ private:
+  std::list<ObjectId> order_;  // front = MRU, back = LRU
+  std::unordered_map<ObjectId, std::list<ObjectId>::iterator, ObjectIdHash> index_;
+};
+
+}  // namespace reo

@@ -1,0 +1,40 @@
+#include "core/recovery_scheduler.h"
+
+namespace reo {
+
+void RecoveryScheduler::Enqueue(ObjectId id, DataClass cls, double h,
+                                uint64_t bytes) {
+  Remove(id);
+  Key key{static_cast<uint8_t>(cls), -h, id};
+  queue_.insert(key);
+  index_.emplace(id, std::make_pair(key, bytes));
+  pending_bytes_ += bytes;
+}
+
+void RecoveryScheduler::Remove(ObjectId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  queue_.erase(it->second.first);
+  pending_bytes_ -= it->second.second;
+  index_.erase(it);
+}
+
+std::optional<ObjectId> RecoveryScheduler::Peek() const {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.begin()->id;
+}
+
+std::optional<ObjectId> RecoveryScheduler::Pop() {
+  if (queue_.empty()) return std::nullopt;
+  ObjectId id = queue_.begin()->id;
+  Remove(id);
+  return id;
+}
+
+void RecoveryScheduler::Clear() {
+  queue_.clear();
+  index_.clear();
+  pending_bytes_ = 0;
+}
+
+}  // namespace reo

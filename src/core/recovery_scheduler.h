@@ -1,0 +1,57 @@
+// Differentiated data recovery ordering (paper §IV.D).
+//
+// After a failure, recoverable objects are reconstructed "according to
+// their class (metadata, dirty data, hot clean data, and finally cold
+// clean data), from Class 0 to Class 3" — and, within a class, hot data
+// first (highest H), because it is most likely to be requested soon.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "common/object_id.h"
+#include "core/classifier.h"
+
+namespace reo {
+
+/// Priority queue of objects awaiting reconstruction: ordered by class
+/// ascending (0 first), then H descending, with deterministic tie-breaks.
+class RecoveryScheduler {
+ public:
+  /// Enqueues (or re-prioritizes) an object.
+  void Enqueue(ObjectId id, DataClass cls, double h, uint64_t bytes);
+
+  /// Removes an object (rebuilt on demand, evicted, or lost).
+  void Remove(ObjectId id);
+
+  /// Highest-priority object, or nullopt when drained.
+  std::optional<ObjectId> Peek() const;
+
+  /// Pops the highest-priority object.
+  std::optional<ObjectId> Pop();
+
+  bool empty() const { return queue_.empty(); }
+  size_t size() const { return queue_.size(); }
+  uint64_t pending_bytes() const { return pending_bytes_; }
+  void Clear();
+
+ private:
+  struct Key {
+    uint8_t cls;
+    double neg_h;  // ordered ascending => highest H first
+    ObjectId id;
+    friend bool operator<(const Key& a, const Key& b) {
+      if (a.cls != b.cls) return a.cls < b.cls;
+      if (a.neg_h != b.neg_h) return a.neg_h < b.neg_h;
+      return a.id < b.id;
+    }
+  };
+
+  std::set<Key> queue_;
+  std::unordered_map<ObjectId, std::pair<Key, uint64_t>, ObjectIdHash> index_;
+  uint64_t pending_bytes_ = 0;
+};
+
+}  // namespace reo

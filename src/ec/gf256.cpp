@@ -1,0 +1,87 @@
+#include "ec/gf256.h"
+
+#include <array>
+
+#include "common/status.h"
+
+namespace reo::gf256 {
+namespace {
+
+constexpr uint16_t kPoly = 0x11D;  // x^8+x^4+x^3+x^2+1
+
+struct Tables {
+  std::array<uint8_t, 512> exp{};  // doubled to avoid a mod in Mul
+  std::array<uint8_t, 256> log{};
+};
+
+constexpr Tables MakeTables() {
+  Tables t{};
+  uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[static_cast<size_t>(i)] = static_cast<uint8_t>(x);
+    t.log[static_cast<size_t>(x)] = static_cast<uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kPoly;
+  }
+  for (int i = 255; i < 512; ++i) {
+    t.exp[static_cast<size_t>(i)] = t.exp[static_cast<size_t>(i - 255)];
+  }
+  return t;
+}
+
+constexpr Tables kT = MakeTables();
+
+}  // namespace
+
+uint8_t Mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return kT.exp[static_cast<size_t>(kT.log[a]) + kT.log[b]];
+}
+
+uint8_t Div(uint8_t a, uint8_t b) {
+  REO_CHECK(b != 0);
+  if (a == 0) return 0;
+  return kT.exp[static_cast<size_t>(kT.log[a]) + 255 - kT.log[b]];
+}
+
+uint8_t Inv(uint8_t a) {
+  REO_CHECK(a != 0);
+  return kT.exp[static_cast<size_t>(255 - kT.log[a])];
+}
+
+uint8_t Pow(uint8_t a, uint32_t e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  uint32_t l = (static_cast<uint32_t>(kT.log[a]) * e) % 255;
+  return kT.exp[l];
+}
+
+void MulAcc(std::span<uint8_t> dst, std::span<const uint8_t> src, uint8_t c) {
+  REO_CHECK(dst.size() == src.size());
+  if (c == 0) return;
+  if (c == 1) {
+    for (size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  // Per-coefficient 256-entry product table: one lookup per byte.
+  uint8_t table[256];
+  for (int v = 0; v < 256; ++v) table[v] = Mul(c, static_cast<uint8_t>(v));
+  for (size_t i = 0; i < dst.size(); ++i) dst[i] ^= table[src[i]];
+}
+
+void MulBuf(std::span<uint8_t> dst, std::span<const uint8_t> src, uint8_t c) {
+  REO_CHECK(dst.size() == src.size());
+  if (c == 0) {
+    for (auto& b : dst) b = 0;
+    return;
+  }
+  if (c == 1) {
+    for (size_t i = 0; i < dst.size(); ++i) dst[i] = src[i];
+    return;
+  }
+  uint8_t table[256];
+  for (int v = 0; v < 256; ++v) table[v] = Mul(c, static_cast<uint8_t>(v));
+  for (size_t i = 0; i < dst.size(); ++i) dst[i] = table[src[i]];
+}
+
+}  // namespace reo::gf256

@@ -1,0 +1,105 @@
+#include "ec/matrix.h"
+
+#include "ec/gf256.h"
+
+namespace reo {
+
+GfMatrix GfMatrix::Identity(size_t n) {
+  GfMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+GfMatrix GfMatrix::Vandermonde(size_t rows, size_t cols) {
+  GfMatrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = gf256::Pow(static_cast<uint8_t>(r + 1), static_cast<uint32_t>(c));
+    }
+  }
+  return m;
+}
+
+GfMatrix GfMatrix::Multiply(const GfMatrix& rhs) const {
+  REO_CHECK(cols_ == rhs.rows_);
+  GfMatrix out(rows_, rhs.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      uint8_t a = at(r, k);
+      if (a == 0) continue;
+      for (size_t c = 0; c < rhs.cols_; ++c) {
+        out.at(r, c) = gf256::Add(out.at(r, c), gf256::Mul(a, rhs.at(k, c)));
+      }
+    }
+  }
+  return out;
+}
+
+GfMatrix GfMatrix::SelectRows(const std::vector<size_t>& rows) const {
+  GfMatrix out(rows.size(), cols_);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    REO_CHECK(rows[i] < rows_);
+    for (size_t c = 0; c < cols_; ++c) out.at(i, c) = at(rows[i], c);
+  }
+  return out;
+}
+
+Result<GfMatrix> GfMatrix::Inverse() const {
+  REO_CHECK(rows_ == cols_);
+  size_t n = rows_;
+  GfMatrix aug(n, 2 * n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) aug.at(r, c) = at(r, c);
+    aug.at(r, n + r) = 1;
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Pivot.
+    size_t pivot = col;
+    while (pivot < n && aug.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return Status{ErrorCode::kInvalidArgument, "singular matrix"};
+    if (pivot != col) {
+      for (size_t c = 0; c < 2 * n; ++c) std::swap(aug.at(pivot, c), aug.at(col, c));
+    }
+    uint8_t inv = gf256::Inv(aug.at(col, col));
+    for (size_t c = 0; c < 2 * n; ++c) aug.at(col, c) = gf256::Mul(aug.at(col, c), inv);
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      uint8_t f = aug.at(r, col);
+      if (f == 0) continue;
+      for (size_t c = 0; c < 2 * n; ++c) {
+        aug.at(r, c) = gf256::Add(aug.at(r, c), gf256::Mul(f, aug.at(col, c)));
+      }
+    }
+  }
+  GfMatrix out(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) out.at(r, c) = aug.at(r, n + c);
+  }
+  return out;
+}
+
+Status GfMatrix::ReduceLeadingSquareToIdentity() {
+  size_t n = cols_;
+  REO_CHECK(rows_ >= n);
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    while (pivot < rows_ && at(pivot, col) == 0) ++pivot;
+    if (pivot == rows_) return {ErrorCode::kInvalidArgument, "singular leading square"};
+    if (pivot != col) {
+      for (size_t c = 0; c < cols_; ++c) std::swap(at(pivot, c), at(col, c));
+    }
+    uint8_t inv = gf256::Inv(at(col, col));
+    for (size_t c = 0; c < cols_; ++c) at(col, c) = gf256::Mul(at(col, c), inv);
+    for (size_t r = 0; r < rows_; ++r) {
+      if (r == col) continue;
+      uint8_t f = at(r, col);
+      if (f == 0) continue;
+      for (size_t c = 0; c < cols_; ++c) {
+        at(r, c) = gf256::Add(at(r, c), gf256::Mul(f, at(col, c)));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace reo

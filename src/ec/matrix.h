@@ -1,0 +1,52 @@
+// Dense matrices over GF(256): the algebra behind Reed-Solomon encode,
+// decode-matrix inversion, and systematic generator construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace reo {
+
+/// Row-major matrix over GF(256).
+class GfMatrix {
+ public:
+  GfMatrix() = default;
+  GfMatrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  static GfMatrix Identity(size_t n);
+  /// Vandermonde matrix V[i][j] = (i+1)^j — classic RS construction.
+  static GfMatrix Vandermonde(size_t rows, size_t cols);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  uint8_t& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  uint8_t at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  GfMatrix Multiply(const GfMatrix& rhs) const;
+
+  /// Returns a matrix of the given rows of *this (used to build decode
+  /// matrices from surviving fragment indices).
+  GfMatrix SelectRows(const std::vector<size_t>& rows) const;
+
+  /// Gauss-Jordan inverse; fails if singular.
+  Result<GfMatrix> Inverse() const;
+
+  /// In-place Gauss-Jordan to reduce the top square to identity, applying
+  /// the same ops across all columns. Used to derive a systematic generator
+  /// from a Vandermonde matrix. Fails if the leading square is singular.
+  Status ReduceLeadingSquareToIdentity();
+
+  friend bool operator==(const GfMatrix& a, const GfMatrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace reo

@@ -1,0 +1,33 @@
+#include "ec/parity_update.h"
+
+#include <vector>
+
+#include "ec/gf256.h"
+
+namespace reo {
+
+ParityUpdateCost ComputeUpdateCost(size_t live_data_chunks, size_t parity_chunks) {
+  ParityUpdateCost cost{};
+  cost.direct_reads = live_data_chunks > 0 ? live_data_chunks - 1 : 0;
+  cost.delta_reads = 1 + parity_chunks;
+  return cost;
+}
+
+ParityUpdateStrategy ChooseStrategy(size_t live_data_chunks, size_t parity_chunks) {
+  auto cost = ComputeUpdateCost(live_data_chunks, parity_chunks);
+  return cost.delta_reads <= cost.direct_reads ? ParityUpdateStrategy::kDelta
+                                               : ParityUpdateStrategy::kDirect;
+}
+
+void ApplyDeltaUpdate(const RsCode& code, size_t p, size_t d,
+                      std::span<const uint8_t> old_data,
+                      std::span<const uint8_t> new_data,
+                      std::span<uint8_t> parity) {
+  REO_CHECK(old_data.size() == new_data.size());
+  REO_CHECK(old_data.size() == parity.size());
+  std::vector<uint8_t> delta(old_data.size());
+  for (size_t i = 0; i < delta.size(); ++i) delta[i] = old_data[i] ^ new_data[i];
+  gf256::MulAcc(parity, delta, code.Coefficient(p, d));
+}
+
+}  // namespace reo

@@ -1,0 +1,48 @@
+// Parity maintenance on data updates: direct vs delta parity-updating.
+//
+// §II.B of the paper: updating a data chunk forces a parity recalculation.
+// *Direct* updating re-reads the other data chunks of the stripe and
+// re-encodes; *delta* updating reads the old data chunk and each old parity
+// chunk and applies P' = P + g * (D' + D). "In this paper, we choose the
+// encoding method that incurs the least disk reads" — ChooseStrategy
+// implements exactly that cost comparison, and the two Apply* helpers
+// implement the math.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "ec/rs_code.h"
+
+namespace reo {
+
+enum class ParityUpdateStrategy : uint8_t {
+  kDirect,  ///< read all sibling data chunks, re-encode parity
+  kDelta,   ///< read old data + old parity, apply delta
+};
+
+/// Chunk-read counts each strategy would incur for one updated data chunk.
+struct ParityUpdateCost {
+  size_t direct_reads;  ///< m - 1 sibling data chunks
+  size_t delta_reads;   ///< 1 old data chunk + k old parity chunks
+};
+
+/// Computes the read cost of both strategies for an (m, k) stripe.
+/// `live_data_chunks` is how many data chunks the stripe currently holds
+/// (short stripes read fewer siblings).
+ParityUpdateCost ComputeUpdateCost(size_t live_data_chunks, size_t parity_chunks);
+
+/// Picks whichever strategy incurs fewer chunk reads (ties favor delta,
+/// which also writes nothing extra).
+ParityUpdateStrategy ChooseStrategy(size_t live_data_chunks, size_t parity_chunks);
+
+/// Delta update for parity chunk index `p`:
+///   parity ^= g[p][d] * (new_data ^ old_data)
+/// All spans must be the same length.
+void ApplyDeltaUpdate(const RsCode& code, size_t p, size_t d,
+                      std::span<const uint8_t> old_data,
+                      std::span<const uint8_t> new_data,
+                      std::span<uint8_t> parity);
+
+}  // namespace reo

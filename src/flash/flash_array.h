@@ -1,0 +1,48 @@
+// An array of simulated flash SSDs — the substrate the paper's target runs
+// on (five 120 GB SSDs in the evaluation). Owns the devices, exposes
+// fail / replace-with-spare, and aggregate space/wear views.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "flash/flash_device.h"
+
+namespace reo {
+
+class FlashArray {
+ public:
+  /// Builds `count` devices from a template config (ids are overwritten
+  /// with the array position).
+  FlashArray(size_t count, FlashDeviceConfig device_template);
+
+  size_t size() const { return devices_.size(); }
+  FlashDevice& device(DeviceIndex i) { return *devices_.at(i); }
+  const FlashDevice& device(DeviceIndex i) const { return *devices_.at(i); }
+
+  /// Number of devices currently healthy.
+  size_t healthy_count() const;
+
+  /// Indices of all healthy devices, in position order.
+  std::vector<DeviceIndex> HealthyDevices() const;
+
+  /// Shoots down device `i` (paper §VI.C "shootdown" command).
+  Status FailDevice(DeviceIndex i);
+
+  /// Replaces device `i` with a fresh spare (empty, healthy, zero wear).
+  Status ReplaceDevice(DeviceIndex i);
+
+  /// Aggregate logical capacity across all devices (healthy or not).
+  uint64_t total_capacity_bytes() const;
+  /// Aggregate logical bytes in use on healthy devices.
+  uint64_t used_bytes() const;
+
+  /// Largest wear fraction across devices (the array's life-limiting value).
+  double MaxWearFraction() const;
+
+ private:
+  std::vector<std::unique_ptr<FlashDevice>> devices_;
+};
+
+}  // namespace reo

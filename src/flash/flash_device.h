@@ -1,0 +1,165 @@
+// Simulated flash SSD.
+//
+// Substitute for the paper's Intel 540s SATA SSDs (see DESIGN.md §2). The
+// device stores chunk payloads in fixed "slots" (real bytes, CRC-protected),
+// models service time as fixed cost + size/bandwidth, tracks wear
+// (bytes written / erase-block cycles), and supports fail / replace for the
+// failure-resistance experiments.
+//
+// Two byte quantities per slot: the *logical* size (full paper-scale bytes,
+// used for capacity and timing) and the *physical* payload actually held in
+// memory (logical >> scale_shift; see DESIGN.md "Scaling").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <memory>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "flash/ftl.h"
+
+namespace reo {
+
+/// Identifies a chunk slot on one device.
+using SlotId = uint32_t;
+
+/// Index of a device within a FlashArray.
+using DeviceIndex = uint32_t;
+
+/// Service-time and geometry parameters for one device.
+struct FlashDeviceConfig {
+  uint32_t id = 0;
+  uint64_t capacity_bytes = 120ULL * 1000 * 1000 * 1000;  ///< logical bytes
+  double read_mbps = 500.0;    ///< sequential read bandwidth (logical MB/s)
+  double write_mbps = 350.0;   ///< sequential write bandwidth
+  SimTime read_fixed_ns = 80 * kNsPerUs;   ///< per-IO setup latency
+  SimTime write_fixed_ns = 100 * kNsPerUs;
+  uint64_t erase_block_bytes = 4ULL << 20;  ///< wear-accounting granularity
+  uint32_t pe_cycle_limit = 3000;  ///< endurance rating (P/E cycles)
+
+  /// Route writes/frees through a page-mapped FTL model (flash/ftl.h):
+  /// wear then reflects garbage-collection write amplification instead of
+  /// the flat factor-1 estimate. Slower; off by default.
+  bool model_ftl = false;
+  GcPolicy ftl_gc_policy = GcPolicy::kGreedy;
+};
+
+enum class DeviceState : uint8_t {
+  kHealthy,
+  kFailed,  ///< shot down: contents lost, IO rejected
+};
+
+/// Lifetime wear and traffic counters.
+struct FlashWearStats {
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;      ///< logical bytes programmed
+  uint64_t erase_cycles = 0;       ///< block erases implied by writes
+  uint64_t io_reads = 0;
+  uint64_t io_writes = 0;
+  /// Fraction of rated endurance consumed (0 = new, 1 = worn out).
+  double WearFraction(const FlashDeviceConfig& cfg) const {
+    if (cfg.pe_cycle_limit == 0) return 0.0;
+    double rated_bytes = static_cast<double>(cfg.capacity_bytes) *
+                         static_cast<double>(cfg.pe_cycle_limit);
+    if (rated_bytes <= 0) return 0.0;
+    return static_cast<double>(bytes_written) / rated_bytes;
+  }
+};
+
+/// One simulated SSD.
+class FlashDevice {
+ public:
+  explicit FlashDevice(FlashDeviceConfig config);
+
+  const FlashDeviceConfig& config() const { return config_; }
+  DeviceState state() const { return state_; }
+  bool healthy() const { return state_ == DeviceState::kHealthy; }
+
+  // --- Space ---------------------------------------------------------------
+
+  /// Reserves a slot for `logical_bytes`; fails with kNoSpace when full and
+  /// kUnavailable when the device is failed.
+  Result<SlotId> AllocateSlot(uint64_t logical_bytes);
+
+  /// Releases a slot and its bytes.
+  Status FreeSlot(SlotId slot);
+
+  /// Stores the physical payload for a previously allocated slot.
+  Status WriteSlot(SlotId slot, std::span<const uint8_t> payload);
+
+  /// Returns a view of the physical payload. Fails with kUnavailable if the
+  /// device is down and kCorrupted if the payload fails its CRC. Non-const:
+  /// reads advance the wear/traffic counters.
+  Result<std::span<const uint8_t>> ReadSlot(SlotId slot);
+
+  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t free_bytes() const { return config_.capacity_bytes - used_bytes_; }
+  size_t live_slots() const { return live_slots_; }
+
+  // --- Timing --------------------------------------------------------------
+
+  /// Schedules an IO of `logical_bytes` starting no earlier than `start`;
+  /// returns its completion time. The device serializes its own IOs
+  /// (busy_until), so concurrent chunk reads on *different* devices overlap
+  /// while reads on the same device queue.
+  SimTime SubmitIo(SimTime start, uint64_t logical_bytes, bool is_write);
+
+  /// Pure service time of one IO, without queueing.
+  SimTime ServiceTime(uint64_t logical_bytes, bool is_write) const;
+
+  SimTime busy_until() const { return busy_until_; }
+
+  // --- Failure & wear --------------------------------------------------------
+
+  /// Shoot the device down: every resident payload is lost.
+  void Fail();
+
+  /// Injects latent (silent) corruption: flips one payload byte without
+  /// touching the stored CRC, so the damage is only visible when the slot
+  /// is next read or scrubbed. Models bit rot / partial data loss.
+  Status CorruptSlot(SlotId slot, uint32_t byte_index = 0);
+
+  /// Swap in a fresh spare at the same array position: healthy, empty,
+  /// zero wear.
+  void Replace();
+
+  const FlashWearStats& wear() const { return wear_; }
+
+  /// The FTL model, when enabled (nullptr otherwise). Exposes write
+  /// amplification, GC counters, and per-block wear.
+  const Ftl* ftl() const { return ftl_.get(); }
+
+ private:
+  struct Slot {
+    bool allocated = false;
+    uint64_t logical_bytes = 0;
+    uint32_t crc = 0;
+    uint64_t lpn_base = 0;   ///< first FTL page (model_ftl only)
+    uint32_t page_count = 0;
+    std::vector<uint8_t> payload;
+  };
+
+  void InitFtl();
+  Status FtlWriteSlot(Slot& s);
+  void FtlTrimSlot(Slot& s);
+
+  FlashDeviceConfig config_;
+  DeviceState state_ = DeviceState::kHealthy;
+  std::vector<Slot> slots_;
+  std::vector<SlotId> free_list_;
+  uint64_t used_bytes_ = 0;
+  size_t live_slots_ = 0;
+  SimTime busy_until_ = 0;
+  FlashWearStats wear_;
+  uint64_t pending_erase_bytes_ = 0;  // accumulates toward erase cycles
+
+  // FTL integration (model_ftl): logical-page-space allocator state.
+  std::unique_ptr<Ftl> ftl_;
+  uint64_t lpn_bump_ = 0;  ///< next never-used lpn
+  std::vector<std::vector<uint64_t>> lpn_free_;  ///< freelists by page count
+};
+
+}  // namespace reo

@@ -1,0 +1,44 @@
+#include "osd/attribute_store.h"
+
+#include <cstring>
+
+namespace reo {
+
+void AttributeStore::Set(AttributeId id, std::span<const uint8_t> value) {
+  attrs_[id].assign(value.begin(), value.end());
+}
+
+void AttributeStore::SetU64(AttributeId id, uint64_t value) {
+  uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<uint8_t>(value >> (8 * i));
+  Set(id, buf);
+}
+
+std::optional<std::span<const uint8_t>> AttributeStore::Get(AttributeId id) const {
+  auto it = attrs_.find(id);
+  if (it == attrs_.end()) return std::nullopt;
+  return std::span<const uint8_t>(it->second);
+}
+
+std::optional<uint64_t> AttributeStore::GetU64(AttributeId id) const {
+  auto v = Get(id);
+  if (!v || v->size() != 8) return std::nullopt;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) out |= static_cast<uint64_t>((*v)[static_cast<size_t>(i)]) << (8 * i);
+  return out;
+}
+
+Status AttributeStore::Remove(AttributeId id) {
+  return attrs_.erase(id) ? Status::Ok()
+                          : Status{ErrorCode::kNotFound, "no such attribute"};
+}
+
+std::vector<AttributeId> AttributeStore::ListPage(uint32_t page) const {
+  std::vector<AttributeId> out;
+  for (const auto& [id, _] : attrs_) {
+    if (id.page == page) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace reo

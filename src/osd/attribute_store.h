@@ -1,0 +1,51 @@
+// OSD attribute pages.
+//
+// T10 OSD attaches typed attributes, grouped into numbered pages, to every
+// object. Reo rides on this mechanism to carry its semantic hints (class
+// ID, access frequency, dirty flag) from the cache manager to the device.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace reo {
+
+/// (page, attribute number) address of one attribute.
+struct AttributeId {
+  uint32_t page = 0;
+  uint32_t number = 0;
+  friend auto operator<=>(const AttributeId&, const AttributeId&) = default;
+};
+
+// Reo's policy attribute page and its attribute numbers.
+inline constexpr uint32_t kReoAttributePage = 0x2F000000;
+inline constexpr AttributeId kAttrClassId{kReoAttributePage, 0x1};
+inline constexpr AttributeId kAttrReadFreq{kReoAttributePage, 0x2};
+inline constexpr AttributeId kAttrDirty{kReoAttributePage, 0x3};
+inline constexpr AttributeId kAttrLogicalSize{kReoAttributePage, 0x4};
+
+/// A small ordered attribute map for one object.
+class AttributeStore {
+ public:
+  void Set(AttributeId id, std::span<const uint8_t> value);
+  void SetU64(AttributeId id, uint64_t value);
+
+  std::optional<std::span<const uint8_t>> Get(AttributeId id) const;
+  std::optional<uint64_t> GetU64(AttributeId id) const;
+
+  Status Remove(AttributeId id);
+  size_t size() const { return attrs_.size(); }
+
+  /// Lists every attribute on a page, in number order.
+  std::vector<AttributeId> ListPage(uint32_t page) const;
+
+ private:
+  std::map<AttributeId, std::vector<uint8_t>> attrs_;
+};
+
+}  // namespace reo

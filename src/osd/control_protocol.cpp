@@ -1,0 +1,106 @@
+#include "osd/control_protocol.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace reo {
+namespace {
+
+std::vector<uint8_t> ToBytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+/// Splits "a:b:c" into fields. The header keeps its surrounding '#'s.
+std::vector<std::string_view> SplitFields(std::string_view s) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t pos = s.find(':', start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+Result<uint64_t> ParseU64(std::string_view f) {
+  uint64_t v = 0;
+  int base = 10;
+  if (f.starts_with("0x") || f.starts_with("0X")) {
+    f.remove_prefix(2);
+    base = 16;
+  }
+  auto [ptr, ec] = std::from_chars(f.data(), f.data() + f.size(), v, base);
+  if (ec != std::errc{} || ptr != f.data() + f.size()) {
+    return Status{ErrorCode::kInvalidArgument, "bad integer field"};
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeControlMessage(const ControlMessage& msg) {
+  char buf[160];
+  if (const auto* set = std::get_if<SetIdCommand>(&msg)) {
+    std::snprintf(buf, sizeof(buf), "%s:0x%llx:0x%llx:%u",
+                  std::string(kSetIdHeader).c_str(),
+                  static_cast<unsigned long long>(set->target.pid),
+                  static_cast<unsigned long long>(set->target.oid),
+                  static_cast<unsigned>(set->class_id));
+    return ToBytes(buf);
+  }
+  const auto& q = std::get<QueryCommand>(msg);
+  std::snprintf(buf, sizeof(buf), "%s:0x%llx:0x%llx:%c:%llu:%llu",
+                std::string(kQueryHeader).c_str(),
+                static_cast<unsigned long long>(q.target.pid),
+                static_cast<unsigned long long>(q.target.oid),
+                q.is_write ? 'W' : 'R',
+                static_cast<unsigned long long>(q.offset),
+                static_cast<unsigned long long>(q.size));
+  return ToBytes(buf);
+}
+
+Result<ControlMessage> DecodeControlMessage(std::span<const uint8_t> wire) {
+  std::string_view s(reinterpret_cast<const char*>(wire.data()), wire.size());
+  auto fields = SplitFields(s);
+  if (fields.empty()) return Status{ErrorCode::kInvalidArgument, "empty message"};
+
+  if (fields[0] == kSetIdHeader) {
+    if (fields.size() != 4) {
+      return Status{ErrorCode::kInvalidArgument, "SETID needs 4 fields"};
+    }
+    auto pid = ParseU64(fields[1]);
+    auto oid = ParseU64(fields[2]);
+    auto cid = ParseU64(fields[3]);
+    if (!pid.ok() || !oid.ok() || !cid.ok() || *cid > 0xFF) {
+      return Status{ErrorCode::kInvalidArgument, "bad SETID field"};
+    }
+    return ControlMessage{SetIdCommand{
+        .target = {*pid, *oid}, .class_id = static_cast<uint8_t>(*cid)}};
+  }
+
+  if (fields[0] == kQueryHeader) {
+    if (fields.size() != 6) {
+      return Status{ErrorCode::kInvalidArgument, "QUERY needs 6 fields"};
+    }
+    auto pid = ParseU64(fields[1]);
+    auto oid = ParseU64(fields[2]);
+    std::string_view op = fields[3];
+    auto offset = ParseU64(fields[4]);
+    auto size = ParseU64(fields[5]);
+    if (!pid.ok() || !oid.ok() || !offset.ok() || !size.ok() ||
+        (op != "R" && op != "W")) {
+      return Status{ErrorCode::kInvalidArgument, "bad QUERY field"};
+    }
+    return ControlMessage{QueryCommand{.target = {*pid, *oid},
+                                       .is_write = op == "W",
+                                       .offset = *offset,
+                                       .size = *size}};
+  }
+  return Status{ErrorCode::kInvalidArgument, "unknown control header"};
+}
+
+}  // namespace reo

@@ -1,0 +1,51 @@
+// The control side-channel of Reo (paper §IV.C.2).
+//
+// All management/control traffic between the cache manager and the object
+// storage is encoded as small messages written synchronously to the
+// reserved communication object (OID 0x10004). Two commands exist:
+//
+//   Classification: "#SETID#"  <PID> <OID> <CID>
+//   Query:          "#QUERY#"  <PID> <OID> <R|W> <offset> <size>
+//
+// This header provides encode/decode for that wire format.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/object_id.h"
+#include "common/status.h"
+
+namespace reo {
+
+inline constexpr std::string_view kSetIdHeader = "#SETID#";
+inline constexpr std::string_view kQueryHeader = "#QUERY#";
+
+/// Classification command: assigns class CID to the target object.
+struct SetIdCommand {
+  ObjectId target;
+  uint8_t class_id = 0;
+  friend bool operator==(const SetIdCommand&, const SetIdCommand&) = default;
+};
+
+/// Query command: asks about the status of (part of) an object.
+struct QueryCommand {
+  ObjectId target;
+  bool is_write = false;  ///< operation type field: R or W
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  friend bool operator==(const QueryCommand&, const QueryCommand&) = default;
+};
+
+using ControlMessage = std::variant<SetIdCommand, QueryCommand>;
+
+/// Serializes a control message to its wire bytes.
+std::vector<uint8_t> EncodeControlMessage(const ControlMessage& msg);
+
+/// Parses wire bytes back into a message; fails on malformed input.
+Result<ControlMessage> DecodeControlMessage(std::span<const uint8_t> wire);
+
+}  // namespace reo

@@ -1,0 +1,89 @@
+// exofs-like filesystem client over an OSD session.
+//
+// The paper's initiator stack runs exofs, the Linux object filesystem: "a
+// special file system exofs ... exposes a file system interface to the
+// upper-level applications. All the file system metadata (e.g.,
+// superblock, inode), regular files, and directories are stored in the
+// OSD in the form of user objects" (§II.A). This is that layer, scoped to
+// what the cache stack needs: a mountable superblock, a persistent
+// directory tree, and whole-file read/write — everything stored as user
+// objects through the OsdInitiator, with the Table I reserved objects
+// (super block 0x10000, root directory 0x10002) used exactly as exofs
+// reserves them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "osd/osd_initiator.h"
+
+namespace reo {
+
+/// One directory entry.
+struct ExofsDirent {
+  std::string name;
+  ObjectId object;
+  bool is_directory = false;
+  uint64_t size = 0;  ///< logical bytes (files)
+};
+
+/// Minimal exofs client. Paths are absolute, '/'-separated; components may
+/// not contain '/', spaces, or newlines.
+class ExofsClient {
+ public:
+  /// @param initiator session to the target; must outlive the client.
+  /// @param physical_size maps a logical byte count to the physical
+  ///        payload size of the data plane (StripeManager::PhysicalSize).
+  ExofsClient(OsdInitiator& initiator,
+              std::function<uint64_t(uint64_t)> physical_size);
+
+  /// Creates the filesystem: formats the OSD and writes the superblock
+  /// and empty root directory.
+  Status MkFs(uint64_t capacity_bytes, SimTime now);
+
+  /// Loads and validates the superblock of an existing filesystem.
+  Status Mount(SimTime now);
+  bool mounted() const { return mounted_; }
+
+  // --- Namespace ---------------------------------------------------------------
+
+  Status Mkdir(const std::string& path, SimTime now);
+  Result<std::vector<ExofsDirent>> ReadDir(const std::string& path, SimTime now);
+  Result<ExofsDirent> Lookup(const std::string& path, SimTime now);
+  /// Removes a file or an empty directory.
+  Status Unlink(const std::string& path, SimTime now);
+
+  // --- Files -------------------------------------------------------------------
+
+  /// Creates (or truncates) a file and writes its contents.
+  Status WriteFile(const std::string& path, std::span<const uint8_t> payload,
+                   uint64_t logical_size, SimTime now);
+  /// Reads a whole file.
+  Result<std::vector<uint8_t>> ReadFile(const std::string& path, SimTime now);
+
+  uint64_t next_oid() const { return next_oid_; }
+
+ private:
+  static constexpr std::string_view kSuperMagic = "exofs-reo v1";
+
+  Result<ObjectId> ResolveDir(const std::string& path, SimTime now);
+  Result<std::vector<ExofsDirent>> LoadDir(ObjectId dir, SimTime now);
+  Status StoreDir(ObjectId dir, const std::vector<ExofsDirent>& entries,
+                  SimTime now);
+  Status PersistSuper(SimTime now);
+  ObjectId AllocateOid();
+  /// Splits "/a/b/c" into {"a","b","c"}; fails on malformed paths.
+  static Result<std::vector<std::string>> SplitPath(const std::string& path);
+
+  /// Writes a (metadata) payload padded to the data plane's physical size.
+  Status WritePadded(ObjectId id, std::span<const uint8_t> bytes, SimTime now);
+
+  OsdInitiator& initiator_;
+  std::function<uint64_t(uint64_t)> physical_size_;
+  bool mounted_ = false;
+  uint64_t next_oid_ = 0x20000;  ///< first OID above the reserved range
+};
+
+}  // namespace reo

@@ -1,0 +1,14 @@
+#include "osd/object.h"
+
+namespace reo {
+
+bool IsSystemMetadata(const ObjectId& id, ObjectType type) {
+  if (type == ObjectType::kRoot || type == ObjectType::kPartition) return true;
+  if (id == kSuperBlockObject || id == kDeviceTableObject ||
+      id == kRootDirectoryObject || id == kControlObject) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace reo

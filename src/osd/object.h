@@ -1,0 +1,54 @@
+// The T10 OSD object model (paper §II.A, Figure 2, Table I).
+//
+// Four object kinds: one Root object per logical unit, Partition objects
+// that subdivide the unit, Collection objects for fast grouping/indexing,
+// and User objects holding regular data. exofs additionally reserves three
+// metadata objects (super block, device table, root directory) inside the
+// first partition; Reo reserves OID 0x10004 as its control object.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/object_id.h"
+#include "osd/attribute_store.h"
+
+namespace reo {
+
+enum class ObjectType : uint8_t {
+  kRoot,
+  kPartition,
+  kCollection,
+  kUser,
+};
+
+constexpr std::string_view to_string(ObjectType t) {
+  switch (t) {
+    case ObjectType::kRoot: return "Root";
+    case ObjectType::kPartition: return "Partition";
+    case ObjectType::kCollection: return "Collection";
+    case ObjectType::kUser: return "User";
+  }
+  return "?";
+}
+
+/// True for the exofs/Reo reserved metadata objects of Table I (super
+/// block, device table, root directory, control object) and the root /
+/// partition objects themselves — everything Reo puts in Class 0.
+bool IsSystemMetadata(const ObjectId& id, ObjectType type);
+
+/// Metadata record for one OSD object. Payload bytes live in the data
+/// plane (the flash array); this is the target-side bookkeeping the paper's
+/// prototype kept in a hash table (§V).
+struct ObjectRecord {
+  ObjectId id;
+  ObjectType type = ObjectType::kUser;
+  uint64_t logical_size = 0;  ///< user-visible byte length
+  AttributeStore attributes;
+  /// Collections this (user) object belongs to ("a user object belongs to
+  /// no or multiple collections", §II.A).
+  std::vector<uint64_t> collections;
+};
+
+}  // namespace reo

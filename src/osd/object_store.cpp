@@ -1,0 +1,170 @@
+#include "osd/object_store.h"
+
+#include <algorithm>
+
+namespace reo {
+
+void ObjectStore::Format(uint64_t capacity_bytes) {
+  objects_.clear();
+  partitions_.clear();
+  collections_.clear();
+  user_count_ = 0;
+  capacity_bytes_ = capacity_bytes;
+
+  // Root object (PID 0x0, OID 0x0).
+  ObjectRecord root{.id = kRootObject, .type = ObjectType::kRoot};
+  objects_.emplace(kRootObject, std::move(root));
+
+  // First partition and the exofs reserved metadata objects (Table I).
+  REO_CHECK(CreatePartition(kFirstUserId).ok());
+  for (ObjectId id : {kSuperBlockObject, kDeviceTableObject,
+                      kRootDirectoryObject, kControlObject}) {
+    REO_CHECK(CreateObject(id).ok());
+  }
+}
+
+Status ObjectStore::CreatePartition(uint64_t pid) {
+  if (pid < kFirstUserId) {
+    return {ErrorCode::kInvalidArgument, "partition ids start at 0x10000"};
+  }
+  if (partitions_.contains(pid)) return {ErrorCode::kAlreadyExists, "partition exists"};
+  partitions_.emplace(pid, std::vector<uint64_t>{});
+  ObjectId id{pid, 0};
+  ObjectRecord rec{.id = id, .type = ObjectType::kPartition};
+  objects_.emplace(id, std::move(rec));
+  return Status::Ok();
+}
+
+bool ObjectStore::HasPartition(uint64_t pid) const {
+  return partitions_.contains(pid);
+}
+
+std::vector<uint64_t> ObjectStore::ListPartitions() const {
+  std::vector<uint64_t> out;
+  out.reserve(partitions_.size());
+  for (const auto& [pid, _] : partitions_) out.push_back(pid);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status ObjectStore::CreateCollection(ObjectId id) {
+  if (!partitions_.contains(id.pid)) return {ErrorCode::kNotFound, "no partition"};
+  if (id.oid < kFirstUserId) return {ErrorCode::kInvalidArgument, "collection oid"};
+  if (objects_.contains(id)) return {ErrorCode::kAlreadyExists, "object exists"};
+  ObjectRecord rec{.id = id, .type = ObjectType::kCollection};
+  objects_.emplace(id, std::move(rec));
+  collections_.emplace(id, std::vector<uint64_t>{});
+  return Status::Ok();
+}
+
+Status ObjectStore::RemoveCollection(ObjectId id) {
+  auto it = collections_.find(id);
+  if (it == collections_.end()) return {ErrorCode::kNotFound, "no collection"};
+  if (!it->second.empty()) return {ErrorCode::kInvalidArgument, "collection not empty"};
+  collections_.erase(it);
+  objects_.erase(id);
+  return Status::Ok();
+}
+
+Status ObjectStore::AddToCollection(ObjectId collection, ObjectId member) {
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) return {ErrorCode::kNotFound, "no collection"};
+  if (collection.pid != member.pid) {
+    // §II.A: collection and user objects within one partition share the PID.
+    return {ErrorCode::kInvalidArgument, "cross-partition membership"};
+  }
+  auto* rec = FindMutable(member);
+  if (rec == nullptr || rec->type != ObjectType::kUser) {
+    return {ErrorCode::kNotFound, "no such user object"};
+  }
+  auto& members = it->second;
+  if (std::find(members.begin(), members.end(), member.oid) != members.end()) {
+    return {ErrorCode::kAlreadyExists, "already a member"};
+  }
+  members.push_back(member.oid);
+  rec->collections.push_back(collection.oid);
+  return Status::Ok();
+}
+
+Status ObjectStore::RemoveFromCollection(ObjectId collection, ObjectId member) {
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) return {ErrorCode::kNotFound, "no collection"};
+  auto& members = it->second;
+  auto pos = std::find(members.begin(), members.end(), member.oid);
+  if (pos == members.end()) return {ErrorCode::kNotFound, "not a member"};
+  members.erase(pos);
+  if (auto* rec = FindMutable(member)) {
+    auto& cs = rec->collections;
+    cs.erase(std::remove(cs.begin(), cs.end(), collection.oid), cs.end());
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<uint64_t>> ObjectStore::ListCollection(ObjectId collection) const {
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) return Status{ErrorCode::kNotFound, "no collection"};
+  return it->second;
+}
+
+Status ObjectStore::CreateObject(ObjectId id, uint64_t logical_size) {
+  if (!partitions_.contains(id.pid)) return {ErrorCode::kNotFound, "no partition"};
+  if (objects_.contains(id)) return {ErrorCode::kAlreadyExists, "object exists"};
+  ObjectRecord rec{.id = id, .type = ObjectType::kUser, .logical_size = logical_size};
+  objects_.emplace(id, std::move(rec));
+  partitions_[id.pid].push_back(id.oid);
+  ++user_count_;
+  return Status::Ok();
+}
+
+Status ObjectStore::RemoveObject(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end() || it->second.type != ObjectType::kUser) {
+    return {ErrorCode::kNotFound, "no such user object"};
+  }
+  if (IsSystemMetadata(id, it->second.type)) {
+    // The Table I reserved objects (super block, device table, root
+    // directory, control object) are part of the volume format.
+    return {ErrorCode::kInvalidArgument, "reserved metadata object"};
+  }
+  // Drop from any collections.
+  for (uint64_t coll_oid : it->second.collections) {
+    auto cit = collections_.find(ObjectId{id.pid, coll_oid});
+    if (cit != collections_.end()) {
+      auto& members = cit->second;
+      members.erase(std::remove(members.begin(), members.end(), id.oid),
+                    members.end());
+    }
+  }
+  auto& oids = partitions_[id.pid];
+  oids.erase(std::remove(oids.begin(), oids.end(), id.oid), oids.end());
+  objects_.erase(it);
+  --user_count_;
+  return Status::Ok();
+}
+
+bool ObjectStore::Exists(ObjectId id) const { return objects_.contains(id); }
+
+ObjectRecord* ObjectStore::FindMutable(ObjectId id) {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+Result<ObjectRecord*> ObjectStore::Find(ObjectId id) {
+  auto* rec = FindMutable(id);
+  if (rec == nullptr) return Status{ErrorCode::kNotFound, "no such object"};
+  return rec;
+}
+
+Result<const ObjectRecord*> ObjectStore::Find(ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return Status{ErrorCode::kNotFound, "no such object"};
+  return &it->second;
+}
+
+std::vector<uint64_t> ObjectStore::ListObjects(uint64_t pid) const {
+  auto it = partitions_.find(pid);
+  if (it == partitions_.end()) return {};
+  return it->second;
+}
+
+}  // namespace reo

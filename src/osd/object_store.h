@@ -1,0 +1,75 @@
+// Target-side object metadata store.
+//
+// The original osd-target kept object metadata in SQLite; the Reo prototype
+// replaced it with a hash table (paper §V). This is that hash table:
+// partitions, collections, user objects, membership, and the Table I
+// reserved objects created at format time.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/object_id.h"
+#include "osd/object.h"
+
+namespace reo {
+
+/// All object metadata of one OSD logical unit.
+class ObjectStore {
+ public:
+  ObjectStore() = default;
+
+  /// FORMAT OSD: wipes everything, then creates the root object, the first
+  /// partition (0x10000), and the exofs metadata objects of Table I
+  /// (super block, device table, root directory) plus Reo's control object.
+  void Format(uint64_t capacity_bytes);
+
+  // --- Partitions ----------------------------------------------------------
+
+  /// Creates partition `pid` (>= kFirstUserId).
+  Status CreatePartition(uint64_t pid);
+  bool HasPartition(uint64_t pid) const;
+  std::vector<uint64_t> ListPartitions() const;
+
+  // --- Collections ---------------------------------------------------------
+
+  Status CreateCollection(ObjectId id);
+  Status RemoveCollection(ObjectId id);  ///< fails if non-empty
+  /// Adds/removes a user object to/from a collection in the same partition.
+  Status AddToCollection(ObjectId collection, ObjectId member);
+  Status RemoveFromCollection(ObjectId collection, ObjectId member);
+  Result<std::vector<uint64_t>> ListCollection(ObjectId collection) const;
+
+  // --- User objects ----------------------------------------------------------
+
+  /// Creates a user object record (fails if the partition is missing or the
+  /// id exists).
+  Status CreateObject(ObjectId id, uint64_t logical_size = 0);
+  Status RemoveObject(ObjectId id);
+  bool Exists(ObjectId id) const;
+
+  Result<ObjectRecord*> Find(ObjectId id);
+  Result<const ObjectRecord*> Find(ObjectId id) const;
+
+  /// OIDs of user objects in a partition, unsorted.
+  std::vector<uint64_t> ListObjects(uint64_t pid) const;
+
+  /// Number of user objects across all partitions.
+  size_t user_object_count() const { return user_count_; }
+
+  /// Root-object view: capacity and partition count (paper Table I: "the
+  /// root object records the global information of the OSD").
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  ObjectRecord* FindMutable(ObjectId id);
+
+  std::unordered_map<ObjectId, ObjectRecord, ObjectIdHash> objects_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> partitions_;  // pid -> oids
+  std::unordered_map<ObjectId, std::vector<uint64_t>, ObjectIdHash> collections_;
+  uint64_t capacity_bytes_ = 0;
+  size_t user_count_ = 0;
+};
+
+}  // namespace reo

@@ -1,0 +1,92 @@
+// The initiator (client) side of the OSD session.
+//
+// In the paper's prototype the cache manager talks to osd-target through
+// the osd-initiator kernel modules over iSCSI. This class is that
+// initiator: it owns the session to one target, builds well-formed
+// commands (including the §IV.C.2 control-object messages), and offers a
+// typed API so upper layers never touch raw CDBs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "osd/osd_target.h"
+#include "osd/transport.h"
+
+namespace reo {
+
+/// Per-session counters.
+struct OsdInitiatorStats {
+  uint64_t commands_sent = 0;
+  uint64_t control_writes = 0;
+  uint64_t errors = 0;  ///< responses with sense != OK
+};
+
+/// Typed command front-end over one OSD target session.
+class OsdInitiator {
+ public:
+  /// @param target the service delegate (in-process stand-in for iSCSI).
+  explicit OsdInitiator(OsdTarget& target) : target_(target) {}
+
+  // --- Device / partition management ----------------------------------------
+
+  OsdResponse FormatOsd(uint64_t capacity_bytes, SimTime now = 0);
+  OsdResponse CreatePartition(uint64_t pid, SimTime now = 0);
+
+  // --- Object data path -------------------------------------------------------
+
+  OsdResponse CreateObject(ObjectId id, uint64_t logical_size, SimTime now);
+  OsdResponse WriteObject(ObjectId id, std::span<const uint8_t> payload,
+                          uint64_t logical_size, SimTime now);
+  OsdResponse ReadObject(ObjectId id, SimTime now);
+  OsdResponse RemoveObject(ObjectId id, SimTime now);
+  OsdResponse ListObjects(uint64_t pid, SimTime now = 0);
+
+  // --- Attributes --------------------------------------------------------------
+
+  OsdResponse SetAttr(ObjectId id, AttributeId attr,
+                      std::span<const uint8_t> value, SimTime now = 0);
+  OsdResponse GetAttr(ObjectId id, AttributeId attr, SimTime now = 0);
+
+  // --- Collections -------------------------------------------------------------
+
+  OsdResponse CreateCollection(ObjectId id, SimTime now = 0);
+  OsdResponse RemoveCollection(ObjectId id, SimTime now = 0);
+  OsdResponse ListCollection(ObjectId id, SimTime now = 0);
+
+  // --- Reo control protocol (paper §IV.C.2) -------------------------------------
+
+  /// Sends "#SETID#" for `id` with class `cid`. The write is synchronous
+  /// (fsync'd), modeled by `control_latency_ns`.
+  SenseCode SetClassId(ObjectId id, uint8_t cid, SimTime now);
+
+  /// Sends "#QUERY#" about `id`; returns the sense code per Table III.
+  SenseCode Query(ObjectId id, bool is_write, uint64_t offset, uint64_t size,
+                  SimTime now);
+
+  /// Queries the control object itself: recovery state (0x65 / 0x00).
+  SenseCode QueryRecoveryState(SimTime now);
+
+  const OsdInitiatorStats& stats() const { return stats_; }
+
+  /// Latency charged per synchronous control-object write.
+  void set_control_latency(SimTime ns) { control_latency_ns_ = ns; }
+  SimTime control_latency() const { return control_latency_ns_; }
+
+  /// Routes all commands through a serialized wire transport (iSCSI
+  /// stand-in) instead of the in-process fast path. The transport must
+  /// outlive the initiator. Pass nullptr to go back in-process.
+  void UseTransport(OsdTransport* transport) { transport_ = transport; }
+  bool using_transport() const { return transport_ != nullptr; }
+
+ private:
+  OsdResponse Execute(OsdCommand command);
+  SenseCode SendControl(const ControlMessage& msg, SimTime now);
+
+  OsdTarget& target_;
+  OsdTransport* transport_ = nullptr;
+  OsdInitiatorStats stats_;
+  SimTime control_latency_ns_ = 150 * kNsPerUs;
+};
+
+}  // namespace reo

@@ -1,0 +1,204 @@
+#include "osd/osd_target.h"
+
+namespace reo {
+namespace {
+
+OsdResponse MakeError(SenseCode sense) {
+  OsdResponse r;
+  r.sense = sense;
+  return r;
+}
+
+}  // namespace
+
+OsdTarget::OsdTarget(DataPlane& data_plane) : data_plane_(data_plane) {}
+
+OsdResponse OsdTarget::Execute(const OsdCommand& cmd) {
+  ++stats_.commands;
+  OsdResponse resp;
+  switch (cmd.op) {
+    case OsdOp::kFormat:
+      store_.Format(cmd.capacity_bytes);
+      break;
+
+    case OsdOp::kCreatePartition:
+      resp.sense = SenseFromStatus(store_.CreatePartition(cmd.id.pid));
+      break;
+
+    case OsdOp::kCreate:
+      resp.sense = SenseFromStatus(store_.CreateObject(cmd.id, cmd.logical_size));
+      break;
+
+    case OsdOp::kWrite:
+      resp = cmd.id == kControlObject ? HandleControlWrite(cmd) : HandleWrite(cmd);
+      break;
+
+    case OsdOp::kRead:
+      resp = HandleRead(cmd);
+      break;
+
+    case OsdOp::kRemove: {
+      Status meta = store_.RemoveObject(cmd.id);
+      if (!meta.ok()) {
+        resp.sense = SenseFromStatus(meta);
+        break;
+      }
+      Status data = data_plane_.RemoveObject(cmd.id);
+      // A created-but-never-written object has no data-plane state.
+      if (!data.ok() && data.code() != ErrorCode::kNotFound) {
+        resp.sense = SenseFromStatus(data);
+      }
+      break;
+    }
+
+    case OsdOp::kSetAttr: {
+      auto rec = store_.Find(cmd.id);
+      if (!rec.ok()) {
+        resp.sense = SenseCode::kFail;
+        break;
+      }
+      (*rec)->attributes.Set(cmd.attr, cmd.attr_value);
+      break;
+    }
+
+    case OsdOp::kGetAttr: {
+      auto rec = store_.Find(cmd.id);
+      if (!rec.ok()) {
+        resp.sense = SenseCode::kFail;
+        break;
+      }
+      auto v = (*rec)->attributes.Get(cmd.attr);
+      if (!v) {
+        resp.sense = SenseCode::kFail;
+        break;
+      }
+      resp.attr_value.assign(v->begin(), v->end());
+      break;
+    }
+
+    case OsdOp::kList:
+      if (!store_.HasPartition(cmd.id.pid)) {
+        resp.sense = SenseCode::kFail;
+      } else {
+        resp.list = store_.ListObjects(cmd.id.pid);
+      }
+      break;
+
+    case OsdOp::kCreateCollection:
+      resp.sense = SenseFromStatus(store_.CreateCollection(cmd.id));
+      break;
+
+    case OsdOp::kRemoveCollection:
+      resp.sense = SenseFromStatus(store_.RemoveCollection(cmd.id));
+      break;
+
+    case OsdOp::kListCollection: {
+      auto members = store_.ListCollection(cmd.id);
+      if (!members.ok()) {
+        resp.sense = SenseCode::kFail;
+      } else {
+        resp.list = std::move(members).value();
+      }
+      break;
+    }
+  }
+  if (resp.sense != SenseCode::kOk) ++stats_.sense_errors;
+  return resp;
+}
+
+OsdResponse OsdTarget::HandleControlWrite(const OsdCommand& cmd) {
+  ++stats_.control_messages;
+  // §IV.C.2: control writes are fsync'd — modeled as one metadata-size
+  // device write worth of latency, negligible and charged by the caller.
+  auto msg = DecodeControlMessage(cmd.data);
+  if (!msg.ok()) return MakeError(SenseCode::kFail);
+
+  OsdResponse resp;
+  if (const auto* set = std::get_if<SetIdCommand>(&*msg)) {
+    auto rec = store_.Find(set->target);
+    if (!rec.ok()) return MakeError(SenseCode::kFail);
+    (*rec)->attributes.SetU64(kAttrClassId, set->class_id);
+    Status st = data_plane_.SetObjectClass(set->target, set->class_id, cmd.now);
+    if (st.code() == ErrorCode::kNoSpace) {
+      // Table III 0x67: the allocated space for data redundancy is full.
+      resp.sense = SenseCode::kRedundancyFull;
+    } else if (st.code() == ErrorCode::kNotFound) {
+      // Classifying before the first write is legal; the class attribute
+      // (set above) is applied when the payload arrives.
+      resp.sense = SenseCode::kOk;
+    } else {
+      resp.sense = SenseFromStatus(st);
+    }
+    return resp;
+  }
+
+  const auto& q = std::get<QueryCommand>(*msg);
+  if (q.target == kControlObject) {
+    // Querying the control object itself reports recovery state:
+    // 0x65 while reconstruction is running, 0x00 otherwise.
+    resp.sense = data_plane_.recovery_active() ? SenseCode::kRecoveryStarts
+                                               : SenseCode::kOk;
+    return resp;
+  }
+  if (q.is_write) {
+    // Write query: is there room for `size` bytes (class from the object's
+    // attribute if present, else cold)?
+    uint8_t cls = 3;
+    if (auto rec = store_.Find(q.target); rec.ok()) {
+      if (auto v = (*rec)->attributes.GetU64(kAttrClassId)) {
+        cls = static_cast<uint8_t>(*v);
+      }
+    }
+    resp.sense = data_plane_.HasSpaceFor(q.size, cls) ? SenseCode::kOk
+                                                      : SenseCode::kCacheFull;
+    return resp;
+  }
+  // Read query: object accessibility.
+  switch (data_plane_.Health(q.target)) {
+    case ObjectHealth::kIntact:
+    case ObjectHealth::kDegraded:
+      resp.sense = SenseCode::kOk;
+      break;
+    case ObjectHealth::kLost:
+      resp.sense = SenseCode::kCorrupted;
+      break;
+    case ObjectHealth::kAbsent:
+      resp.sense = SenseCode::kFail;
+      break;
+  }
+  return resp;
+}
+
+OsdResponse OsdTarget::HandleWrite(const OsdCommand& cmd) {
+  ++stats_.writes;
+  auto rec = store_.Find(cmd.id);
+  if (!rec.ok()) return MakeError(SenseCode::kFail);
+
+  uint8_t cls = 3;  // unclassified data defaults to cold/clean
+  if (auto v = (*rec)->attributes.GetU64(kAttrClassId)) {
+    cls = static_cast<uint8_t>(*v);
+  }
+  auto io = data_plane_.WriteObject(cmd.id, cmd.data, cmd.logical_size, cls, cmd.now);
+  if (!io.ok()) return MakeError(SenseFromStatus(io.status()));
+
+  (*rec)->logical_size = cmd.logical_size;
+  (*rec)->attributes.SetU64(kAttrLogicalSize, cmd.logical_size);
+  OsdResponse resp;
+  resp.complete = io->complete;
+  return resp;
+}
+
+OsdResponse OsdTarget::HandleRead(const OsdCommand& cmd) {
+  ++stats_.reads;
+  if (!store_.Exists(cmd.id)) return MakeError(SenseCode::kFail);
+  auto io = data_plane_.ReadObject(cmd.id, cmd.now);
+  if (!io.ok()) return MakeError(SenseFromStatus(io.status()));
+  OsdResponse resp;
+  resp.complete = io->complete;
+  resp.degraded = io->degraded;
+  resp.data = std::move(io->payload);
+  if (io->degraded) ++stats_.degraded_reads;
+  return resp;
+}
+
+}  // namespace reo

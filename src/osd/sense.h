@@ -1,0 +1,47 @@
+// Sense codes returned by the Reo OSD target — exactly the set the paper
+// defines in Table III (§IV.C.2).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace reo {
+
+/// Table III: sense code definition in Reo.
+enum class SenseCode : int32_t {
+  kOk = 0,                 ///< the command is successful
+  kFail = -1,              ///< the command is unsuccessful
+  kCorrupted = 0x63,       ///< data is corrupted
+  kCacheFull = 0x64,       ///< the cache is full (demands replacement)
+  kRecoveryStarts = 0x65,  ///< recovery starts (device failure occurred)
+  kRecoveryEnds = 0x66,    ///< recovery ends
+  kRedundancyFull = 0x67,  ///< the allocated space for data redundancy is full
+};
+
+constexpr std::string_view to_string(SenseCode c) {
+  switch (c) {
+    case SenseCode::kOk: return "OK";
+    case SenseCode::kFail: return "FAIL";
+    case SenseCode::kCorrupted: return "CORRUPTED";
+    case SenseCode::kCacheFull: return "CACHE_FULL";
+    case SenseCode::kRecoveryStarts: return "RECOVERY_STARTS";
+    case SenseCode::kRecoveryEnds: return "RECOVERY_ENDS";
+    case SenseCode::kRedundancyFull: return "REDUNDANCY_FULL";
+  }
+  return "UNKNOWN";
+}
+
+/// Maps a library Status onto the wire-level sense code the paper defines.
+inline SenseCode SenseFromStatus(const Status& st) {
+  switch (st.code()) {
+    case ErrorCode::kOk: return SenseCode::kOk;
+    case ErrorCode::kCorrupted: return SenseCode::kCorrupted;
+    case ErrorCode::kUnrecoverable: return SenseCode::kCorrupted;
+    case ErrorCode::kNoSpace: return SenseCode::kCacheFull;
+    default: return SenseCode::kFail;
+  }
+}
+
+}  // namespace reo

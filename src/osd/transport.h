@@ -1,0 +1,58 @@
+// Serialized command transport: the iSCSI stand-in.
+//
+// The paper's initiator and target are separate hosts speaking SCSI over
+// TCP (iSCSI). This module provides the wire layer: OSD commands and
+// responses serialize to a binary format, cross a modeled network link
+// (both directions, with payload-proportional transfer time), and are
+// executed by the remote target. Serialization is real — every command
+// the cache manager issues can round-trip bytes — so interface bugs that
+// an in-process call would hide (field ordering, size limits, unknown
+// opcodes) are exercised.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "backend/network_link.h"
+#include "osd/osd_target.h"
+
+namespace reo {
+
+/// Binary encoding of one command (little-endian TLV-free fixed header +
+/// variable payload).
+std::vector<uint8_t> EncodeCommand(const OsdCommand& command);
+Result<OsdCommand> DecodeCommand(std::span<const uint8_t> wire);
+
+std::vector<uint8_t> EncodeResponse(const OsdResponse& response);
+Result<OsdResponse> DecodeResponse(std::span<const uint8_t> wire);
+
+/// Wire-level counters.
+struct TransportStats {
+  uint64_t commands = 0;
+  uint64_t bytes_sent = 0;      ///< initiator -> target
+  uint64_t bytes_received = 0;  ///< target -> initiator
+  uint64_t decode_errors = 0;
+};
+
+/// Client endpoint of one initiator-target session. Commands are encoded,
+/// shipped across the link, decoded and executed at the target, and the
+/// encoded response shipped back; the response's completion time includes
+/// both transfers.
+class OsdTransport {
+ public:
+  /// @param target the remote service; must outlive the transport.
+  explicit OsdTransport(OsdTarget& target, NetworkLinkConfig link = {})
+      : target_(target), link_(link) {}
+
+  /// Sends one command and waits for the response.
+  OsdResponse Roundtrip(const OsdCommand& command);
+
+  const TransportStats& stats() const { return stats_; }
+
+ private:
+  OsdTarget& target_;
+  NetworkLink link_;
+  TransportStats stats_;
+};
+
+}  // namespace reo

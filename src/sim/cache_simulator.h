@@ -1,0 +1,126 @@
+// End-to-end experiment driver.
+//
+// Wires the whole system together — client trace, cache manager, OSD
+// target, differentiated-redundancy data plane, flash array, backend store
+// — under the virtual clock, replays a trace closed-loop, injects device
+// failures / spare insertions at scripted request indices (paper §VI.C),
+// and reports the paper's metrics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/backend_store.h"
+#include "core/cache_manager.h"
+#include "sim/metrics.h"
+#include "workload/trace.h"
+
+namespace reo {
+
+/// Scripted fault events, by request index within the measured run.
+struct FailureEvent {
+  uint64_t at_request = 0;
+  DeviceIndex device = 0;
+};
+struct SpareEvent {
+  uint64_t at_request = 0;
+  DeviceIndex device = 0;
+};
+
+struct SimulationConfig {
+  std::string name = "run";
+
+  // Cache geometry (paper §VI.A).
+  PolicyConfig policy;
+  double cache_fraction = 0.10;  ///< raw flash capacity / dataset bytes
+  size_t num_devices = 5;
+  uint64_t chunk_logical_bytes = 64 * 1024;
+  /// Physical payload scale (DESIGN.md "Scaling"): 0 for tests, 6 for the
+  /// paper-scale benches.
+  uint32_t scale_shift = 6;
+
+  // Device / backend models.
+  FlashDeviceConfig device;      ///< capacity_bytes is overridden
+  HddConfig hdd;
+  NetworkLinkConfig net;
+  CacheManagerConfig cache;
+
+  // Fault schedule.
+  std::vector<FailureEvent> failures;
+  std::vector<SpareEvent> spares;
+
+  /// Replay the full trace once, unmeasured, before the measured pass
+  /// ("we first fully warm up the cache", §VI.C).
+  bool warmup_pass = false;
+
+  /// When > 0, split each failure phase into an early probe window of this
+  /// many requests ("<n>-failures-early") and the remainder
+  /// ("<n>-failures"), to expose the immediate post-failure drop before
+  /// the cache re-warms.
+  uint64_t probe_window_requests = 0;
+
+  /// Arrival model. 0 = closed loop (one outstanding request, the paper's
+  /// replay style). > 0 = open loop: request i arrives at i * interval of
+  /// virtual time regardless of completions; the cache server processes
+  /// sequentially, so reported latency includes queueing delay. Lets the
+  /// harness measure latency vs offered load.
+  SimTime arrival_interval_ns = 0;
+
+  /// Verify hit payload contents (CRC) during the run.
+  bool verify_hits = false;
+};
+
+/// Everything a bench/test needs from one run.
+struct RunReport {
+  std::string name;
+  WindowMetrics total;
+  std::vector<WindowMetrics> windows;  ///< segmented at failure events
+  CacheStats cache;
+  SpaceStats space;
+  OsdTargetStats osd;
+  double max_wear = 0.0;
+  uint64_t dataset_bytes = 0;
+  uint64_t raw_capacity_bytes = 0;
+};
+
+/// Owns one fully wired system instance and replays one trace through it.
+class CacheSimulator {
+ public:
+  /// @param trace must outlive the simulator.
+  CacheSimulator(const Trace& trace, SimulationConfig config);
+  ~CacheSimulator();
+
+  CacheSimulator(const CacheSimulator&) = delete;
+  CacheSimulator& operator=(const CacheSimulator&) = delete;
+
+  /// Replays the trace (optionally after a warm-up pass) and reports.
+  RunReport Run();
+
+  /// Component access for integration tests and examples.
+  CacheManager& cache() { return *cache_; }
+  StripeManager& stripes() { return *stripes_; }
+  FlashArray& array() { return *array_; }
+  BackendStore& backend() { return *backend_; }
+  OsdTarget& target() { return *target_; }
+
+ private:
+  void ReplayUnmeasured();
+
+  const Trace& trace_;
+  SimulationConfig config_;
+
+  std::unique_ptr<FlashArray> array_;
+  std::unique_ptr<StripeManager> stripes_;
+  std::unique_ptr<ReoDataPlane> plane_;
+  std::unique_ptr<OsdTarget> target_;
+  std::unique_ptr<BackendStore> backend_;
+  std::unique_ptr<CacheManager> cache_;
+  SimClock clock_;
+  SimTime server_free_ = 0;  ///< when the (sequential) cache server frees up
+};
+
+/// Formats one "Label  hit%  MB/s  ms" row (shared by the figure benches).
+std::string FormatReportRow(const RunReport& report);
+
+}  // namespace reo

@@ -1,0 +1,38 @@
+#include "sim/metrics.h"
+
+namespace reo {
+
+void MetricsCollector::StartWindow(std::string label, SimTime now) {
+  if (!windows_.empty()) {
+    windows_.back().end = now;
+  }
+  WindowMetrics w;
+  w.label = std::move(label);
+  w.start = now;
+  windows_.push_back(std::move(w));
+}
+
+void MetricsCollector::Record(bool hit, bool is_write, uint64_t bytes,
+                              SimTime latency, SimTime now) {
+  REO_CHECK(!windows_.empty());
+  auto record = [&](WindowMetrics& w) {
+    ++w.requests;
+    if (!is_write) {
+      ++w.reads;
+      w.hits += hit ? 1 : 0;
+    }
+    w.bytes += bytes;
+    w.latency_us.Add(static_cast<double>(latency) / 1e3);
+    w.end = now;
+  };
+  record(total_);
+  record(windows_.back());
+}
+
+void MetricsCollector::Finish(SimTime now) {
+  REO_CHECK(!windows_.empty());
+  windows_.back().end = now;
+  total_.end = now;
+}
+
+}  // namespace reo

@@ -1,0 +1,77 @@
+// Windowed evaluation metrics: hit ratio, bandwidth, latency — the three
+// panels of every figure in the paper's evaluation (§VI).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/sim_clock.h"
+
+namespace reo {
+
+/// Metrics over one measurement window (a whole run, or one failure phase
+/// of Fig 8).
+struct WindowMetrics {
+  std::string label;
+  SimTime start = 0;
+  SimTime end = 0;
+  uint64_t requests = 0;
+  uint64_t hits = 0;       ///< read hits (writes are always absorbed)
+  uint64_t reads = 0;      ///< read requests
+  uint64_t bytes = 0;      ///< logical bytes served (reads + writes)
+  Histogram latency_us;
+
+  /// Read hit ratio — the paper's metric (write-back absorbs every write,
+  /// so counting writes as hits would inflate write-heavy runs).
+  double HitRatio() const {
+    return reads ? static_cast<double>(hits) / static_cast<double>(reads) : 0.0;
+  }
+  /// Served bytes over wall (virtual) time — the paper's bandwidth metric.
+  double BandwidthMBps() const {
+    double secs = ToSec(end - start);
+    return secs > 0 ? static_cast<double>(bytes) / 1e6 / secs : 0.0;
+  }
+  double AvgLatencyMs() const { return latency_us.mean() / 1e3; }
+  double P99LatencyMs() const { return latency_us.Percentile(0.99) / 1e3; }
+
+  /// Combines another window into this one (for re-aggregating split
+  /// windows, e.g. probe + steady phases).
+  void Merge(const WindowMetrics& other) {
+    if (other.requests == 0 && other.start == other.end) return;
+    if (requests == 0 && start == end) {
+      start = other.start;
+    }
+    end = other.end > end ? other.end : end;
+    requests += other.requests;
+    hits += other.hits;
+    reads += other.reads;
+    bytes += other.bytes;
+    latency_us.Merge(other.latency_us);
+  }
+};
+
+/// Accumulates request outcomes into the current window and the run total.
+class MetricsCollector {
+ public:
+  /// Closes the current window at `now` and opens a new one. Must be
+  /// called once before the first Record.
+  void StartWindow(std::string label, SimTime now);
+
+  /// Records one completed request.
+  void Record(bool hit, bool is_write, uint64_t bytes, SimTime latency,
+              SimTime now);
+
+  /// Closes the last window.
+  void Finish(SimTime now);
+
+  const WindowMetrics& total() const { return total_; }
+  const std::vector<WindowMetrics>& windows() const { return windows_; }
+
+ private:
+  WindowMetrics total_;
+  std::vector<WindowMetrics> windows_;
+};
+
+}  // namespace reo

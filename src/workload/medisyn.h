@@ -1,0 +1,53 @@
+// MediSyn-like synthetic workload generator.
+//
+// The paper generates its traces with MediSyn [36]: Zipfian object
+// popularity over 4,000 media objects (avg 4.4 MB, 17.04 GB total), with
+// three locality strengths (weak / medium / strong), plus write-intensive
+// variants mixing 10–50 % writes (§VI.A, §VI.D). This module reproduces
+// those statistical properties deterministically:
+//   * sizes ~ lognormal, normalized so the catalog totals objects × mean;
+//   * popularity ~ Zipf(skew), with popularity rank decoupled from size;
+//   * writes drawn Bernoulli(write_ratio) over the same popularity law.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/trace.h"
+
+namespace reo {
+
+struct MediSynConfig {
+  std::string name = "custom";
+  uint32_t num_objects = 4000;
+  /// ~4.26 MB mean: 4,000 objects total the paper's 17.04 GB dataset
+  /// ("average object size is around 4.4 MB").
+  uint64_t mean_object_bytes = 4'260'000;
+  double size_sigma = 0.6;      ///< lognormal shape for object sizes
+  double zipf_skew = 0.9;       ///< popularity skew
+  uint64_t num_requests = 51057;
+  double write_ratio = 0.0;     ///< fraction of write requests
+  uint64_t seed = 42;
+
+  /// Temporal locality (MediSyn's file-introduction / popularity-lifetime
+  /// model): each object's accesses fall within an active interval
+  /// covering this fraction of the trace, with the interval start drawn
+  /// uniformly. 1.0 = accesses spread over the whole trace (no extra
+  /// temporal locality); smaller = stronger temporal clustering.
+  double lifetime_fraction = 1.0;
+  /// Lognormal spread of per-object lifetimes around lifetime_fraction.
+  double lifetime_sigma = 0.4;
+};
+
+/// Generates a trace from the configuration. Deterministic in `seed`.
+Trace GenerateMediSyn(const MediSynConfig& config);
+
+/// The paper's three read-only localities (§VI.A): same catalog and object
+/// distribution, differing skew and request count.
+MediSynConfig WeakLocalityConfig();
+MediSynConfig MediumLocalityConfig();
+MediSynConfig StrongLocalityConfig();
+
+/// §VI.D write-intensive variants of the medium workload.
+MediSynConfig WriteIntensiveConfig(double write_ratio);
+
+}  // namespace reo

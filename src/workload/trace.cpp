@@ -1,0 +1,2 @@
+// Trace is header-only; this translation unit anchors the library.
+#include "workload/trace.h"

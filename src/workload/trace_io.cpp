@@ -1,0 +1,80 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace reo {
+
+Status WriteTrace(const Trace& trace, std::ostream& out) {
+  out << "# Reo trace format v1\n";
+  out << "trace " << (trace.name.empty() ? "unnamed" : trace.name) << "\n";
+  for (uint32_t i = 0; i < trace.catalog.count(); ++i) {
+    out << "object " << i << " " << trace.catalog.sizes[i] << "\n";
+  }
+  for (const Request& r : trace.requests) {
+    out << "req " << (r.is_write ? 'W' : 'R') << " " << r.object << "\n";
+  }
+  if (!out) return {ErrorCode::kInternal, "stream write failed"};
+  return Status::Ok();
+}
+
+Result<Trace> ReadTrace(std::istream& in) {
+  Trace trace;
+  std::string line;
+  size_t line_no = 0;
+  auto fail = [&](const std::string& why) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "line " + std::to_string(line_no) + ": " + why};
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "trace") {
+      ls >> trace.name;
+    } else if (kind == "object") {
+      uint64_t index = 0, bytes = 0;
+      if (!(ls >> index >> bytes) || bytes == 0) {
+        return fail("bad object line");
+      }
+      if (index != trace.catalog.sizes.size()) {
+        return fail("object indices must be dense and in order");
+      }
+      trace.catalog.sizes.push_back(bytes);
+    } else if (kind == "req") {
+      char op = 0;
+      uint64_t object = 0;
+      if (!(ls >> op >> object) || (op != 'R' && op != 'W')) {
+        return fail("bad req line");
+      }
+      if (object >= trace.catalog.sizes.size()) {
+        return fail("req references unknown object");
+      }
+      trace.requests.push_back(
+          Request{.object = static_cast<uint32_t>(object), .is_write = op == 'W'});
+    } else {
+      return fail("unknown directive '" + kind + "'");
+    }
+  }
+  if (trace.catalog.count() == 0) {
+    return Status{ErrorCode::kInvalidArgument, "trace has no objects"};
+  }
+  return trace;
+}
+
+Status SaveTraceFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return {ErrorCode::kNotFound, "cannot open " + path};
+  return WriteTrace(trace, out);
+}
+
+Result<Trace> LoadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status{ErrorCode::kNotFound, "cannot open " + path};
+  return ReadTrace(in);
+}
+
+}  // namespace reo

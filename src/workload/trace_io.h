@@ -1,0 +1,30 @@
+// Trace serialization: save and load workloads as a line-oriented text
+// format, so experiments can run against externally produced traces (or
+// exact replays of generated ones) instead of the built-in generator.
+//
+// Format (UTF-8 text):
+//   # comments and blank lines ignored
+//   trace <name>
+//   object <index> <logical_bytes>        (one per catalog entry)
+//   req <R|W> <object_index>              (one per request, in order)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "workload/trace.h"
+
+namespace reo {
+
+/// Writes a trace to a stream in the text format above.
+Status WriteTrace(const Trace& trace, std::ostream& out);
+
+/// Parses a trace from a stream; validates object references.
+Result<Trace> ReadTrace(std::istream& in);
+
+/// File-path conveniences.
+Status SaveTraceFile(const Trace& trace, const std::string& path);
+Result<Trace> LoadTraceFile(const std::string& path);
+
+}  // namespace reo

@@ -1,0 +1,116 @@
+// Backend store and network link model tests.
+#include <gtest/gtest.h>
+
+#include "backend/backend_store.h"
+
+namespace reo {
+namespace {
+
+ObjectId Oid(uint64_t n) { return ObjectId{kFirstUserId, 0x20000 + n}; }
+
+BackendStore MakeStore() {
+  return BackendStore(HddConfig{.seek_ns = 1 * kNsPerMs, .transfer_mbps = 100.0},
+                      NetworkLinkConfig{.gbps = 10.0, .rtt_ns = 100 * kNsPerUs});
+}
+
+TEST(NetworkLinkTest, TransferDuration) {
+  NetworkLink link({.gbps = 10.0, .rtt_ns = 100 * kNsPerUs});
+  // 1.25 GB/s -> 1,250,000 bytes per ms; 1.25 MB = 1 ms + half RTT.
+  EXPECT_EQ(link.TransferDuration(1'250'000), 50 * kNsPerUs + kNsPerMs);
+}
+
+TEST(NetworkLinkTest, SerializesTransfers) {
+  NetworkLink link({.gbps = 8.0, .rtt_ns = 0});
+  SimTime t1 = link.Transfer(0, 1'000'000);  // 1 MB at 1 GB/s = 1 ms
+  EXPECT_EQ(t1, kNsPerMs);
+  SimTime t2 = link.Transfer(0, 1'000'000);  // queues behind t1
+  EXPECT_EQ(t2, 2 * kNsPerMs);
+  link.Reset();
+  EXPECT_EQ(link.Transfer(0, 1'000'000), kNsPerMs);
+}
+
+TEST(BackendStoreTest, RegisterAndFetch) {
+  auto store = MakeStore();
+  store.RegisterObject(Oid(1), 10000, 1000);
+  ASSERT_TRUE(store.Contains(Oid(1)));
+  EXPECT_EQ(store.object_count(), 1u);
+  EXPECT_EQ(store.total_logical_bytes(), 10000u);
+
+  auto f = store.Fetch(Oid(1), 0);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->payload.size(), 1000u);
+  EXPECT_EQ(f->version, 0u);
+  EXPECT_GT(f->complete, kNsPerMs);  // at least the seek
+  EXPECT_EQ(store.fetch_count(), 1u);
+}
+
+TEST(BackendStoreTest, FetchUnknownFails) {
+  auto store = MakeStore();
+  EXPECT_EQ(store.Fetch(Oid(1), 0).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(store.Flush(Oid(1), 1, 0).code(), ErrorCode::kNotFound);
+}
+
+TEST(BackendStoreTest, PayloadIsDeterministic) {
+  auto a = BackendStore::SynthesizePayload(Oid(1), 0, 512);
+  auto b = BackendStore::SynthesizePayload(Oid(1), 0, 512);
+  EXPECT_EQ(a, b);
+  // Different object or version gives different content.
+  EXPECT_NE(a, BackendStore::SynthesizePayload(Oid(2), 0, 512));
+  EXPECT_NE(a, BackendStore::SynthesizePayload(Oid(1), 1, 512));
+}
+
+TEST(BackendStoreTest, FlushBumpsVersion) {
+  auto store = MakeStore();
+  store.RegisterObject(Oid(1), 10000, 1000);
+  auto before = store.Fetch(Oid(1), 0);
+  ASSERT_TRUE(before.ok());
+
+  auto done = store.Flush(Oid(1), 3, before->complete);
+  ASSERT_TRUE(done.ok());
+  EXPECT_GT(*done, before->complete);
+  EXPECT_EQ(*store.VersionOf(Oid(1)), 3u);
+
+  auto after = store.Fetch(Oid(1), *done);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->version, 3u);
+  EXPECT_NE(after->payload, before->payload);
+  EXPECT_EQ(after->payload, BackendStore::SynthesizePayload(Oid(1), 3, 1000));
+}
+
+TEST(BackendStoreTest, ReRegisterUpdatesSizes) {
+  auto store = MakeStore();
+  store.RegisterObject(Oid(1), 10000, 1000);
+  store.RegisterObject(Oid(1), 20000, 2000);
+  EXPECT_EQ(store.object_count(), 1u);
+  EXPECT_EQ(store.total_logical_bytes(), 20000u);
+  auto f = store.Fetch(Oid(1), 0);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->payload.size(), 2000u);
+}
+
+TEST(BackendStoreTest, DiskSerializesFetches) {
+  auto store = MakeStore();
+  store.RegisterObject(Oid(1), 1'000'000, 100);
+  store.RegisterObject(Oid(2), 1'000'000, 100);
+  auto f1 = store.Fetch(Oid(1), 0);
+  auto f2 = store.Fetch(Oid(2), 0);
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  // Second fetch queues behind the first on the spindle.
+  EXPECT_GE(f2->complete, f1->complete + kNsPerMs);
+}
+
+TEST(BackendStoreTest, LargerObjectsTakeLonger) {
+  auto store = MakeStore();
+  store.RegisterObject(Oid(1), 1'000'000, 100);
+  auto small = store.Fetch(Oid(1), 0);
+  ASSERT_TRUE(small.ok());
+
+  auto store2 = MakeStore();
+  store2.RegisterObject(Oid(1), 50'000'000, 100);
+  auto big = store2.Fetch(Oid(1), 0);
+  ASSERT_TRUE(big.ok());
+  EXPECT_GT(big->complete, small->complete);
+}
+
+}  // namespace
+}  // namespace reo

@@ -1,0 +1,286 @@
+// Unit tests for the common substrate: status/result, CRC32C, PCG32,
+// Zipf sampling, histograms, and the virtual clock.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <set>
+
+#include "common/crc32c.h"
+#include "common/histogram.h"
+#include "common/object_id.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "common/zipf.h"
+
+namespace reo {
+namespace {
+
+// --- Status / Result -------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s{ErrorCode::kNoSpace, "cache full"};
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(s.to_string(), "NO_SPACE: cache full");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (auto c : {ErrorCode::kOk, ErrorCode::kNotFound, ErrorCode::kCorrupted,
+                 ErrorCode::kUnrecoverable, ErrorCode::kNoSpace,
+                 ErrorCode::kInvalidArgument, ErrorCode::kAlreadyExists,
+                 ErrorCode::kUnavailable, ErrorCode::kInternal}) {
+    EXPECT_NE(to_string(c), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r{ErrorCode::kNotFound, "missing"};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+// --- ObjectId ---------------------------------------------------------------
+
+TEST(ObjectIdTest, ReservedIdsMatchTableI) {
+  EXPECT_EQ(kRootObject.pid, 0u);
+  EXPECT_EQ(kRootObject.oid, 0u);
+  EXPECT_EQ(kSuperBlockObject.pid, 0x10000u);
+  EXPECT_EQ(kSuperBlockObject.oid, 0x10000u);
+  EXPECT_EQ(kDeviceTableObject.oid, 0x10001u);
+  EXPECT_EQ(kRootDirectoryObject.oid, 0x10002u);
+  EXPECT_EQ(kControlObject.oid, 0x10004u);
+}
+
+TEST(ObjectIdTest, EqualityAndOrdering) {
+  ObjectId a{1, 2}, b{1, 3}, c{1, 2};
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(ObjectIdTest, HashSpreadsValues) {
+  ObjectIdHash h;
+  std::set<size_t> hashes;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    hashes.insert(h(ObjectId{0x10000, 0x10000 + i}));
+  }
+  EXPECT_GT(hashes.size(), 990u);  // essentially collision-free
+}
+
+TEST(ObjectIdTest, ToStringIsHex) {
+  EXPECT_EQ((ObjectId{0x10000, 0x10004}.ToString()), "0x10000:0x10004");
+}
+
+// --- CRC32C -----------------------------------------------------------------
+
+TEST(Crc32cTest, KnownVector) {
+  // RFC 3720 test vector: crc32c("123456789") == 0xE3069283.
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32c({reinterpret_cast<const uint8_t*>(s), 9}), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyIsZero) { EXPECT_EQ(Crc32c({}), 0u); }
+
+TEST(Crc32cTest, DetectsSingleBitFlip) {
+  std::vector<uint8_t> buf(257, 0xAB);
+  uint32_t clean = Crc32c(buf);
+  for (size_t i = 0; i < buf.size(); i += 37) {
+    buf[i] ^= 0x01;
+    EXPECT_NE(Crc32c(buf), clean) << "flip at " << i;
+    buf[i] ^= 0x01;
+  }
+}
+
+// --- Pcg32 ------------------------------------------------------------------
+
+TEST(Pcg32Test, Deterministic) {
+  Pcg32 a(7, 1), b(7, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Pcg32Test, StreamsDiffer) {
+  Pcg32 a(7, 1), b(7, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32Test, BoundedStaysInRange) {
+  Pcg32 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+}
+
+TEST(Pcg32Test, DoubleInUnitInterval) {
+  Pcg32 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+// --- Zipf -------------------------------------------------------------------
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler z(100, 0.9);
+  double sum = 0;
+  for (uint32_t i = 0; i < 100; ++i) sum += z.Pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfMonotoneDecreasing) {
+  ZipfSampler z(50, 1.1);
+  for (uint32_t i = 1; i < 50; ++i) {
+    EXPECT_LE(z.Pmf(i), z.Pmf(i - 1));
+  }
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfSampler z(10, 0.0);
+  for (uint32_t i = 0; i < 10; ++i) EXPECT_NEAR(z.Pmf(i), 0.1, 1e-12);
+}
+
+TEST(ZipfTest, SamplingMatchesPmf) {
+  ZipfSampler z(20, 1.0);
+  Pcg32 rng(99);
+  std::vector<int> counts(20, 0);
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) counts[z.Sample(rng)]++;
+  for (uint32_t r = 0; r < 20; ++r) {
+    double expect = z.Pmf(r) * kDraws;
+    EXPECT_NEAR(counts[r], expect, 5 * std::sqrt(expect) + 5) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, HigherSkewConcentratesMass) {
+  ZipfSampler weak(1000, 0.6), strong(1000, 1.2);
+  EXPECT_GT(strong.Cdf(9), weak.Cdf(9));
+}
+
+// --- Histogram / stats -------------------------------------------------------
+
+TEST(StatAccumulatorTest, Basics) {
+  StatAccumulator s;
+  EXPECT_EQ(s.count(), 0u);
+  s.Add(2.0);
+  s.Add(4.0);
+  s.Add(6.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(StatAccumulatorTest, Merge) {
+  StatAccumulator a, b;
+  a.Add(1.0);
+  b.Add(3.0);
+  b.Add(5.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(HistogramTest, MeanExact) {
+  Histogram h;
+  h.Add(10);
+  h.Add(20);
+  h.Add(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HistogramTest, PercentileApproximate) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(i);
+  EXPECT_NEAR(h.Percentile(0.5), 500, 40);
+  EXPECT_NEAR(h.Percentile(0.99), 990, 60);
+  EXPECT_NEAR(h.Percentile(1.0), 1000, 60);
+}
+
+TEST(HistogramTest, WideRangePercentiles) {
+  // Latencies in µs can span sub-ms hits to multi-second queueing storms;
+  // the log buckets must resolve both ends (previously capped near 2^16).
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.Add(5'000);      // 5 ms
+  h.Add(30'000'000);                              // a 30 s outlier
+  EXPECT_NEAR(h.Percentile(0.50), 5'000, 500);
+  EXPECT_GT(h.Percentile(0.995), 1'000'000.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 30'000'000.0);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a, b;
+  a.Add(5);
+  b.Add(500);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.mean(), 252.5, 1e-9);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+// --- SimClock / units --------------------------------------------------------
+
+TEST(SimClockTest, AdvanceMonotone) {
+  SimClock c;
+  EXPECT_EQ(c.now(), 0u);
+  c.Advance(100);
+  EXPECT_EQ(c.now(), 100u);
+  c.AdvanceTo(50);  // into the past: no-op
+  EXPECT_EQ(c.now(), 100u);
+  c.AdvanceTo(200);
+  EXPECT_EQ(c.now(), 200u);
+}
+
+TEST(SimClockTest, TransferTimeMath) {
+  // 100 MB at 100 MB/s = 1 second.
+  EXPECT_EQ(TransferTime(100'000'000, 100.0), kNsPerSec);
+  EXPECT_EQ(TransferTime(0, 100.0), 0u);
+  EXPECT_EQ(TransferTime(12345, 0.0), 0u);
+}
+
+TEST(UnitsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(4 * kKiB), "4.00 KiB");
+  EXPECT_EQ(HumanBytes(3 * kMiB), "3.00 MiB");
+  EXPECT_EQ(HumanBytes(2 * kGiB), "2.00 GiB");
+}
+
+}  // namespace
+}  // namespace reo

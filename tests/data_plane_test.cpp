@@ -1,0 +1,184 @@
+// ReoDataPlane tests: class -> level mapping per policy mode, the
+// redundancy-reserve cap (sense 0x67 semantics), health reporting, and
+// space queries.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "backend/backend_store.h"
+#include "core/data_plane.h"
+
+namespace reo {
+namespace {
+
+constexpr uint64_t kChunk = 1024;
+
+ObjectId Oid(uint64_t n) { return ObjectId{kFirstUserId, 0x20000 + n}; }
+
+struct PlaneFixture {
+  explicit PlaneFixture(ProtectionMode mode, double reserve = 0.10,
+                        uint64_t device_capacity = 256 * kChunk) {
+    FlashDeviceConfig dev;
+    dev.capacity_bytes = device_capacity;
+    array = std::make_unique<FlashArray>(5, dev);
+    stripes = std::make_unique<StripeManager>(
+        *array,
+        StripeManagerConfig{.chunk_logical_bytes = kChunk, .scale_shift = 0});
+    plane = std::make_unique<ReoDataPlane>(
+        *stripes,
+        RedundancyPolicy({.mode = mode, .reo_reserve_fraction = reserve}));
+  }
+
+  Result<DataPlaneIo> Write(uint64_t n, uint64_t logical, uint8_t cls) {
+    auto payload =
+        BackendStore::SynthesizePayload(Oid(n), 0, stripes->PhysicalSize(logical));
+    return plane->WriteObject(Oid(n), payload, logical, cls, 0);
+  }
+
+  std::unique_ptr<FlashArray> array;
+  std::unique_ptr<StripeManager> stripes;
+  std::unique_ptr<ReoDataPlane> plane;
+};
+
+TEST(ReoDataPlaneTest, ReoClassToLevelMapping) {
+  PlaneFixture fx(ProtectionMode::kReo, 0.5);
+  ASSERT_TRUE(fx.Write(0, 2 * kChunk, 0).ok());
+  ASSERT_TRUE(fx.Write(1, 2 * kChunk, 1).ok());
+  ASSERT_TRUE(fx.Write(2, 2 * kChunk, 2).ok());
+  ASSERT_TRUE(fx.Write(3, 2 * kChunk, 3).ok());
+  EXPECT_EQ(*fx.stripes->LevelOf(Oid(0)), RedundancyLevel::kReplicate);
+  EXPECT_EQ(*fx.stripes->LevelOf(Oid(1)), RedundancyLevel::kReplicate);
+  EXPECT_EQ(*fx.stripes->LevelOf(Oid(2)), RedundancyLevel::kParity2);
+  EXPECT_EQ(*fx.stripes->LevelOf(Oid(3)), RedundancyLevel::kNone);
+}
+
+TEST(ReoDataPlaneTest, UniformModesIgnoreClass) {
+  for (auto [mode, level] :
+       std::vector<std::pair<ProtectionMode, RedundancyLevel>>{
+           {ProtectionMode::kUniform1, RedundancyLevel::kParity1},
+           {ProtectionMode::kFullReplication, RedundancyLevel::kReplicate}}) {
+    PlaneFixture fx(mode);
+    for (uint8_t cls = 0; cls <= 3; ++cls) {
+      ASSERT_TRUE(fx.Write(cls, 2 * kChunk, cls).ok());
+      EXPECT_EQ(*fx.stripes->LevelOf(Oid(cls)), level);
+    }
+  }
+}
+
+TEST(ReoDataPlaneTest, ReserveCapDowngradesHotData) {
+  // Reserve = 10% of 5*256 KiB = 128 KiB = 128 chunks... here: 0.10 * 1280
+  // chunks = 128 chunks of reserve.
+  PlaneFixture fx(ProtectionMode::kReo, 0.10);
+  uint64_t reserve = fx.plane->reserve_bytes();
+  ASSERT_GT(reserve, 0u);
+
+  // Fill the reserve with hot data (class 2 -> 2 parity per 3 data).
+  uint64_t n = 0;
+  while (fx.stripes->redundancy_bytes() + 2 * kChunk <= reserve) {
+    ASSERT_TRUE(fx.Write(n++, 3 * kChunk, 2).ok());
+  }
+  EXPECT_EQ(fx.plane->reserve_rejections(), 0u);
+
+  // The next hot write exceeds the reserve: stored, but unprotected.
+  ASSERT_TRUE(fx.Write(900, 3 * kChunk, 2).ok());
+  EXPECT_EQ(*fx.stripes->LevelOf(Oid(900)), RedundancyLevel::kNone);
+  EXPECT_GE(fx.plane->reserve_rejections(), 1u);
+  EXPECT_LE(fx.stripes->redundancy_bytes(), reserve);
+}
+
+TEST(ReoDataPlaneTest, DirtyDataExemptFromReserve) {
+  PlaneFixture fx(ProtectionMode::kReo, 0.0);  // zero reserve
+  ASSERT_TRUE(fx.Write(1, 2 * kChunk, 1).ok());
+  // Dirty data must be replicated even with no reserve at all.
+  EXPECT_EQ(*fx.stripes->LevelOf(Oid(1)), RedundancyLevel::kReplicate);
+  // Hot data cannot be protected.
+  ASSERT_TRUE(fx.Write(2, 2 * kChunk, 2).ok());
+  EXPECT_EQ(*fx.stripes->LevelOf(Oid(2)), RedundancyLevel::kNone);
+}
+
+TEST(ReoDataPlaneTest, SetObjectClassReencodesAndReports0x67) {
+  // Reserve of 0.2 % of 5 x 256 KiB = ~2.5 chunks: fits one 2-chunk parity
+  // set but not two.
+  PlaneFixture fx(ProtectionMode::kReo, 0.002);
+  ASSERT_TRUE(fx.Write(1, 3 * kChunk, 3).ok());
+  ASSERT_TRUE(fx.Write(2, 3 * kChunk, 3).ok());
+
+  // First upgrade fits the reserve.
+  uint64_t reserve = fx.plane->reserve_bytes();
+  ASSERT_GE(reserve, 2 * kChunk);
+  EXPECT_TRUE(fx.plane->SetObjectClass(Oid(1), 2, 0).ok());
+  EXPECT_EQ(*fx.stripes->LevelOf(Oid(1)), RedundancyLevel::kParity2);
+
+  // Second upgrade exhausts it: object stays, caller sees kNoSpace (0x67).
+  auto st = fx.plane->SetObjectClass(Oid(2), 2, 0);
+  EXPECT_EQ(st.code(), ErrorCode::kNoSpace);
+  EXPECT_TRUE(fx.stripes->Contains(Oid(2)));
+  EXPECT_EQ(*fx.stripes->LevelOf(Oid(2)), RedundancyLevel::kNone);
+
+  // Downgrading the first releases the reserve; the retry then succeeds.
+  EXPECT_TRUE(fx.plane->SetObjectClass(Oid(1), 3, 0).ok());
+  EXPECT_TRUE(fx.plane->SetObjectClass(Oid(2), 2, 0).ok());
+  EXPECT_EQ(*fx.stripes->LevelOf(Oid(2)), RedundancyLevel::kParity2);
+}
+
+TEST(ReoDataPlaneTest, HealthMapping) {
+  PlaneFixture fx(ProtectionMode::kReo, 0.5);
+  EXPECT_EQ(fx.plane->Health(Oid(1)), ObjectHealth::kAbsent);
+  ASSERT_TRUE(fx.Write(1, 6 * kChunk, 2).ok());  // hot -> 2-parity
+  ASSERT_TRUE(fx.Write(2, 6 * kChunk, 3).ok());  // cold -> 0-parity
+  EXPECT_EQ(fx.plane->Health(Oid(1)), ObjectHealth::kIntact);
+
+  ASSERT_TRUE(fx.array->FailDevice(0).ok());
+  (void)fx.stripes->OnDeviceFailure(0);
+  EXPECT_EQ(fx.plane->Health(Oid(1)), ObjectHealth::kDegraded);
+  EXPECT_EQ(fx.plane->Health(Oid(2)), ObjectHealth::kLost);
+}
+
+TEST(ReoDataPlaneTest, ReadWriteRoundTripAndRemove) {
+  PlaneFixture fx(ProtectionMode::kReo, 0.5);
+  auto payload =
+      BackendStore::SynthesizePayload(Oid(1), 0, fx.stripes->PhysicalSize(5 * kChunk));
+  ASSERT_TRUE(fx.plane->WriteObject(Oid(1), payload, 5 * kChunk, 2, 0).ok());
+  auto io = fx.plane->ReadObject(Oid(1), 0);
+  ASSERT_TRUE(io.ok());
+  EXPECT_EQ(io->payload, payload);
+  EXPECT_FALSE(io->degraded);
+  ASSERT_TRUE(fx.plane->RemoveObject(Oid(1)).ok());
+  EXPECT_EQ(fx.plane->ReadObject(Oid(1), 0).code(), ErrorCode::kNotFound);
+}
+
+TEST(ReoDataPlaneTest, HasSpaceForConsidersRedundancy) {
+  // 5 devices x 32 chunks = 160 chunks raw.
+  PlaneFixture fx(ProtectionMode::kFullReplication, 0.0, 32 * kChunk);
+  // Replication needs 5x: 40 chunks of data -> 200 chunks > 160.
+  EXPECT_FALSE(fx.plane->HasSpaceFor(40 * kChunk, 3));
+  EXPECT_TRUE(fx.plane->HasSpaceFor(30 * kChunk, 3));
+
+  PlaneFixture fx2(ProtectionMode::kUniform0, 0.0, 32 * kChunk);
+  EXPECT_TRUE(fx2.plane->HasSpaceFor(150 * kChunk, 3));
+}
+
+TEST(ReoDataPlaneTest, RecoveryFlag) {
+  PlaneFixture fx(ProtectionMode::kReo);
+  EXPECT_FALSE(fx.plane->recovery_active());
+  fx.plane->set_recovery_active(true);
+  EXPECT_TRUE(fx.plane->recovery_active());
+}
+
+TEST(ReoDataPlaneTest, ReserveScalesWithCapacityLimit) {
+  // With a capacity limit below the raw device capacity, the Reo-X%
+  // reserve is X% of the *limit*, not of the devices.
+  FlashDeviceConfig dev;
+  dev.capacity_bytes = 1000 * kChunk;
+  FlashArray array(5, dev);
+  StripeManager stripes(array,
+                        StripeManagerConfig{.chunk_logical_bytes = kChunk,
+                                            .scale_shift = 0,
+                                            .capacity_limit_bytes = 100 * kChunk});
+  ReoDataPlane plane(stripes, RedundancyPolicy({.mode = ProtectionMode::kReo,
+                                                .reo_reserve_fraction = 0.2}));
+  EXPECT_EQ(plane.reserve_bytes(), 20 * kChunk);
+}
+
+}  // namespace
+}  // namespace reo

@@ -1,0 +1,83 @@
+// Differentiated-recovery ordering tests (paper §IV.D): class 0 first,
+// then class 1, 2, 3; hottest first within a class.
+#include <gtest/gtest.h>
+
+#include "core/recovery_scheduler.h"
+
+namespace reo {
+namespace {
+
+ObjectId Oid(uint64_t n) { return ObjectId{kFirstUserId, 0x20000 + n}; }
+
+TEST(RecoverySchedulerTest, ClassOrderDominates) {
+  RecoveryScheduler s;
+  s.Enqueue(Oid(3), DataClass::kColdClean, 99.0, 10);
+  s.Enqueue(Oid(2), DataClass::kHotClean, 0.5, 10);
+  s.Enqueue(Oid(0), DataClass::kMetadata, 0.0, 10);
+  s.Enqueue(Oid(1), DataClass::kDirty, 0.1, 10);
+
+  EXPECT_EQ(*s.Pop(), Oid(0));  // metadata first
+  EXPECT_EQ(*s.Pop(), Oid(1));  // dirty
+  EXPECT_EQ(*s.Pop(), Oid(2));  // hot clean
+  EXPECT_EQ(*s.Pop(), Oid(3));  // cold clean — even with the highest H
+  EXPECT_FALSE(s.Pop().has_value());
+}
+
+TEST(RecoverySchedulerTest, HotFirstWithinClass) {
+  RecoveryScheduler s;
+  s.Enqueue(Oid(1), DataClass::kHotClean, 0.1, 1);
+  s.Enqueue(Oid(2), DataClass::kHotClean, 0.9, 1);
+  s.Enqueue(Oid(3), DataClass::kHotClean, 0.5, 1);
+  EXPECT_EQ(*s.Pop(), Oid(2));
+  EXPECT_EQ(*s.Pop(), Oid(3));
+  EXPECT_EQ(*s.Pop(), Oid(1));
+}
+
+TEST(RecoverySchedulerTest, PendingBytesTracked) {
+  RecoveryScheduler s;
+  s.Enqueue(Oid(1), DataClass::kHotClean, 0.1, 100);
+  s.Enqueue(Oid(2), DataClass::kHotClean, 0.2, 50);
+  EXPECT_EQ(s.pending_bytes(), 150u);
+  s.Remove(Oid(1));
+  EXPECT_EQ(s.pending_bytes(), 50u);
+  EXPECT_EQ(s.size(), 1u);
+  s.Clear();
+  EXPECT_EQ(s.pending_bytes(), 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(RecoverySchedulerTest, ReEnqueueReplaces) {
+  RecoveryScheduler s;
+  s.Enqueue(Oid(1), DataClass::kColdClean, 0.1, 100);
+  s.Enqueue(Oid(2), DataClass::kHotClean, 0.5, 10);
+  // Re-prioritize object 1 as dirty: it must now pop first.
+  s.Enqueue(Oid(1), DataClass::kDirty, 0.1, 100);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.pending_bytes(), 110u);
+  EXPECT_EQ(*s.Pop(), Oid(1));
+}
+
+TEST(RecoverySchedulerTest, RemoveMissingIsNoop) {
+  RecoveryScheduler s;
+  s.Remove(Oid(7));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(RecoverySchedulerTest, PeekDoesNotConsume) {
+  RecoveryScheduler s;
+  s.Enqueue(Oid(1), DataClass::kDirty, 0.1, 1);
+  EXPECT_EQ(*s.Peek(), Oid(1));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(*s.Pop(), Oid(1));
+}
+
+TEST(RecoverySchedulerTest, DeterministicTieBreakById) {
+  RecoveryScheduler s;
+  s.Enqueue(Oid(5), DataClass::kHotClean, 0.5, 1);
+  s.Enqueue(Oid(3), DataClass::kHotClean, 0.5, 1);
+  EXPECT_EQ(*s.Pop(), Oid(3));
+  EXPECT_EQ(*s.Pop(), Oid(5));
+}
+
+}  // namespace
+}  // namespace reo

@@ -1,0 +1,97 @@
+// Trace serialization tests: round trip, format validation, and error
+// reporting with line numbers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/medisyn.h"
+#include "workload/trace_io.h"
+
+namespace reo {
+namespace {
+
+Trace SmallTrace() {
+  MediSynConfig cfg;
+  cfg.name = "roundtrip";
+  cfg.num_objects = 25;
+  cfg.mean_object_bytes = 100'000;
+  cfg.num_requests = 200;
+  cfg.write_ratio = 0.25;
+  cfg.seed = 3;
+  return GenerateMediSyn(cfg);
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  Trace original = SmallTrace();
+  std::stringstream buf;
+  ASSERT_TRUE(WriteTrace(original, buf).ok());
+
+  auto loaded = ReadTrace(buf);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->name, original.name);
+  EXPECT_EQ(loaded->catalog.sizes, original.catalog.sizes);
+  ASSERT_EQ(loaded->requests.size(), original.requests.size());
+  for (size_t i = 0; i < original.requests.size(); ++i) {
+    EXPECT_EQ(loaded->requests[i].object, original.requests[i].object);
+    EXPECT_EQ(loaded->requests[i].is_write, original.requests[i].is_write);
+  }
+}
+
+TEST(TraceIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# header comment\n"
+      "\n"
+      "trace demo\n"
+      "object 0 4096\n"
+      "# interleaved comment\n"
+      "req R 0\n"
+      "req W 0\n");
+  auto t = ReadTrace(in);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->name, "demo");
+  EXPECT_EQ(t->catalog.count(), 1u);
+  ASSERT_EQ(t->requests.size(), 2u);
+  EXPECT_FALSE(t->requests[0].is_write);
+  EXPECT_TRUE(t->requests[1].is_write);
+}
+
+TEST(TraceIoTest, RejectsMalformedInput) {
+  struct Case {
+    const char* text;
+    const char* why;
+  };
+  for (const auto& c : std::initializer_list<Case>{
+           {"object 0 4096\nreq R 1\n", "req references unknown object"},
+           {"object 1 4096\n", "indices must be dense"},
+           {"object 0 0\n", "zero-size object"},
+           {"object 0 4096\nreq X 0\n", "bad op"},
+           {"bogus directive\n", "unknown directive"},
+           {"# only comments\n", "no objects"},
+       }) {
+    std::stringstream in(c.text);
+    auto t = ReadTrace(in);
+    EXPECT_FALSE(t.ok()) << c.why;
+  }
+}
+
+TEST(TraceIoTest, ErrorsCarryLineNumbers) {
+  std::stringstream in("object 0 4096\nobject 1 4096\nreq R 9\n");
+  auto t = ReadTrace(in);
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  Trace original = SmallTrace();
+  std::string path = ::testing::TempDir() + "/reo_trace_test.trace";
+  ASSERT_TRUE(SaveTraceFile(original, path).ok());
+  auto loaded = LoadTraceFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->catalog.sizes, original.catalog.sizes);
+  EXPECT_EQ(loaded->requests.size(), original.requests.size());
+  EXPECT_EQ(LoadTraceFile("/nonexistent/nope.trace").code(),
+            ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace reo

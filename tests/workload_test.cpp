@@ -1,0 +1,140 @@
+// MediSyn-like workload generator tests: the statistical properties the
+// paper's traces have (§VI.A).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/units.h"
+#include "workload/medisyn.h"
+
+namespace reo {
+namespace {
+
+/// Fraction of requests hitting the top `n` most-requested objects.
+double TopShare(const Trace& t, size_t n) {
+  std::map<uint32_t, uint64_t> counts;
+  for (const auto& r : t.requests) counts[r.object]++;
+  std::vector<uint64_t> v;
+  v.reserve(counts.size());
+  for (auto& [_, c] : counts) v.push_back(c);
+  std::sort(v.rbegin(), v.rend());
+  uint64_t top = 0;
+  for (size_t i = 0; i < std::min(n, v.size()); ++i) top += v[i];
+  return static_cast<double>(top) / static_cast<double>(t.requests.size());
+}
+
+TEST(MediSynTest, PaperScaleParameters) {
+  auto weak = GenerateMediSyn(WeakLocalityConfig());
+  auto medium = GenerateMediSyn(MediumLocalityConfig());
+  auto strong = GenerateMediSyn(StrongLocalityConfig());
+
+  EXPECT_EQ(weak.requests.size(), 25616u);
+  EXPECT_EQ(medium.requests.size(), 51057u);
+  EXPECT_EQ(strong.requests.size(), 89723u);
+  EXPECT_EQ(weak.catalog.count(), 4000u);
+
+  // Dataset ~= 17.04 GB (paper §VI.A), within size-rounding tolerance.
+  double total = static_cast<double>(weak.catalog.TotalBytes());
+  EXPECT_NEAR(total, 17.04e9, 0.01 * 17.04e9);
+  // All three traces share the same catalog distribution parameters.
+  EXPECT_EQ(weak.catalog.count(), strong.catalog.count());
+}
+
+TEST(MediSynTest, TotalAccessedBytesMatchPaperOrder) {
+  auto weak = GenerateMediSyn(WeakLocalityConfig());
+  auto medium = GenerateMediSyn(MediumLocalityConfig());
+  auto strong = GenerateMediSyn(StrongLocalityConfig());
+  // Paper: ~109.4 GB, ~220 GB, ~386.8 GB. Allow 15 % tolerance: request
+  // counts are exact but which objects repeat is stochastic.
+  EXPECT_NEAR(static_cast<double>(weak.TotalAccessedBytes()), 109.4e9, 18e9);
+  EXPECT_NEAR(static_cast<double>(medium.TotalAccessedBytes()), 220.0e9, 35e9);
+  EXPECT_NEAR(static_cast<double>(strong.TotalAccessedBytes()), 386.8e9, 60e9);
+}
+
+TEST(MediSynTest, Deterministic) {
+  auto a = GenerateMediSyn(MediumLocalityConfig());
+  auto b = GenerateMediSyn(MediumLocalityConfig());
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].object, b.requests[i].object);
+    EXPECT_EQ(a.requests[i].is_write, b.requests[i].is_write);
+  }
+  EXPECT_EQ(a.catalog.sizes, b.catalog.sizes);
+}
+
+TEST(MediSynTest, SeedChangesTrace) {
+  auto cfg = MediumLocalityConfig();
+  auto a = GenerateMediSyn(cfg);
+  cfg.seed += 1;
+  auto b = GenerateMediSyn(cfg);
+  size_t diff = 0;
+  for (size_t i = 0; i < a.requests.size(); ++i) {
+    diff += a.requests[i].object != b.requests[i].object ? 1 : 0;
+  }
+  EXPECT_GT(diff, a.requests.size() / 2);
+}
+
+TEST(MediSynTest, LocalityOrdering) {
+  auto weak = GenerateMediSyn(WeakLocalityConfig());
+  auto medium = GenerateMediSyn(MediumLocalityConfig());
+  auto strong = GenerateMediSyn(StrongLocalityConfig());
+  double w = TopShare(weak, 100), m = TopShare(medium, 100), s = TopShare(strong, 100);
+  EXPECT_LT(w, m);
+  EXPECT_LT(m, s);
+}
+
+TEST(MediSynTest, ReadOnlyByDefault) {
+  auto t = GenerateMediSyn(WeakLocalityConfig());
+  EXPECT_EQ(t.WriteCount(), 0u);
+}
+
+TEST(MediSynTest, WriteRatioRespected) {
+  for (double ratio : {0.1, 0.3, 0.5}) {
+    auto t = GenerateMediSyn(WriteIntensiveConfig(ratio));
+    double measured =
+        static_cast<double>(t.WriteCount()) / static_cast<double>(t.requests.size());
+    EXPECT_NEAR(measured, ratio, 0.01) << "ratio " << ratio;
+  }
+}
+
+TEST(MediSynTest, SizesRespectFloorAndGranularity) {
+  auto t = GenerateMediSyn(MediumLocalityConfig());
+  for (uint64_t s : t.catalog.sizes) {
+    EXPECT_GE(s, 64u * 1024);
+    EXPECT_EQ(s % 4096, 0u);
+  }
+}
+
+TEST(MediSynTest, PopularityNotCorrelatedWithIndex) {
+  // The hottest object should not always be object 0: rank->object is a
+  // seeded permutation.
+  auto t = GenerateMediSyn(MediumLocalityConfig());
+  std::map<uint32_t, uint64_t> counts;
+  for (const auto& r : t.requests) counts[r.object]++;
+  uint32_t hottest = 0;
+  uint64_t best = 0;
+  for (auto& [obj, c] : counts) {
+    if (c > best) {
+      best = c;
+      hottest = obj;
+    }
+  }
+  EXPECT_NE(hottest, 0u);
+}
+
+TEST(MediSynTest, RequestsCoverManyObjects) {
+  auto t = GenerateMediSyn(MediumLocalityConfig());
+  std::set<uint32_t> distinct;
+  for (const auto& r : t.requests) distinct.insert(r.object);
+  EXPECT_GT(distinct.size(), 2000u);
+}
+
+TEST(TraceTest, IdForMapsAboveReservedRange) {
+  ObjectId id = ObjectCatalog::IdFor(0);
+  EXPECT_EQ(id.pid, kFirstUserId);
+  EXPECT_GT(id.oid, kControlObject.oid);
+}
+
+}  // namespace
+}  // namespace reo
