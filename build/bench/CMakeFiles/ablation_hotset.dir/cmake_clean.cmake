@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hotset.dir/ablation_hotset.cpp.o"
+  "CMakeFiles/ablation_hotset.dir/ablation_hotset.cpp.o.d"
+  "ablation_hotset"
+  "ablation_hotset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hotset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

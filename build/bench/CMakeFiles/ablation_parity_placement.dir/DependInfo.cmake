@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_parity_placement.cpp" "bench/CMakeFiles/ablation_parity_placement.dir/ablation_parity_placement.cpp.o" "gcc" "bench/CMakeFiles/ablation_parity_placement.dir/ablation_parity_placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/reo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reo_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reo_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reo_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reo_osd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reo_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parity_placement.dir/ablation_parity_placement.cpp.o"
+  "CMakeFiles/ablation_parity_placement.dir/ablation_parity_placement.cpp.o.d"
+  "ablation_parity_placement"
+  "ablation_parity_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parity_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

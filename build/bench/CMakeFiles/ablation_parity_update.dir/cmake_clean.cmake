@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parity_update.dir/ablation_parity_update.cpp.o"
+  "CMakeFiles/ablation_parity_update.dir/ablation_parity_update.cpp.o.d"
+  "ablation_parity_update"
+  "ablation_parity_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parity_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_weak.dir/fig5_weak.cpp.o"
+  "CMakeFiles/fig5_weak.dir/fig5_weak.cpp.o.d"
+  "fig5_weak"
+  "fig5_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_medium.dir/fig6_medium.cpp.o"
+  "CMakeFiles/fig6_medium.dir/fig6_medium.cpp.o.d"
+  "fig6_medium"
+  "fig6_medium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_medium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_strong.dir/fig7_strong.cpp.o"
+  "CMakeFiles/fig7_strong.dir/fig7_strong.cpp.o.d"
+  "fig7_strong"
+  "fig7_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_failure.dir/fig8_failure.cpp.o"
+  "CMakeFiles/fig8_failure.dir/fig8_failure.cpp.o.d"
+  "fig8_failure"
+  "fig8_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_dirty.dir/fig9_dirty.cpp.o"
+  "CMakeFiles/fig9_dirty.dir/fig9_dirty.cpp.o.d"
+  "fig9_dirty"
+  "fig9_dirty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dirty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openloop_latency.dir/openloop_latency.cpp.o"
+  "CMakeFiles/openloop_latency.dir/openloop_latency.cpp.o.d"
+  "openloop_latency"
+  "openloop_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openloop_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

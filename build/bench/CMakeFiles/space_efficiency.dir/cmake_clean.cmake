@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_efficiency.dir/space_efficiency.cpp.o"
+  "CMakeFiles/space_efficiency.dir/space_efficiency.cpp.o.d"
+  "space_efficiency"
+  "space_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

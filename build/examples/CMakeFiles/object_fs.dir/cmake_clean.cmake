@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_fs.dir/object_fs.cpp.o"
+  "CMakeFiles/object_fs.dir/object_fs.cpp.o.d"
+  "object_fs"
+  "object_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

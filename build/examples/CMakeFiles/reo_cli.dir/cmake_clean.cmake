@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reo_cli.dir/reo_cli.cpp.o"
+  "CMakeFiles/reo_cli.dir/reo_cli.cpp.o.d"
+  "reo_cli"
+  "reo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/writeback_flush.dir/writeback_flush.cpp.o"
+  "CMakeFiles/writeback_flush.dir/writeback_flush.cpp.o.d"
+  "writeback_flush"
+  "writeback_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/writeback_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/partial_update.cpp" "src/CMakeFiles/reo_array.dir/array/partial_update.cpp.o" "gcc" "src/CMakeFiles/reo_array.dir/array/partial_update.cpp.o.d"
+  "/root/repo/src/array/reconstruction.cpp" "src/CMakeFiles/reo_array.dir/array/reconstruction.cpp.o" "gcc" "src/CMakeFiles/reo_array.dir/array/reconstruction.cpp.o.d"
+  "/root/repo/src/array/scrubber.cpp" "src/CMakeFiles/reo_array.dir/array/scrubber.cpp.o" "gcc" "src/CMakeFiles/reo_array.dir/array/scrubber.cpp.o.d"
+  "/root/repo/src/array/stripe_manager.cpp" "src/CMakeFiles/reo_array.dir/array/stripe_manager.cpp.o" "gcc" "src/CMakeFiles/reo_array.dir/array/stripe_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/reo_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reo_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

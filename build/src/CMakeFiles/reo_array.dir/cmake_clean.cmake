@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reo_array.dir/array/partial_update.cpp.o"
+  "CMakeFiles/reo_array.dir/array/partial_update.cpp.o.d"
+  "CMakeFiles/reo_array.dir/array/reconstruction.cpp.o"
+  "CMakeFiles/reo_array.dir/array/reconstruction.cpp.o.d"
+  "CMakeFiles/reo_array.dir/array/scrubber.cpp.o"
+  "CMakeFiles/reo_array.dir/array/scrubber.cpp.o.d"
+  "CMakeFiles/reo_array.dir/array/stripe_manager.cpp.o"
+  "CMakeFiles/reo_array.dir/array/stripe_manager.cpp.o.d"
+  "libreo_array.a"
+  "libreo_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reo_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/backend_store.cpp" "src/CMakeFiles/reo_backend.dir/backend/backend_store.cpp.o" "gcc" "src/CMakeFiles/reo_backend.dir/backend/backend_store.cpp.o.d"
+  "/root/repo/src/backend/network_link.cpp" "src/CMakeFiles/reo_backend.dir/backend/network_link.cpp.o" "gcc" "src/CMakeFiles/reo_backend.dir/backend/network_link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/reo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

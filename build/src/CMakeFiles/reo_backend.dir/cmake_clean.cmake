@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reo_backend.dir/backend/backend_store.cpp.o"
+  "CMakeFiles/reo_backend.dir/backend/backend_store.cpp.o.d"
+  "CMakeFiles/reo_backend.dir/backend/network_link.cpp.o"
+  "CMakeFiles/reo_backend.dir/backend/network_link.cpp.o.d"
+  "libreo_backend.a"
+  "libreo_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reo_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

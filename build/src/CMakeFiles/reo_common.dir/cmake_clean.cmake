@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reo_common.dir/common/crc32c.cpp.o"
+  "CMakeFiles/reo_common.dir/common/crc32c.cpp.o.d"
+  "CMakeFiles/reo_common.dir/common/histogram.cpp.o"
+  "CMakeFiles/reo_common.dir/common/histogram.cpp.o.d"
+  "CMakeFiles/reo_common.dir/common/zipf.cpp.o"
+  "CMakeFiles/reo_common.dir/common/zipf.cpp.o.d"
+  "libreo_common.a"
+  "libreo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

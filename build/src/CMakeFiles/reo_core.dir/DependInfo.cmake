@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_manager.cpp" "src/CMakeFiles/reo_core.dir/core/cache_manager.cpp.o" "gcc" "src/CMakeFiles/reo_core.dir/core/cache_manager.cpp.o.d"
+  "/root/repo/src/core/classifier.cpp" "src/CMakeFiles/reo_core.dir/core/classifier.cpp.o" "gcc" "src/CMakeFiles/reo_core.dir/core/classifier.cpp.o.d"
+  "/root/repo/src/core/data_plane.cpp" "src/CMakeFiles/reo_core.dir/core/data_plane.cpp.o" "gcc" "src/CMakeFiles/reo_core.dir/core/data_plane.cpp.o.d"
+  "/root/repo/src/core/lru.cpp" "src/CMakeFiles/reo_core.dir/core/lru.cpp.o" "gcc" "src/CMakeFiles/reo_core.dir/core/lru.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/CMakeFiles/reo_core.dir/core/policy.cpp.o" "gcc" "src/CMakeFiles/reo_core.dir/core/policy.cpp.o.d"
+  "/root/repo/src/core/recovery_scheduler.cpp" "src/CMakeFiles/reo_core.dir/core/recovery_scheduler.cpp.o" "gcc" "src/CMakeFiles/reo_core.dir/core/recovery_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/reo_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reo_osd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reo_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reo_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reo_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/reo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

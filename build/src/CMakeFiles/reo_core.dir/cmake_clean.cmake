@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reo_core.dir/core/cache_manager.cpp.o"
+  "CMakeFiles/reo_core.dir/core/cache_manager.cpp.o.d"
+  "CMakeFiles/reo_core.dir/core/classifier.cpp.o"
+  "CMakeFiles/reo_core.dir/core/classifier.cpp.o.d"
+  "CMakeFiles/reo_core.dir/core/data_plane.cpp.o"
+  "CMakeFiles/reo_core.dir/core/data_plane.cpp.o.d"
+  "CMakeFiles/reo_core.dir/core/lru.cpp.o"
+  "CMakeFiles/reo_core.dir/core/lru.cpp.o.d"
+  "CMakeFiles/reo_core.dir/core/policy.cpp.o"
+  "CMakeFiles/reo_core.dir/core/policy.cpp.o.d"
+  "CMakeFiles/reo_core.dir/core/recovery_scheduler.cpp.o"
+  "CMakeFiles/reo_core.dir/core/recovery_scheduler.cpp.o.d"
+  "libreo_core.a"
+  "libreo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ec/gf256.cpp" "src/CMakeFiles/reo_ec.dir/ec/gf256.cpp.o" "gcc" "src/CMakeFiles/reo_ec.dir/ec/gf256.cpp.o.d"
+  "/root/repo/src/ec/matrix.cpp" "src/CMakeFiles/reo_ec.dir/ec/matrix.cpp.o" "gcc" "src/CMakeFiles/reo_ec.dir/ec/matrix.cpp.o.d"
+  "/root/repo/src/ec/parity_update.cpp" "src/CMakeFiles/reo_ec.dir/ec/parity_update.cpp.o" "gcc" "src/CMakeFiles/reo_ec.dir/ec/parity_update.cpp.o.d"
+  "/root/repo/src/ec/rs_code.cpp" "src/CMakeFiles/reo_ec.dir/ec/rs_code.cpp.o" "gcc" "src/CMakeFiles/reo_ec.dir/ec/rs_code.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/reo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reo_ec.dir/ec/gf256.cpp.o"
+  "CMakeFiles/reo_ec.dir/ec/gf256.cpp.o.d"
+  "CMakeFiles/reo_ec.dir/ec/matrix.cpp.o"
+  "CMakeFiles/reo_ec.dir/ec/matrix.cpp.o.d"
+  "CMakeFiles/reo_ec.dir/ec/parity_update.cpp.o"
+  "CMakeFiles/reo_ec.dir/ec/parity_update.cpp.o.d"
+  "CMakeFiles/reo_ec.dir/ec/rs_code.cpp.o"
+  "CMakeFiles/reo_ec.dir/ec/rs_code.cpp.o.d"
+  "libreo_ec.a"
+  "libreo_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reo_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

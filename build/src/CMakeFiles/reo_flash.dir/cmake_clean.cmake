@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reo_flash.dir/flash/flash_array.cpp.o"
+  "CMakeFiles/reo_flash.dir/flash/flash_array.cpp.o.d"
+  "CMakeFiles/reo_flash.dir/flash/flash_device.cpp.o"
+  "CMakeFiles/reo_flash.dir/flash/flash_device.cpp.o.d"
+  "CMakeFiles/reo_flash.dir/flash/ftl.cpp.o"
+  "CMakeFiles/reo_flash.dir/flash/ftl.cpp.o.d"
+  "libreo_flash.a"
+  "libreo_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reo_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

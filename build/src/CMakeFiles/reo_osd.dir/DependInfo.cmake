@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osd/attribute_store.cpp" "src/CMakeFiles/reo_osd.dir/osd/attribute_store.cpp.o" "gcc" "src/CMakeFiles/reo_osd.dir/osd/attribute_store.cpp.o.d"
+  "/root/repo/src/osd/control_protocol.cpp" "src/CMakeFiles/reo_osd.dir/osd/control_protocol.cpp.o" "gcc" "src/CMakeFiles/reo_osd.dir/osd/control_protocol.cpp.o.d"
+  "/root/repo/src/osd/exofs.cpp" "src/CMakeFiles/reo_osd.dir/osd/exofs.cpp.o" "gcc" "src/CMakeFiles/reo_osd.dir/osd/exofs.cpp.o.d"
+  "/root/repo/src/osd/object.cpp" "src/CMakeFiles/reo_osd.dir/osd/object.cpp.o" "gcc" "src/CMakeFiles/reo_osd.dir/osd/object.cpp.o.d"
+  "/root/repo/src/osd/object_store.cpp" "src/CMakeFiles/reo_osd.dir/osd/object_store.cpp.o" "gcc" "src/CMakeFiles/reo_osd.dir/osd/object_store.cpp.o.d"
+  "/root/repo/src/osd/osd_initiator.cpp" "src/CMakeFiles/reo_osd.dir/osd/osd_initiator.cpp.o" "gcc" "src/CMakeFiles/reo_osd.dir/osd/osd_initiator.cpp.o.d"
+  "/root/repo/src/osd/osd_target.cpp" "src/CMakeFiles/reo_osd.dir/osd/osd_target.cpp.o" "gcc" "src/CMakeFiles/reo_osd.dir/osd/osd_target.cpp.o.d"
+  "/root/repo/src/osd/transport.cpp" "src/CMakeFiles/reo_osd.dir/osd/transport.cpp.o" "gcc" "src/CMakeFiles/reo_osd.dir/osd/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/reo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reo_osd.dir/osd/attribute_store.cpp.o"
+  "CMakeFiles/reo_osd.dir/osd/attribute_store.cpp.o.d"
+  "CMakeFiles/reo_osd.dir/osd/control_protocol.cpp.o"
+  "CMakeFiles/reo_osd.dir/osd/control_protocol.cpp.o.d"
+  "CMakeFiles/reo_osd.dir/osd/exofs.cpp.o"
+  "CMakeFiles/reo_osd.dir/osd/exofs.cpp.o.d"
+  "CMakeFiles/reo_osd.dir/osd/object.cpp.o"
+  "CMakeFiles/reo_osd.dir/osd/object.cpp.o.d"
+  "CMakeFiles/reo_osd.dir/osd/object_store.cpp.o"
+  "CMakeFiles/reo_osd.dir/osd/object_store.cpp.o.d"
+  "CMakeFiles/reo_osd.dir/osd/osd_initiator.cpp.o"
+  "CMakeFiles/reo_osd.dir/osd/osd_initiator.cpp.o.d"
+  "CMakeFiles/reo_osd.dir/osd/osd_target.cpp.o"
+  "CMakeFiles/reo_osd.dir/osd/osd_target.cpp.o.d"
+  "CMakeFiles/reo_osd.dir/osd/transport.cpp.o"
+  "CMakeFiles/reo_osd.dir/osd/transport.cpp.o.d"
+  "libreo_osd.a"
+  "libreo_osd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reo_osd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reo_sim.dir/sim/cache_simulator.cpp.o"
+  "CMakeFiles/reo_sim.dir/sim/cache_simulator.cpp.o.d"
+  "CMakeFiles/reo_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/reo_sim.dir/sim/metrics.cpp.o.d"
+  "libreo_sim.a"
+  "libreo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reo_workload.dir/workload/medisyn.cpp.o"
+  "CMakeFiles/reo_workload.dir/workload/medisyn.cpp.o.d"
+  "CMakeFiles/reo_workload.dir/workload/trace.cpp.o"
+  "CMakeFiles/reo_workload.dir/workload/trace.cpp.o.d"
+  "CMakeFiles/reo_workload.dir/workload/trace_io.cpp.o"
+  "CMakeFiles/reo_workload.dir/workload/trace_io.cpp.o.d"
+  "libreo_workload.a"
+  "libreo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_soak_test.dir/cache_soak_test.cpp.o"
+  "CMakeFiles/cache_soak_test.dir/cache_soak_test.cpp.o.d"
+  "cache_soak_test"
+  "cache_soak_test.pdb"
+  "cache_soak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

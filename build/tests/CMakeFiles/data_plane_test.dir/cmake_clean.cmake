@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_plane_test.dir/data_plane_test.cpp.o"
+  "CMakeFiles/data_plane_test.dir/data_plane_test.cpp.o.d"
+  "data_plane_test"
+  "data_plane_test.pdb"
+  "data_plane_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_plane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exofs_test.dir/exofs_test.cpp.o"
+  "CMakeFiles/exofs_test.dir/exofs_test.cpp.o.d"
+  "exofs_test"
+  "exofs_test.pdb"
+  "exofs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exofs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/initiator_test.dir/initiator_test.cpp.o"
+  "CMakeFiles/initiator_test.dir/initiator_test.cpp.o.d"
+  "initiator_test"
+  "initiator_test.pdb"
+  "initiator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/initiator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osd_test.dir/osd_test.cpp.o"
+  "CMakeFiles/osd_test.dir/osd_test.cpp.o.d"
+  "osd_test"
+  "osd_test.pdb"
+  "osd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parity_placement_test.dir/parity_placement_test.cpp.o"
+  "CMakeFiles/parity_placement_test.dir/parity_placement_test.cpp.o.d"
+  "parity_placement_test"
+  "parity_placement_test.pdb"
+  "parity_placement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parity_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

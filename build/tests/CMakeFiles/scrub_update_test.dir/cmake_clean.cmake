@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrub_update_test.dir/scrub_update_test.cpp.o"
+  "CMakeFiles/scrub_update_test.dir/scrub_update_test.cpp.o.d"
+  "scrub_update_test"
+  "scrub_update_test.pdb"
+  "scrub_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrub_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

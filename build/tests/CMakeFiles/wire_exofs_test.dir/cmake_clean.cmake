@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_exofs_test.dir/wire_exofs_test.cpp.o"
+  "CMakeFiles/wire_exofs_test.dir/wire_exofs_test.cpp.o.d"
+  "wire_exofs_test"
+  "wire_exofs_test.pdb"
+  "wire_exofs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_exofs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/ec_test[1]_include.cmake")
+include("/root/repo/build/tests/flash_test[1]_include.cmake")
+include("/root/repo/build/tests/osd_test[1]_include.cmake")
+include("/root/repo/build/tests/array_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/classifier_test[1]_include.cmake")
+include("/root/repo/build/tests/data_plane_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/array_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/scrub_update_test[1]_include.cmake")
+include("/root/repo/build/tests/ftl_test[1]_include.cmake")
+include("/root/repo/build/tests/initiator_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/exofs_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_soak_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/parity_placement_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_exofs_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
