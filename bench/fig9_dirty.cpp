@@ -58,5 +58,7 @@ int main() {
                 static_cast<unsigned long long>(results[1][i].cache.dirty_lost),
                 static_cast<unsigned long long>(results[0][i].cache.dirty_lost));
   }
+
+  PrintTelemetry("Reo, write ratio 50%", results[1].back().telemetry);
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,17 @@ inline uint32_t BenchScaleShift() {
     return static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
   }
   return 7;
+}
+
+/// Prints one run's end-of-run telemetry snapshot (per-class cache
+/// counters, per-device flash counters, latency histograms, ...). JSON by
+/// default; set REO_TELEMETRY_FORMAT=csv for the tabular form.
+inline void PrintTelemetry(const std::string& label,
+                           const MetricSnapshot& snapshot) {
+  const char* fmt = std::getenv("REO_TELEMETRY_FORMAT");
+  bool csv = fmt != nullptr && std::strcmp(fmt, "csv") == 0;
+  std::printf("\n(telemetry: %s)\n%s\n", label.c_str(),
+              csv ? snapshot.ToCsv().c_str() : snapshot.ToJson().c_str());
 }
 
 inline SimulationConfig MakeSimConfig(const Config& cfg, double cache_fraction,
@@ -102,6 +114,9 @@ inline void RunNormalFigure(const char* figure, const MediSynConfig& workload) {
     }
     std::printf("\n");
   }
+
+  // One representative snapshot (Reo-20% at the 10% cache point).
+  PrintTelemetry(configs[4].label + ", cache=10%", results[4][3].telemetry);
 }
 
 }  // namespace reo::bench

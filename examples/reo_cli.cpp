@@ -8,6 +8,7 @@
 //   reo_cli --workload strong --policy 1-parity --fail 10000:0 --fail 20000:1
 //   reo_cli --trace-file my.trace --policy full-repl
 //   reo_cli --workload weak --save-trace weak.trace
+//   reo_cli stats --stats-format csv       # full telemetry snapshot
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,7 +38,9 @@ void Usage(const char* argv0) {
       "  --fail REQ:DEV                  inject failure (repeatable)\n"
       "  --spare REQ:DEV                 insert spare (repeatable)\n"
       "  --warmup                        unmeasured warm-up pass first\n"
-      "  --verify                        CRC-verify every hit\n",
+      "  --verify                        CRC-verify every hit\n"
+      "  stats                           dump the end-of-run telemetry snapshot\n"
+      "  --stats-format json|csv         snapshot format (default json)\n",
       argv0);
 }
 
@@ -54,6 +57,8 @@ bool ParseEvent(const char* arg, uint64_t* req, uint32_t* dev) {
 int main(int argc, char** argv) {
   std::string workload = "medium";
   std::string trace_file, save_trace;
+  bool dump_stats = false;
+  std::string stats_format = "json";
   double write_ratio = -1.0;
   SimulationConfig cfg;
   cfg.policy = {.mode = ProtectionMode::kReo, .reo_reserve_fraction = 0.2};
@@ -120,6 +125,14 @@ int main(int argc, char** argv) {
       ev.at_request = req;
       ev.device = dev;
       cfg.spares.push_back(ev);
+    } else if (!std::strcmp(argv[i], "stats") || !std::strcmp(argv[i], "--stats")) {
+      dump_stats = true;
+    } else if (!std::strcmp(argv[i], "--stats-format")) {
+      stats_format = next();
+      if (stats_format != "json" && stats_format != "csv") {
+        std::fprintf(stderr, "--stats-format expects json or csv\n");
+        return 2;
+      }
     } else if (!std::strcmp(argv[i], "--warmup")) {
       cfg.warmup_pass = true;
     } else if (!std::strcmp(argv[i], "--verify")) {
@@ -199,5 +212,10 @@ int main(int argc, char** argv) {
               static_cast<double>(report.space.user_bytes) / 1e6,
               static_cast<double>(report.space.redundancy_bytes) / 1e6,
               report.max_wear * 100);
+  if (dump_stats) {
+    std::printf("telemetry:\n%s\n",
+                stats_format == "csv" ? report.telemetry.ToCsv().c_str()
+                                      : report.telemetry.ToJson().c_str());
+  }
   return 0;
 }

@@ -78,13 +78,32 @@ double Histogram::mean() const {
 double Histogram::Percentile(double q) const {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  auto target = static_cast<uint64_t>(q * static_cast<double>(total_ - 1));
+  // Nearest-rank-up: the value whose 1-indexed rank is ceil(q*n). A floor
+  // rank (q*(n-1)) lands one sample short at high quantiles — p99.5 of 100
+  // samples must be the 100th sample, not the 99th.
+  uint64_t rank = 0;
+  if (q > 0.0) {
+    rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total_))) - 1;
+  }
+  if (rank >= total_) rank = total_ - 1;
+
+  // The top occupied bucket's true upper edge is max_, not its nominal
+  // bound: interpolation clamps there so Percentile(1.0) == max() exactly
+  // (the nominal bound also under-reports values clamped into the overflow
+  // bucket, where max_ exceeds BucketHigh).
+  int top = kBuckets - 1;
+  while (top > 0 && buckets_[static_cast<size_t>(top)] == 0) --top;
+
   uint64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
     uint64_t n = buckets_[static_cast<size_t>(b)];
-    if (seen + n > target) {
-      double frac = n ? static_cast<double>(target - seen) / static_cast<double>(n) : 0.0;
-      double lo = BucketLow(b), hi = std::min(BucketHigh(b), max_ > 0 ? max_ : BucketHigh(b));
+    if (n > 0 && seen + n > rank) {
+      double lo = BucketLow(b);
+      double hi = b == top ? max_ : BucketHigh(b);
+      if (hi < lo) hi = lo;
+      // Position of the rank within the bucket, counting the sample itself:
+      // the last sample of the bucket maps to the bucket's upper edge.
+      double frac = static_cast<double>(rank - seen + 1) / static_cast<double>(n);
       return lo + frac * (hi - lo);
     }
     seen += n;

@@ -42,7 +42,11 @@ class Histogram {
 
   uint64_t count() const { return total_; }
   double mean() const;
-  /// Value at quantile q in [0, 1]; 0 if empty.
+  double sum() const { return sum_; }
+  /// Largest value added; 0 if empty.
+  double max() const { return max_; }
+  /// Value at quantile q in [0, 1]; 0 if empty. Nearest-rank-up with
+  /// in-bucket interpolation; Percentile(1.0) == max() exactly.
   double Percentile(double q) const;
 
   /// One-line summary: count, mean, p50, p99, max.

@@ -1,6 +1,7 @@
 #include "core/cache_manager.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/crc32c.h"
 
@@ -49,6 +50,39 @@ void CacheManager::Initialize(SimTime now) {
   }
 }
 
+void CacheManager::AttachTelemetry(MetricRegistry& registry) {
+  for (int cls = 0; cls < 4; ++cls) {
+    std::string base = "cache.class" + std::to_string(cls);
+    tel_.class_hits[cls] = &registry.GetCounter(base + ".hits");
+    tel_.class_misses[cls] = &registry.GetCounter(base + ".misses");
+    tel_.class_evictions[cls] = &registry.GetCounter(base + ".evictions");
+  }
+  tel_.writes = &registry.GetCounter("cache.writes");
+  tel_.degraded_reads = &registry.GetCounter("cache.degraded_reads");
+  tel_.flushes = &registry.GetCounter("cache.flushes");
+  tel_.reclassifications = &registry.GetCounter("cache.reclassifications");
+  tel_.lost_evictions = &registry.GetCounter("cache.lost_evictions");
+  tel_.dirty_lost = &registry.GetCounter("cache.dirty_lost");
+  tel_.uncacheable = &registry.GetCounter("cache.uncacheable");
+  tel_.verify_failures = &registry.GetCounter("cache.verify_failures");
+  tel_.hit_latency_us = &registry.GetHistogram("cache.latency.hit_us");
+  tel_.miss_latency_us = &registry.GetHistogram("cache.latency.miss_us");
+  tel_.degraded_latency_us = &registry.GetHistogram("cache.latency.degraded_us");
+  tel_.write_latency_us = &registry.GetHistogram("cache.latency.write_us");
+  tel_.resident_bytes = &registry.GetGauge("cache.resident_bytes");
+  tel_.resident_objects = &registry.GetGauge("cache.resident_objects");
+  tel_.h_hot = &registry.GetGauge("cache.h_hot");
+  PublishResidency();
+  Set(tel_.h_hot, classifier_.h_hot());
+  // recovery_ is owned here, so this is the scheduler's only attach path.
+  recovery_.AttachTelemetry(registry);
+}
+
+void CacheManager::PublishResidency() {
+  Set(tel_.resident_bytes, static_cast<double>(resident_bytes_));
+  Set(tel_.resident_objects, static_cast<double>(entries_.size()));
+}
+
 ObjectState CacheManager::StateOf(ObjectId id, const Entry& e) const {
   return ObjectState{.id = id,
                      .logical_size = e.logical_size,
@@ -91,9 +125,14 @@ RequestResult CacheManager::Get(ObjectId id, uint64_t logical_size, SimTime now)
     // The striped volume is gone: every request goes to the backend.
     ++stats_.misses;
     ++stats_.uncacheable;
+    Inc(tel_.class_misses[static_cast<int>(DataClass::kColdClean)]);
+    Inc(tel_.uncacheable);
     auto fetch = backend_.Fetch(id, now);
     res.sense = fetch.ok() ? SenseCode::kOk : SenseCode::kFail;
-    if (fetch.ok()) res.latency = fetch->complete - now;
+    if (fetch.ok()) {
+      res.latency = fetch->complete - now;
+      Observe(tel_.miss_latency_us, static_cast<double>(res.latency) / 1e3);
+    }
     return res;
   }
 
@@ -109,6 +148,14 @@ RequestResult CacheManager::Get(ObjectId id, uint64_t logical_size, SimTime now)
       it->second.freq++;
       (void)lru_.Touch(id);
       if (resp.degraded) ++stats_.degraded_reads;
+      Inc(tel_.class_hits[static_cast<int>(it->second.cls)]);
+      if (resp.degraded) {
+        Inc(tel_.degraded_reads);
+        Observe(tel_.degraded_latency_us,
+                static_cast<double>(res.latency) / 1e3);
+      } else {
+        Observe(tel_.hit_latency_us, static_cast<double>(res.latency) / 1e3);
+      }
 
       // This access may have pushed the object across H_hot: upgrade it
       // now rather than waiting for the next periodic refresh, so the
@@ -121,6 +168,7 @@ RequestResult CacheManager::Get(ObjectId id, uint64_t logical_size, SimTime now)
             StateOf(id, e).H() >= classifier_.h_hot()) {
           SenseCode sense = SendClassification(id, DataClass::kHotClean, now);
           ++stats_.reclassifications;
+          Inc(tel_.reclassifications);
           // 0x67: the reserve is exhausted; stop retrying on every hit
           // until the next refresh frees budget (avoids a control-message
           // storm the target would reject anyway).
@@ -131,7 +179,10 @@ RequestResult CacheManager::Get(ObjectId id, uint64_t logical_size, SimTime now)
       if (config_.verify_hits) {
         auto expected = BackendStore::SynthesizePayload(
             id, it->second.version, plane_.stripes().PhysicalSize(logical_size));
-        if (Crc32c(expected) != Crc32c(resp.data)) ++stats_.verify_failures;
+        if (Crc32c(expected) != Crc32c(resp.data)) {
+          ++stats_.verify_failures;
+          Inc(tel_.verify_failures);
+        }
       }
 
       if (resp.degraded && plane_.policy().mode() == ProtectionMode::kReo) {
@@ -142,7 +193,15 @@ RequestResult CacheManager::Get(ObjectId id, uint64_t logical_size, SimTime now)
         // arrives and the block-level rebuild reaches the data.
         recovery_.Remove(id);
         auto rb = plane_.stripes().RebuildObject(id, resp.complete);
-        if (rb.ok()) ++stats_.rebuilds;
+        if (rb.ok()) {
+          ++stats_.rebuilds;
+          recovery_.RecordRebuild(
+              it->second.cls, /*on_demand=*/true,
+              static_cast<double>(rb->complete > resp.complete
+                                      ? rb->complete - resp.complete
+                                      : 0) /
+                  1e3);
+        }
         if (recovery_.empty()) plane_.set_recovery_active(false);
       }
 
@@ -155,6 +214,14 @@ RequestResult CacheManager::Get(ObjectId id, uint64_t logical_size, SimTime now)
   }
 
   ++stats_.misses;
+  {
+    // Attribute the miss to the class the object would be admitted as.
+    Entry probe;
+    probe.logical_size = logical_size;
+    probe.freq = 1;
+    DataClass miss_cls = Classify(StateOf(id, probe), classifier_.h_hot());
+    Inc(tel_.class_misses[static_cast<int>(miss_cls)]);
+  }
   auto fetch = backend_.Fetch(id, now);
   if (!fetch.ok()) {
     res.sense = SenseCode::kFail;
@@ -162,16 +229,19 @@ RequestResult CacheManager::Get(ObjectId id, uint64_t logical_size, SimTime now)
   }
   res.latency = fetch->complete - now;
   res.sense = SenseCode::kOk;
+  Observe(tel_.miss_latency_us, static_cast<double>(res.latency) / 1e3);
 
   auto& array = plane_.stripes().array();
   bool degraded_array = array.healthy_count() < array.size();
   if (degraded_array && !config_.admit_while_degraded) {
     ++stats_.uncacheable;
+    Inc(tel_.uncacheable);
   } else {
     SimTime io_complete = fetch->complete;
     if (!Admit(id, logical_size, fetch->payload, fetch->version,
                /*dirty=*/false, fetch->complete, io_complete)) {
       ++stats_.uncacheable;
+      Inc(tel_.uncacheable);
     }
   }
   MaybeRefresh(now);
@@ -182,6 +252,7 @@ RequestResult CacheManager::Get(ObjectId id, uint64_t logical_size, SimTime now)
 RequestResult CacheManager::Put(ObjectId id, uint64_t logical_size, SimTime now) {
   ++request_counter_;
   ++stats_.writes;
+  Inc(tel_.writes);
   RequestResult res;
   res.is_write = true;
   res.bytes = logical_size;
@@ -192,8 +263,10 @@ RequestResult CacheManager::Put(ObjectId id, uint64_t logical_size, SimTime now)
   uint64_t version = next_version_++;
   if (array_unusable_) {
     ++stats_.uncacheable;
+    Inc(tel_.uncacheable);
     auto done = backend_.Flush(id, version, now);
     res.latency = done.ok() ? *done - now : 0;
+    Observe(tel_.write_latency_us, static_cast<double>(res.latency) / 1e3);
     return res;
   }
   auto payload = BackendStore::SynthesizePayload(id, version, physical);
@@ -212,10 +285,12 @@ RequestResult CacheManager::Put(ObjectId id, uint64_t logical_size, SimTime now)
     // Persist first; the cached copy is clean from the start.
     auto done = backend_.Flush(id, version, now);
     res.latency = done.ok() ? *done - now : 0;
+    Observe(tel_.write_latency_us, static_cast<double>(res.latency) / 1e3);
     SimTime io_complete = now;
     if (!Admit(id, logical_size, payload, version, /*dirty=*/false, now,
                io_complete)) {
       ++stats_.uncacheable;
+      Inc(tel_.uncacheable);
     }
     MaybeRefresh(now);
     AdvanceBackground(now);
@@ -230,9 +305,11 @@ RequestResult CacheManager::Put(ObjectId id, uint64_t logical_size, SimTime now)
   } else {
     // Cannot cache: write through to the backend synchronously.
     ++stats_.uncacheable;
+    Inc(tel_.uncacheable);
     auto done = backend_.Flush(id, version, now);
     res.latency = done.ok() ? *done - now : 0;
   }
+  Observe(tel_.write_latency_us, static_cast<double>(res.latency) / 1e3);
   MaybeRefresh(now);
   AdvanceBackground(now);
   return res;
@@ -271,6 +348,7 @@ bool CacheManager::Admit(ObjectId id, uint64_t logical_size,
       entries_[id] = e;
       (void)lru_.Insert(id);
       resident_bytes_ += logical_size;
+      PublishResidency();
       if (dirty) {
         flush_queue_.push_back(
             {.id = id, .version = version, .ready_time = now + config_.flush_delay_ns});
@@ -327,14 +405,17 @@ void CacheManager::EvictObject(ObjectId id, SimTime now, bool lost) {
   }
   if (lost) {
     ++stats_.lost_evictions;
+    Inc(tel_.lost_evictions);
   } else {
     ++stats_.evictions;
   }
+  Inc(tel_.class_evictions[static_cast<int>(it->second.cls)]);
   resident_bytes_ -= it->second.logical_size;
   entries_.erase(it);
   (void)lru_.Remove(id);
   recovery_.Remove(id);
   (void)initiator_.RemoveObject(id, now);
+  PublishResidency();
 }
 
 // ---------------------------------------------------------------------------
@@ -346,6 +427,7 @@ void CacheManager::FlushObject(ObjectId id, Entry& e, SimTime now) {
   if (done.ok()) flusher_busy_until_ = *done;
   e.dirty = false;
   ++stats_.flushes;
+  Inc(tel_.flushes);
   // The object is clean now: reclassify (hot or cold) so replication space
   // is returned to the reserve.
   DataClass cls = Classify(StateOf(id, e), classifier_.h_hot());
@@ -384,6 +466,7 @@ void CacheManager::AdvanceBackground(SimTime now) {
     }
     (void)SendClassification(id, cls, now);
     ++stats_.reclassifications;
+    Inc(tel_.reclassifications);
     ++applied;
   }
 }
@@ -417,6 +500,7 @@ void CacheManager::RefreshClassification(SimTime now) {
   }
   classifier_.Refresh(candidates, hot_budget);
   double h_hot = classifier_.h_hot();
+  Set(tel_.h_hot, h_hot);
   reserve_full_hint_ = false;  // downgrades below may free budget
 
   // Apply class changes: downgrades first (they release reserve budget),
@@ -483,7 +567,10 @@ void CacheManager::OnDeviceFailure(DeviceIndex device, SimTime now) {
       std::vector<ObjectId> resident;
       resident.reserve(entries_.size());
       for (const auto& [id, e] : entries_) {
-        if (e.dirty) ++stats_.dirty_lost;
+        if (e.dirty) {
+          ++stats_.dirty_lost;
+          Inc(tel_.dirty_lost);
+        }
         resident.push_back(id);
       }
       for (ObjectId id : resident) EvictObject(id, now, /*lost=*/true);
@@ -501,7 +588,10 @@ void CacheManager::OnDeviceFailure(DeviceIndex device, SimTime now) {
       case ObjectSurvival::kIntact:
         break;
       case ObjectSurvival::kLost:
-        if (it->second.dirty) ++stats_.dirty_lost;
+        if (it->second.dirty) {
+          ++stats_.dirty_lost;
+          Inc(tel_.dirty_lost);
+        }
         EvictObject(a.id, now, /*lost=*/true);
         break;
       case ObjectSurvival::kRecoverable:
@@ -536,11 +626,18 @@ void CacheManager::RecoverCriticalNow(SimTime now) {
     if (it->second.cls > DataClass::kDirty) break;  // queue is class-ordered
     auto rb = plane_.stripes().RebuildObject(*next, now);
     if (rb.ok()) {
+      recovery_.RecordRebuild(
+          it->second.cls, /*on_demand=*/true,
+          static_cast<double>(rb->complete > now ? rb->complete - now : 0) /
+              1e3);
       recovery_.Pop();
       ++stats_.rebuilds;
     } else if (rb.code() == ErrorCode::kUnrecoverable) {
       recovery_.Pop();
-      if (it->second.dirty) ++stats_.dirty_lost;
+      if (it->second.dirty) {
+        ++stats_.dirty_lost;
+        Inc(tel_.dirty_lost);
+      }
       EvictObject(*next, now, /*lost=*/true);
     } else {
       break;  // transient (e.g. no space): keep it queued, retry later
@@ -594,12 +691,19 @@ void CacheManager::RunRecoveryBudget(SimTime now, uint64_t byte_budget) {
     }
     auto rb = plane_.stripes().RebuildObject(*next, now);
     if (rb.ok()) {
+      recovery_.RecordRebuild(
+          it->second.cls, /*on_demand=*/false,
+          static_cast<double>(rb->complete > now ? rb->complete - now : 0) /
+              1e3);
       recovery_.Pop();
       ++stats_.rebuilds;
       rebuilt += it->second.logical_size;
     } else if (rb.code() == ErrorCode::kUnrecoverable) {
       recovery_.Pop();
-      if (it->second.dirty) ++stats_.dirty_lost;
+      if (it->second.dirty) {
+        ++stats_.dirty_lost;
+        Inc(tel_.dirty_lost);
+      }
       EvictObject(*next, now, /*lost=*/true);
     } else {
       break;  // e.g. no space to place rebuilt chunks; keep queued
@@ -618,7 +722,10 @@ StripeManager::ScrubReport CacheManager::RunScrub(SimTime now) {
   for (ObjectId id : report.lost) {
     auto it = entries_.find(id);
     if (it == entries_.end()) continue;
-    if (it->second.dirty) ++stats_.dirty_lost;
+    if (it->second.dirty) {
+      ++stats_.dirty_lost;
+      Inc(tel_.dirty_lost);
+    }
     EvictObject(id, now, /*lost=*/true);
   }
   return report;

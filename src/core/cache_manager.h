@@ -28,6 +28,7 @@
 #include "core/recovery_scheduler.h"
 #include "osd/osd_initiator.h"
 #include "osd/osd_target.h"
+#include "telemetry/metric_registry.h"
 
 namespace reo {
 
@@ -176,6 +177,12 @@ class CacheManager {
   /// code (exercises the paper's query path; used by examples/tests).
   SenseCode QueryObject(ObjectId id, bool is_write, uint64_t size, SimTime now);
 
+  /// Registers cache metrics ("cache.*": per-class hit/miss/eviction
+  /// counts, hit/miss/degraded/write latency histograms, residency gauges)
+  /// plus the recovery scheduler's ("recovery.*"), and begins hot-path
+  /// updates.
+  void AttachTelemetry(MetricRegistry& registry);
+
  private:
   struct Entry {
     uint64_t logical_size = 0;
@@ -233,6 +240,32 @@ class CacheManager {
   std::deque<std::pair<ObjectId, DataClass>> reclass_queue_;
   SimTime flusher_busy_until_ = 0;
 
+  /// Telemetry pointers (null when un-attached); resolved once at
+  /// AttachTelemetry so the per-request cost is plain increments.
+  struct Telemetry {
+    Counter* class_hits[4] = {};
+    Counter* class_misses[4] = {};
+    Counter* class_evictions[4] = {};
+    Counter* writes = nullptr;
+    Counter* degraded_reads = nullptr;
+    Counter* flushes = nullptr;
+    Counter* reclassifications = nullptr;
+    Counter* lost_evictions = nullptr;
+    Counter* dirty_lost = nullptr;
+    Counter* uncacheable = nullptr;
+    Counter* verify_failures = nullptr;
+    Histogram* hit_latency_us = nullptr;
+    Histogram* miss_latency_us = nullptr;
+    Histogram* degraded_latency_us = nullptr;
+    Histogram* write_latency_us = nullptr;
+    Gauge* resident_bytes = nullptr;
+    Gauge* resident_objects = nullptr;
+    Gauge* h_hot = nullptr;
+  };
+
+  void PublishResidency();
+
+  Telemetry tel_;
   CacheStats stats_;
   uint64_t request_counter_ = 0;
   uint64_t next_version_ = 1;

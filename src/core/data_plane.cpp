@@ -26,6 +26,19 @@ ReoDataPlane::ReoDataPlane(StripeManager& stripes, RedundancyPolicy policy)
   reserve_bytes_ = policy_.ReserveBytes(budget);
 }
 
+void ReoDataPlane::AttachTelemetry(MetricRegistry& registry) {
+  tel_writes_ = &registry.GetCounter("dataplane.writes");
+  tel_reads_ = &registry.GetCounter("dataplane.reads");
+  tel_degraded_reads_ = &registry.GetCounter("dataplane.degraded_reads");
+  tel_removes_ = &registry.GetCounter("dataplane.removes");
+  tel_reclass_ = &registry.GetCounter("dataplane.reencodes");
+  tel_reserve_rejections_ = &registry.GetCounter("dataplane.reserve_rejections");
+  tel_redundancy_bytes_ = &registry.GetGauge("dataplane.redundancy_bytes");
+  tel_user_bytes_ = &registry.GetGauge("dataplane.user_bytes");
+  registry.GetGauge("dataplane.reserve_bytes")
+      .Set(static_cast<double>(reserve_bytes_));
+}
+
 RedundancyLevel ReoDataPlane::EffectiveLevel(uint64_t logical_bytes,
                                              uint8_t class_id) const {
   auto cls = static_cast<DataClass>(class_id);
@@ -49,20 +62,34 @@ Result<DataPlaneIo> ReoDataPlane::WriteObject(ObjectId id,
                                               uint8_t class_id, SimTime now) {
   RedundancyLevel desired = policy_.LevelFor(static_cast<DataClass>(class_id));
   RedundancyLevel level = EffectiveLevel(logical_bytes, class_id);
-  if (level != desired) ++reserve_rejections_;
+  if (level != desired) {
+    ++reserve_rejections_;
+    Inc(tel_reserve_rejections_);
+  }
   auto io = stripes_.PutObject(id, payload, logical_bytes, level, now);
   if (!io.ok()) return io.status();
+  Inc(tel_writes_);
+  Set(tel_redundancy_bytes_, static_cast<double>(stripes_.redundancy_bytes()));
+  Set(tel_user_bytes_, static_cast<double>(stripes_.user_bytes()));
   return ToDataPlaneIo(std::move(*io));
 }
 
 Result<DataPlaneIo> ReoDataPlane::ReadObject(ObjectId id, SimTime now) {
   auto io = stripes_.GetObject(id, now);
   if (!io.ok()) return io.status();
+  Inc(tel_reads_);
+  if (io->degraded) Inc(tel_degraded_reads_);
   return ToDataPlaneIo(std::move(*io));
 }
 
 Status ReoDataPlane::RemoveObject(ObjectId id) {
-  return stripes_.RemoveObject(id);
+  Status st = stripes_.RemoveObject(id);
+  if (st.ok()) {
+    Inc(tel_removes_);
+    Set(tel_redundancy_bytes_, static_cast<double>(stripes_.redundancy_bytes()));
+    Set(tel_user_bytes_, static_cast<double>(stripes_.user_bytes()));
+  }
+  return st;
 }
 
 Status ReoDataPlane::SetObjectClass(ObjectId id, uint8_t class_id, SimTime now) {
@@ -72,8 +99,12 @@ Status ReoDataPlane::SetObjectClass(ObjectId id, uint8_t class_id, SimTime now) 
   RedundancyLevel effective = EffectiveLevel(*size, class_id);
   auto io = stripes_.ReencodeObject(id, effective, now);
   if (!io.ok()) return io.status();
+  Inc(tel_reclass_);
+  Set(tel_redundancy_bytes_, static_cast<double>(stripes_.redundancy_bytes()));
+  Set(tel_user_bytes_, static_cast<double>(stripes_.user_bytes()));
   if (effective != desired) {
     ++reserve_rejections_;
+    Inc(tel_reserve_rejections_);
     // Data stored, but at reduced protection: report "redundancy space
     // full" so the initiator can react (paper Table III, 0x67).
     return {ErrorCode::kNoSpace, "redundancy reserve exhausted"};

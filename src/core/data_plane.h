@@ -12,6 +12,7 @@
 #include "array/stripe_manager.h"
 #include "core/policy.h"
 #include "osd/osd_target.h"
+#include "telemetry/metric_registry.h"
 
 namespace reo {
 
@@ -50,12 +51,26 @@ class ReoDataPlane final : public DataPlane {
   /// Counters for reserve-cap downgrades (observable as sense 0x67).
   uint64_t reserve_rejections() const { return reserve_rejections_; }
 
+  /// Registers the redundancy engine's metrics ("dataplane.*") and begins
+  /// hot-path updates: op counts, reserve pressure, redundancy footprint.
+  void AttachTelemetry(MetricRegistry& registry);
+
  private:
   StripeManager& stripes_;
   RedundancyPolicy policy_;
   uint64_t reserve_bytes_ = 0;
   bool recovery_active_ = false;
   uint64_t reserve_rejections_ = 0;
+
+  // Telemetry (null when un-attached).
+  Counter* tel_writes_ = nullptr;
+  Counter* tel_reads_ = nullptr;
+  Counter* tel_degraded_reads_ = nullptr;
+  Counter* tel_removes_ = nullptr;
+  Counter* tel_reclass_ = nullptr;
+  Counter* tel_reserve_rejections_ = nullptr;
+  Gauge* tel_redundancy_bytes_ = nullptr;
+  Gauge* tel_user_bytes_ = nullptr;
 };
 
 }  // namespace reo

@@ -13,6 +13,7 @@
 
 #include "common/object_id.h"
 #include "core/classifier.h"
+#include "telemetry/metric_registry.h"
 
 namespace reo {
 
@@ -37,6 +38,17 @@ class RecoveryScheduler {
   uint64_t pending_bytes() const { return pending_bytes_; }
   void Clear();
 
+  /// Registers recovery metrics ("recovery.*"): queue pressure gauges plus
+  /// per-class on-demand vs background rebuild counters and latency
+  /// histograms.
+  void AttachTelemetry(MetricRegistry& registry);
+
+  /// Records one completed reconstruction. The cache manager performs the
+  /// rebuild IO (on-demand at access/failure time, or paced background
+  /// work) and reports it here so recovery telemetry lives with the
+  /// scheduler that ordered it.
+  void RecordRebuild(DataClass cls, bool on_demand, double latency_us);
+
  private:
   struct Key {
     uint8_t cls;
@@ -49,9 +61,19 @@ class RecoveryScheduler {
     }
   };
 
+  void PublishQueueGauges();
+
   std::set<Key> queue_;
   std::unordered_map<ObjectId, std::pair<Key, uint64_t>, ObjectIdHash> index_;
   uint64_t pending_bytes_ = 0;
+
+  // Telemetry (null when un-attached). Rebuild counters are indexed
+  // [class 0-3][0 = background, 1 = on-demand].
+  Counter* tel_enqueues_ = nullptr;
+  Counter* tel_rebuilds_[4][2] = {};
+  Histogram* tel_latency_[2] = {};
+  Gauge* tel_depth_ = nullptr;
+  Gauge* tel_pending_bytes_ = nullptr;
 };
 
 }  // namespace reo

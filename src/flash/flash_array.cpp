@@ -33,13 +33,25 @@ Status FlashArray::FailDevice(DeviceIndex i) {
   if (i >= devices_.size()) return {ErrorCode::kNotFound, "no such device"};
   if (!devices_[i]->healthy()) return {ErrorCode::kInvalidArgument, "already failed"};
   devices_[i]->Fail();
+  Set(tel_healthy_, static_cast<double>(healthy_count()));
   return Status::Ok();
 }
 
 Status FlashArray::ReplaceDevice(DeviceIndex i) {
   if (i >= devices_.size()) return {ErrorCode::kNotFound, "no such device"};
   devices_[i]->Replace();
+  Set(tel_healthy_, static_cast<double>(healthy_count()));
   return Status::Ok();
+}
+
+void FlashArray::AttachTelemetry(MetricRegistry& registry) {
+  for (DeviceIndex i = 0; i < devices_.size(); ++i) {
+    devices_[i]->AttachTelemetry(registry,
+                                 "flash.dev" + std::to_string(i));
+  }
+  registry.GetGauge("flash.devices").Set(static_cast<double>(devices_.size()));
+  tel_healthy_ = &registry.GetGauge("flash.healthy_devices");
+  tel_healthy_->Set(static_cast<double>(healthy_count()));
 }
 
 uint64_t FlashArray::total_capacity_bytes() const {

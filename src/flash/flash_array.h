@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "flash/flash_device.h"
+#include "telemetry/metric_registry.h"
 
 namespace reo {
 
@@ -41,8 +42,14 @@ class FlashArray {
   /// Largest wear fraction across devices (the array's life-limiting value).
   double MaxWearFraction() const;
 
+  /// Registers every device's metrics ("flash.dev<i>.*") plus array-level
+  /// gauges ("flash.devices", "flash.healthy_devices") and begins hot-path
+  /// updates.
+  void AttachTelemetry(MetricRegistry& registry);
+
  private:
   std::vector<std::unique_ptr<FlashDevice>> devices_;
+  Gauge* tel_healthy_ = nullptr;
 };
 
 }  // namespace reo

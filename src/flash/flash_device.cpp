@@ -33,6 +33,19 @@ void FlashDevice::InitFtl() {
   lpn_free_.clear();
 }
 
+void FlashDevice::AttachTelemetry(MetricRegistry& registry,
+                                  const std::string& prefix) {
+  tel_registry_ = &registry;
+  tel_prefix_ = prefix;
+  tel_reads_ = &registry.GetCounter(prefix + ".reads");
+  tel_writes_ = &registry.GetCounter(prefix + ".writes");
+  tel_erases_ = &registry.GetCounter(prefix + ".erases");
+  tel_bytes_read_ = &registry.GetGauge(prefix + ".bytes_read");
+  tel_bytes_written_ = &registry.GetGauge(prefix + ".bytes_written");
+  tel_wear_ = &registry.GetGauge(prefix + ".wear_fraction");
+  if (ftl_) ftl_->AttachTelemetry(registry, prefix + ".ftl");
+}
+
 Status FlashDevice::FtlWriteSlot(Slot& s) {
   if (s.page_count == 0) {
     // First write: allocate a contiguous lpn range (reusing a freed range
@@ -112,12 +125,17 @@ Status FlashDevice::WriteSlot(SlotId slot, std::span<const uint8_t> payload) {
   s.payload.assign(payload.begin(), payload.end());
   s.crc = Crc32c(payload);
   ++wear_.io_writes;
+  Inc(tel_writes_);
   if (ftl_) {
     // Wear comes from the FTL: GC write amplification and real erases.
     REO_RETURN_IF_ERROR(FtlWriteSlot(s));
     wear_.bytes_written =
         ftl_->stats().nand_pages_written * ftl_->config().page_bytes;
     wear_.erase_cycles = ftl_->stats().erases;
+    Inc(tel_erases_, wear_.erase_cycles - tel_published_erases_);
+    tel_published_erases_ = wear_.erase_cycles;
+    Set(tel_bytes_written_, static_cast<double>(wear_.bytes_written));
+    Set(tel_wear_, wear_.WearFraction(config_));
     return Status::Ok();
   }
   // Flat model: programming `logical_bytes` eventually forces that many
@@ -127,7 +145,10 @@ Status FlashDevice::WriteSlot(SlotId slot, std::span<const uint8_t> payload) {
   while (pending_erase_bytes_ >= config_.erase_block_bytes) {
     pending_erase_bytes_ -= config_.erase_block_bytes;
     ++wear_.erase_cycles;
+    Inc(tel_erases_);
   }
+  Set(tel_bytes_written_, static_cast<double>(wear_.bytes_written));
+  Set(tel_wear_, wear_.WearFraction(config_));
   return Status::Ok();
 }
 
@@ -142,6 +163,8 @@ Result<std::span<const uint8_t>> FlashDevice::ReadSlot(SlotId slot) {
   }
   wear_.bytes_read += s.logical_bytes;
   ++wear_.io_reads;
+  Inc(tel_reads_);
+  Set(tel_bytes_read_, static_cast<double>(wear_.bytes_read));
   return std::span<const uint8_t>(s.payload);
 }
 
@@ -187,6 +210,15 @@ void FlashDevice::Replace() {
   pending_erase_bytes_ = 0;
   state_ = DeviceState::kHealthy;
   if (config_.model_ftl) InitFtl();  // a spare arrives with zero wear
+  tel_published_erases_ = 0;
+  if (tel_registry_) {
+    // Fresh gauges for the fresh device; the new FTL re-attaches under the
+    // same prefix so its counters continue at this array position.
+    Set(tel_bytes_read_, 0.0);
+    Set(tel_bytes_written_, 0.0);
+    Set(tel_wear_, 0.0);
+    if (ftl_) ftl_->AttachTelemetry(*tel_registry_, tel_prefix_ + ".ftl");
+  }
 }
 
 }  // namespace reo

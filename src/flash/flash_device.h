@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include <memory>
@@ -20,6 +21,7 @@
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "flash/ftl.h"
+#include "telemetry/metric_registry.h"
 
 namespace reo {
 
@@ -132,6 +134,12 @@ class FlashDevice {
   /// amplification, GC counters, and per-block wear.
   const Ftl* ftl() const { return ftl_.get(); }
 
+  /// Registers this device's metrics under `prefix` (e.g. "flash.dev0")
+  /// and begins hot-path updates. Survives Fail/Replace: a spare swapped
+  /// in at this position keeps reporting under the same names (counters
+  /// are array-position-lifetime; gauges reflect the current device).
+  void AttachTelemetry(MetricRegistry& registry, const std::string& prefix);
+
  private:
   struct Slot {
     bool allocated = false;
@@ -160,6 +168,18 @@ class FlashDevice {
   std::unique_ptr<Ftl> ftl_;
   uint64_t lpn_bump_ = 0;  ///< next never-used lpn
   std::vector<std::vector<uint64_t>> lpn_free_;  ///< freelists by page count
+
+  // Telemetry (null when un-attached). Registry/prefix are remembered so a
+  // replacement FTL re-attaches after a spare swap.
+  MetricRegistry* tel_registry_ = nullptr;
+  std::string tel_prefix_;
+  Counter* tel_reads_ = nullptr;
+  Counter* tel_writes_ = nullptr;
+  Counter* tel_erases_ = nullptr;
+  Gauge* tel_bytes_read_ = nullptr;
+  Gauge* tel_bytes_written_ = nullptr;
+  Gauge* tel_wear_ = nullptr;
+  uint64_t tel_published_erases_ = 0;  ///< FTL erase count already exported
 };
 
 }  // namespace reo

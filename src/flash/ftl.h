@@ -11,9 +11,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "telemetry/metric_registry.h"
 
 namespace reo {
 
@@ -62,6 +64,11 @@ class Ftl {
 
   const FtlConfig& config() const { return config_; }
   const FtlStats& stats() const { return stats_; }
+
+  /// Registers this FTL's metrics under `prefix` (e.g. "flash.dev0.ftl")
+  /// and begins hot-path updates. Counters are cumulative per name: a
+  /// replacement FTL attaching to the same prefix continues them.
+  void AttachTelemetry(MetricRegistry& registry, const std::string& prefix);
 
   /// Logical pages exposed to the host (capacity minus over-provisioning).
   uint64_t logical_pages() const { return logical_pages_; }
@@ -120,6 +127,13 @@ class Ftl {
   uint64_t mapped_pages_ = 0;
   uint64_t seq_ = 0;
   FtlStats stats_;
+
+  // Telemetry (null when un-attached).
+  Counter* tel_host_writes_ = nullptr;
+  Counter* tel_nand_writes_ = nullptr;
+  Counter* tel_gc_runs_ = nullptr;
+  Counter* tel_gc_relocated_ = nullptr;
+  Gauge* tel_write_amp_ = nullptr;
 };
 
 }  // namespace reo

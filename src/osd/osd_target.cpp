@@ -13,8 +13,20 @@ OsdResponse MakeError(SenseCode sense) {
 
 OsdTarget::OsdTarget(DataPlane& data_plane) : data_plane_(data_plane) {}
 
+void OsdTarget::AttachTelemetry(MetricRegistry& registry) {
+  tel_commands_ = &registry.GetCounter("osd.commands");
+  tel_reads_ = &registry.GetCounter("osd.reads");
+  tel_writes_ = &registry.GetCounter("osd.writes");
+  tel_control_ = &registry.GetCounter("osd.control_messages");
+  tel_degraded_ = &registry.GetCounter("osd.degraded_reads");
+  tel_sense_errors_ = &registry.GetCounter("osd.sense_errors");
+  tel_bytes_in_ = &registry.GetCounter("osd.bytes_in");
+  tel_bytes_out_ = &registry.GetCounter("osd.bytes_out");
+}
+
 OsdResponse OsdTarget::Execute(const OsdCommand& cmd) {
   ++stats_.commands;
+  Inc(tel_commands_);
   OsdResponse resp;
   switch (cmd.op) {
     case OsdOp::kFormat:
@@ -102,12 +114,16 @@ OsdResponse OsdTarget::Execute(const OsdCommand& cmd) {
       break;
     }
   }
-  if (resp.sense != SenseCode::kOk) ++stats_.sense_errors;
+  if (resp.sense != SenseCode::kOk) {
+    ++stats_.sense_errors;
+    Inc(tel_sense_errors_);
+  }
   return resp;
 }
 
 OsdResponse OsdTarget::HandleControlWrite(const OsdCommand& cmd) {
   ++stats_.control_messages;
+  Inc(tel_control_);
   // §IV.C.2: control writes are fsync'd — modeled as one metadata-size
   // device write worth of latency, negligible and charged by the caller.
   auto msg = DecodeControlMessage(cmd.data);
@@ -171,6 +187,8 @@ OsdResponse OsdTarget::HandleControlWrite(const OsdCommand& cmd) {
 
 OsdResponse OsdTarget::HandleWrite(const OsdCommand& cmd) {
   ++stats_.writes;
+  Inc(tel_writes_);
+  Inc(tel_bytes_in_, cmd.logical_size);
   auto rec = store_.Find(cmd.id);
   if (!rec.ok()) return MakeError(SenseCode::kFail);
 
@@ -190,14 +208,20 @@ OsdResponse OsdTarget::HandleWrite(const OsdCommand& cmd) {
 
 OsdResponse OsdTarget::HandleRead(const OsdCommand& cmd) {
   ++stats_.reads;
+  Inc(tel_reads_);
   if (!store_.Exists(cmd.id)) return MakeError(SenseCode::kFail);
+  auto rec = store_.Find(cmd.id);
   auto io = data_plane_.ReadObject(cmd.id, cmd.now);
   if (!io.ok()) return MakeError(SenseFromStatus(io.status()));
   OsdResponse resp;
   resp.complete = io->complete;
   resp.degraded = io->degraded;
   resp.data = std::move(io->payload);
-  if (io->degraded) ++stats_.degraded_reads;
+  if (rec.ok()) Inc(tel_bytes_out_, (*rec)->logical_size);
+  if (io->degraded) {
+    ++stats_.degraded_reads;
+    Inc(tel_degraded_);
+  }
   return resp;
 }
 

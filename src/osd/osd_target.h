@@ -18,6 +18,7 @@
 #include "osd/control_protocol.h"
 #include "osd/object_store.h"
 #include "osd/sense.h"
+#include "telemetry/metric_registry.h"
 
 namespace reo {
 
@@ -135,6 +136,10 @@ class OsdTarget {
   const ObjectStore& object_store() const { return store_; }
   const OsdTargetStats& stats() const { return stats_; }
 
+  /// Registers the target's service metrics ("osd.*") and begins hot-path
+  /// updates: op counts, payload bytes in/out, sense-error counts.
+  void AttachTelemetry(MetricRegistry& registry);
+
  private:
   OsdResponse HandleControlWrite(const OsdCommand& command);
   OsdResponse HandleWrite(const OsdCommand& command);
@@ -143,6 +148,16 @@ class OsdTarget {
   DataPlane& data_plane_;
   ObjectStore store_;
   OsdTargetStats stats_;
+
+  // Telemetry (null when un-attached).
+  Counter* tel_commands_ = nullptr;
+  Counter* tel_reads_ = nullptr;
+  Counter* tel_writes_ = nullptr;
+  Counter* tel_control_ = nullptr;
+  Counter* tel_degraded_ = nullptr;
+  Counter* tel_sense_errors_ = nullptr;
+  Counter* tel_bytes_in_ = nullptr;
+  Counter* tel_bytes_out_ = nullptr;
 };
 
 }  // namespace reo

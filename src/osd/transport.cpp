@@ -146,17 +146,27 @@ Result<OsdResponse> DecodeResponse(std::span<const uint8_t> wire) {
   return resp;
 }
 
+void OsdTransport::AttachTelemetry(MetricRegistry& registry) {
+  tel_commands_ = &registry.GetCounter("transport.commands");
+  tel_bytes_sent_ = &registry.GetCounter("transport.bytes_sent");
+  tel_bytes_received_ = &registry.GetCounter("transport.bytes_received");
+  tel_decode_errors_ = &registry.GetCounter("transport.decode_errors");
+}
+
 OsdResponse OsdTransport::Roundtrip(const OsdCommand& command) {
   ++stats_.commands;
+  Inc(tel_commands_);
 
   // Initiator -> target.
   auto request_wire = EncodeCommand(command);
   stats_.bytes_sent += request_wire.size();
+  Inc(tel_bytes_sent_, request_wire.size());
   SimTime arrived = link_.Transfer(command.now, request_wire.size());
 
   auto decoded = DecodeCommand(request_wire);
   if (!decoded.ok()) {
     ++stats_.decode_errors;
+    Inc(tel_decode_errors_);
     OsdResponse err;
     err.sense = SenseCode::kFail;
     return err;
@@ -167,12 +177,14 @@ OsdResponse OsdTransport::Roundtrip(const OsdCommand& command) {
   // Target -> initiator.
   auto response_wire = EncodeResponse(resp);
   stats_.bytes_received += response_wire.size();
+  Inc(tel_bytes_received_, response_wire.size());
   SimTime target_done = std::max(arrived, resp.complete);
   SimTime received = link_.Transfer(target_done, response_wire.size());
 
   auto back = DecodeResponse(response_wire);
   if (!back.ok()) {
     ++stats_.decode_errors;
+    Inc(tel_decode_errors_);
     OsdResponse err;
     err.sense = SenseCode::kFail;
     return err;

@@ -15,6 +15,7 @@
 
 #include "backend/network_link.h"
 #include "osd/osd_target.h"
+#include "telemetry/metric_registry.h"
 
 namespace reo {
 
@@ -49,10 +50,20 @@ class OsdTransport {
 
   const TransportStats& stats() const { return stats_; }
 
+  /// Registers wire-level metrics ("transport.*") and begins hot-path
+  /// updates: command count, bytes each way, decode errors.
+  void AttachTelemetry(MetricRegistry& registry);
+
  private:
   OsdTarget& target_;
   NetworkLink link_;
   TransportStats stats_;
+
+  // Telemetry (null when un-attached).
+  Counter* tel_commands_ = nullptr;
+  Counter* tel_bytes_sent_ = nullptr;
+  Counter* tel_bytes_received_ = nullptr;
+  Counter* tel_decode_errors_ = nullptr;
 };
 
 }  // namespace reo

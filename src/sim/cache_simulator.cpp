@@ -35,6 +35,13 @@ CacheSimulator::CacheSimulator(const Trace& trace, SimulationConfig config)
   cmc.verify_hits = config_.verify_hits;
   cache_ = std::make_unique<CacheManager>(*target_, *plane_, *backend_, cmc);
 
+  // Attach every layer to the run-wide registry (the cache manager attaches
+  // its recovery scheduler itself).
+  array_->AttachTelemetry(telemetry_);
+  plane_->AttachTelemetry(telemetry_);
+  target_->AttachTelemetry(telemetry_);
+  cache_->AttachTelemetry(telemetry_);
+
   // Register the catalog with the backend store.
   for (uint32_t i = 0; i < trace_.catalog.count(); ++i) {
     ObjectId id = ObjectCatalog::IdFor(i);
@@ -127,6 +134,7 @@ RunReport CacheSimulator::Run() {
   report.max_wear = array_->MaxWearFraction();
   report.dataset_bytes = trace_.catalog.TotalBytes();
   report.raw_capacity_bytes = array_->total_capacity_bytes();
+  report.telemetry = telemetry_.Snapshot();
   return report;
 }
 

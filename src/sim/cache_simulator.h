@@ -14,6 +14,7 @@
 #include "backend/backend_store.h"
 #include "core/cache_manager.h"
 #include "sim/metrics.h"
+#include "telemetry/metric_registry.h"
 #include "workload/trace.h"
 
 namespace reo {
@@ -82,6 +83,9 @@ struct RunReport {
   double max_wear = 0.0;
   uint64_t dataset_bytes = 0;
   uint64_t raw_capacity_bytes = 0;
+  /// Point-in-time telemetry snapshot taken at the end of the run (every
+  /// layer is attached to the simulator's registry at construction).
+  MetricSnapshot telemetry;
 };
 
 /// Owns one fully wired system instance and replays one trace through it.
@@ -103,6 +107,8 @@ class CacheSimulator {
   FlashArray& array() { return *array_; }
   BackendStore& backend() { return *backend_; }
   OsdTarget& target() { return *target_; }
+  /// Live metric registry (all layers attached); snapshot at any time.
+  MetricRegistry& telemetry() { return telemetry_; }
 
  private:
   void ReplayUnmeasured();
@@ -110,6 +116,8 @@ class CacheSimulator {
   const Trace& trace_;
   SimulationConfig config_;
 
+  /// Declared before the components so it outlives their cached pointers.
+  MetricRegistry telemetry_;
   std::unique_ptr<FlashArray> array_;
   std::unique_ptr<StripeManager> stripes_;
   std::unique_ptr<ReoDataPlane> plane_;

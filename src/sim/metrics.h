@@ -42,6 +42,10 @@ struct WindowMetrics {
     if (other.requests == 0 && other.start == other.end) return;
     if (requests == 0 && start == end) {
       start = other.start;
+    } else if (other.start < start) {
+      // Merging windows in either order must keep the earliest start, or
+      // BandwidthMBps() divides by a truncated wall-time span.
+      start = other.start;
     }
     end = other.end > end ? other.end : end;
     requests += other.requests;

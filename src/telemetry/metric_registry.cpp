@@ -1,0 +1,173 @@
+#include "telemetry/metric_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace reo {
+namespace {
+
+/// %g-style compact formatting without locale surprises. Gauges can carry
+/// non-finite values (e.g. an unbounded H_hot threshold), which JSON has
+/// no literal for — render those as null.
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  // Enough digits to round-trip counters up to 2^53 exactly.
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+const MetricSnapshot::Entry* MetricSnapshot::Find(std::string_view name) const {
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const Entry& e, std::string_view n) { return e.name < n; });
+  if (it == entries.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+std::string MetricSnapshot::ToJson() const {
+  std::string out = "{";
+  auto emit_section = [&](const char* title, Kind kind, auto render) {
+    out += "\"";
+    out += title;
+    out += "\":{";
+    bool first = true;
+    for (const Entry& e : entries) {
+      if (e.kind != kind) continue;
+      if (!first) out.push_back(',');
+      first = false;
+      AppendJsonString(out, e.name);
+      out.push_back(':');
+      render(e);
+    }
+    out += "}";
+  };
+  emit_section("counters", Kind::kCounter,
+               [&](const Entry& e) { out += Num(e.value); });
+  out.push_back(',');
+  emit_section("gauges", Kind::kGauge,
+               [&](const Entry& e) { out += Num(e.value); });
+  out.push_back(',');
+  emit_section("histograms", Kind::kHistogram, [&](const Entry& e) {
+    out += "{\"count\":" + Num(static_cast<double>(e.count)) +
+           ",\"mean\":" + Num(e.mean) + ",\"p50\":" + Num(e.p50) +
+           ",\"p99\":" + Num(e.p99) + ",\"p999\":" + Num(e.p999) +
+           ",\"max\":" + Num(e.max) + "}";
+  });
+  out.push_back('}');
+  return out;
+}
+
+std::string MetricSnapshot::ToCsv() const {
+  std::string out = "kind,name,value,count,mean,p50,p99,p999,max\n";
+  for (const Entry& e : entries) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += "counter," + e.name + "," + Num(e.value) + ",,,,,,\n";
+        break;
+      case Kind::kGauge:
+        out += "gauge," + e.name + "," + Num(e.value) + ",,,,,,\n";
+        break;
+      case Kind::kHistogram:
+        out += "histogram," + e.name + ",," +
+               Num(static_cast<double>(e.count)) + "," + Num(e.mean) + "," +
+               Num(e.p50) + "," + Num(e.p99) + "," + Num(e.p999) + "," +
+               Num(e.max) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+bool MetricRegistry::ClaimName(const std::string& name, Kind kind) {
+  auto [it, inserted] = kinds_.emplace(name, kind);
+  if (inserted || it->second == kind) return true;
+  ++name_collisions_;
+  return false;
+}
+
+Counter& MetricRegistry::GetCounter(const std::string& name) {
+  if (!ClaimName(name, Kind::kCounter)) {
+    orphan_counters_.push_back(std::make_unique<Counter>());
+    return *orphan_counters_.back();
+  }
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::GetGauge(const std::string& name) {
+  if (!ClaimName(name, Kind::kGauge)) {
+    orphan_gauges_.push_back(std::make_unique<Gauge>());
+    return *orphan_gauges_.back();
+  }
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricRegistry::GetHistogram(const std::string& name) {
+  if (!ClaimName(name, Kind::kHistogram)) {
+    orphan_histograms_.push_back(std::make_unique<Histogram>());
+    return *orphan_histograms_.back();
+  }
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricRegistry::Reset() {
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricSnapshot MetricRegistry::Snapshot() const {
+  MetricSnapshot snap;
+  snap.entries.reserve(size());
+  for (const auto& [name, c] : counters_) {
+    MetricSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricSnapshot::Kind::kCounter;
+    e.value = static_cast<double>(c->value());
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricSnapshot::Kind::kGauge;
+    e.value = g->value();
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricSnapshot::Kind::kHistogram;
+    e.count = h->count();
+    e.mean = h->mean();
+    e.p50 = h->Percentile(0.50);
+    e.p99 = h->Percentile(0.99);
+    e.p999 = h->Percentile(0.999);
+    e.max = h->max();
+    snap.entries.push_back(std::move(e));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const MetricSnapshot::Entry& a, const MetricSnapshot::Entry& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+}  // namespace reo

@@ -1,0 +1,140 @@
+// Always-on runtime telemetry: a registry of named counters, gauges, and
+// log-bucketed histograms shared by every layer of the cache (data plane,
+// OSD target, flash array, recovery scheduler, simulator).
+//
+// Design goals, in order:
+//   1. Cheap on the hot path. Components resolve their metrics ONCE (at
+//      AttachTelemetry time) into raw pointers; per-event cost is a single
+//      increment / store with no map lookup, lock, or allocation.
+//   2. Optional. Components run un-attached (null pointers) with zero
+//      telemetry overhead beyond a predictable branch; the Inc/Set/Observe
+//      helpers below fold the null check away from call sites.
+//   3. Mergeable & exportable. Histograms reuse common/histogram.h (fixed
+//      log-bucket layout, Merge-able across registries); the registry
+//      renders one consistent JSON or CSV snapshot of everything.
+//
+// Metric naming scheme: dot-separated lowercase path,
+//   <subsystem>[.<instance>][.<group>].<metric>[_<unit>]
+// e.g. "cache.class2.hits", "flash.dev0.writes", "cache.latency.hit_us",
+// "recovery.class1.ondemand.rebuilds". Instances are zero-indexed
+// ("dev0".."devN", "class0".."class3"). Units are suffixes (_us, _bytes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace reo {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Point-in-time level (last write wins).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Null-tolerant hot-path helpers: un-attached components pass nullptr.
+inline void Inc(Counter* c, uint64_t n = 1) {
+  if (c) c->Inc(n);
+}
+inline void Set(Gauge* g, double v) {
+  if (g) g->Set(v);
+}
+inline void Observe(Histogram* h, double v) {
+  if (h) h->Add(v);
+}
+
+/// Flat, copyable export of one registry at one instant. Plain data:
+/// reports can carry it by value after the registry is gone.
+struct MetricSnapshot {
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    double value = 0.0;  ///< counter / gauge reading
+    // Histogram summary (kind == kHistogram only).
+    uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+    double max = 0.0;
+  };
+
+  std::vector<Entry> entries;  ///< sorted by name
+
+  const Entry* Find(std::string_view name) const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,...}}}
+  std::string ToJson() const;
+  /// Header + one row per metric: kind,name,value,count,mean,p50,p99,p999,max
+  std::string ToCsv() const;
+};
+
+/// Owner of all metrics for one system instance. Registration is
+/// idempotent: a second Get* with the same name and kind returns the same
+/// object. Re-using a name with a *different* kind is a programming error
+/// the registry survives: the caller receives a private scratch metric
+/// (excluded from snapshots) and `name_collisions()` records the bug.
+/// Metric addresses are stable for the registry's lifetime. Not
+/// thread-safe; the system is single-threaded by design.
+class MetricRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Number of cross-kind name collisions observed (0 in a healthy system).
+  uint64_t name_collisions() const { return name_collisions_; }
+
+  /// Metrics registered (collided scratch metrics excluded).
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Zeroes every metric, keeping registrations (and addresses) intact.
+  void Reset();
+
+  MetricSnapshot Snapshot() const;
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+  /// True if `name` is free for `kind` (or already that kind); on
+  /// cross-kind clash records the collision and returns false.
+  bool ClaimName(const std::string& name, Kind kind);
+
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, Kind> kinds_;
+
+  // Scratch metrics handed out on collision: writable, never exported.
+  std::vector<std::unique_ptr<Counter>> orphan_counters_;
+  std::vector<std::unique_ptr<Gauge>> orphan_gauges_;
+  std::vector<std::unique_ptr<Histogram>> orphan_histograms_;
+  uint64_t name_collisions_ = 0;
+};
+
+}  // namespace reo

@@ -249,6 +249,54 @@ TEST(HistogramTest, MergeAddsCounts) {
   EXPECT_NEAR(a.mean(), 252.5, 1e-9);
 }
 
+TEST(HistogramTest, SingleSampleIsExactAtEveryQuantile) {
+  Histogram h;
+  h.Add(12'345);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(q), 12'345.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.max(), 12'345.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 12'345.0);
+}
+
+TEST(HistogramTest, PercentilesAfterMerge) {
+  // Merged histograms must answer quantiles over the combined stream.
+  Histogram fast, slow;
+  for (int i = 0; i < 90; ++i) fast.Add(100);
+  for (int i = 0; i < 10; ++i) slow.Add(1'000'000);
+  fast.Merge(slow);
+  EXPECT_EQ(fast.count(), 100u);
+  EXPECT_NEAR(fast.Percentile(0.5), 100, 15);
+  EXPECT_GT(fast.Percentile(0.95), 500'000.0);
+  EXPECT_DOUBLE_EQ(fast.Percentile(1.0), 1'000'000.0);
+}
+
+TEST(HistogramTest, ValuesBeyondBucketRange) {
+  // Values past the last regular bucket boundary (~2^32) land in the
+  // overflow bucket; the top must still report the true maximum.
+  Histogram h;
+  h.Add(5e9);
+  h.Add(6e9);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 6e9);
+  EXPECT_GE(h.Percentile(0.5), 3e9);
+  EXPECT_LE(h.Percentile(0.5), 6e9);
+  EXPECT_DOUBLE_EQ(h.max(), 6e9);
+}
+
+TEST(HistogramTest, PercentileMonotoneAndCappedAtMax) {
+  Histogram h;
+  for (int i = 1; i <= 257; ++i) h.Add(i * i);  // spread across buckets
+  double prev = -1.0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    double p = h.Percentile(q);
+    EXPECT_GE(p, prev) << "q=" << q;
+    EXPECT_LE(p, h.max()) << "q=" << q;
+    prev = p;
+  }
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), h.max());
+  EXPECT_FALSE(h.Summary().empty());
+}
+
 TEST(HistogramTest, EmptyIsZero) {
   Histogram h;
   EXPECT_EQ(h.Percentile(0.5), 0.0);

@@ -49,6 +49,30 @@ TEST(WindowMetricsTest, MergeCombines) {
   EXPECT_EQ(a.latency_us.count(), 2u);
 }
 
+TEST(WindowMetricsTest, MergeIsOrderIndependent) {
+  // Merging the later window INTO the earlier one and vice versa must
+  // produce the same wall-time span (and thus the same bandwidth).
+  WindowMetrics early, late;
+  early.start = kNsPerSec;
+  early.end = 2 * kNsPerSec;
+  early.requests = early.reads = 1;
+  early.bytes = 50'000'000;
+  late.start = 2 * kNsPerSec;
+  late.end = 3 * kNsPerSec;
+  late.requests = late.reads = 1;
+  late.bytes = 50'000'000;
+
+  WindowMetrics fwd = early;
+  fwd.Merge(late);
+  WindowMetrics rev = late;
+  rev.Merge(early);
+  EXPECT_EQ(fwd.start, kNsPerSec);
+  EXPECT_EQ(rev.start, kNsPerSec);
+  EXPECT_EQ(rev.end, fwd.end);
+  EXPECT_DOUBLE_EQ(rev.BandwidthMBps(), fwd.BandwidthMBps());
+  EXPECT_DOUBLE_EQ(fwd.BandwidthMBps(), 50.0);  // 100 MB over 2 s
+}
+
 TEST(MetricsCollectorTest, WindowsSplitAndTotalAccumulates) {
   MetricsCollector m;
   m.StartWindow("phase0", 0);

@@ -1,0 +1,198 @@
+// MetricRegistry: registration semantics, snapshot export, collisions.
+#include "telemetry/metric_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "flash/flash_device.h"
+
+namespace reo {
+namespace {
+
+TEST(MetricRegistryTest, CounterGaugeBasics) {
+  MetricRegistry reg;
+  Counter& c = reg.GetCounter("osd.commands");
+  c.Inc();
+  c.Inc(9);
+  EXPECT_EQ(c.value(), 10u);
+
+  Gauge& g = reg.GetGauge("flash.devices");
+  g.Set(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+
+  Histogram& h = reg.GetHistogram("cache.latency.hit_us");
+  h.Add(100.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricRegistryTest, RegistrationIsIdempotent) {
+  MetricRegistry reg;
+  Counter& a = reg.GetCounter("cache.class0.hits");
+  a.Inc(7);
+  Counter& b = reg.GetCounter("cache.class0.hits");
+  EXPECT_EQ(&a, &b);  // same object, not a fresh zeroed one
+  EXPECT_EQ(b.value(), 7u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricRegistryTest, NullTolerantHelpers) {
+  // Un-attached components call through null pointers freely.
+  Inc(static_cast<Counter*>(nullptr));
+  Set(static_cast<Gauge*>(nullptr), 1.0);
+  Observe(static_cast<Histogram*>(nullptr), 1.0);
+
+  MetricRegistry reg;
+  Counter& c = reg.GetCounter("x");
+  Inc(&c, 3);
+  EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(MetricRegistryTest, CrossKindCollisionYieldsScratchMetric) {
+  MetricRegistry reg;
+  Counter& c = reg.GetCounter("cache.hits");
+  c.Inc(4);
+
+  // Same name, different kind: the caller gets a writable scratch gauge
+  // instead of a crash or a corrupted counter.
+  Gauge& g = reg.GetGauge("cache.hits");
+  g.Set(9.0);
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+  EXPECT_EQ(reg.name_collisions(), 1u);
+  EXPECT_EQ(c.value(), 4u);  // original counter untouched
+  EXPECT_EQ(reg.size(), 1u);  // scratch metric not registered
+
+  // Snapshot keeps the original registration only.
+  MetricSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.entries.size(), 1u);
+  EXPECT_EQ(snap.entries[0].kind, MetricSnapshot::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(snap.entries[0].value, 4.0);
+}
+
+TEST(MetricRegistryTest, SnapshotSortedAndFindable) {
+  MetricRegistry reg;
+  reg.GetCounter("b.second").Inc(2);
+  reg.GetCounter("a.first").Inc(1);
+  reg.GetGauge("c.third").Set(3.0);
+
+  MetricSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries[0].name, "a.first");
+  EXPECT_EQ(snap.entries[1].name, "b.second");
+  EXPECT_EQ(snap.entries[2].name, "c.third");
+
+  const MetricSnapshot::Entry* e = snap.Find("b.second");
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->value, 2.0);
+  EXPECT_EQ(snap.Find("no.such.metric"), nullptr);
+}
+
+TEST(MetricRegistryTest, HistogramSnapshotSummarizes) {
+  MetricRegistry reg;
+  Histogram& h = reg.GetHistogram("cache.latency.miss_us");
+  for (int i = 1; i <= 100; ++i) h.Add(static_cast<double>(i) * 10.0);
+
+  MetricSnapshot snap = reg.Snapshot();
+  const MetricSnapshot::Entry* e = snap.Find("cache.latency.miss_us");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, MetricSnapshot::Kind::kHistogram);
+  EXPECT_EQ(e->count, 100u);
+  EXPECT_NEAR(e->mean, 505.0, 1e-9);
+  EXPECT_GT(e->p99, e->p50);
+  EXPECT_GE(e->p999, e->p99);
+  EXPECT_DOUBLE_EQ(e->max, 1000.0);
+}
+
+TEST(MetricRegistryTest, JsonExportShape) {
+  MetricRegistry reg;
+  reg.GetCounter("osd.reads").Inc(3);
+  reg.GetGauge("flash.devices").Set(5.0);
+  reg.GetHistogram("cache.latency.hit_us").Add(42.0);
+
+  std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\":{\"osd.reads\":3}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"gauges\":{\"flash.devices\":5}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"cache.latency.hit_us\":{\"count\":1"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricRegistryTest, NonFiniteGaugeStaysValidJson) {
+  // An unbounded classifier threshold sets a gauge to +inf; JSON has no
+  // literal for that, so the exporter must render null, not "inf".
+  MetricRegistry reg;
+  reg.GetGauge("cache.h_hot").Set(std::numeric_limits<double>::infinity());
+  std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"cache.h_hot\":null"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+}
+
+TEST(MetricRegistryTest, CsvExportShape) {
+  MetricRegistry reg;
+  reg.GetCounter("osd.reads").Inc(3);
+  reg.GetHistogram("cache.latency.hit_us").Add(42.0);
+
+  std::string csv = reg.Snapshot().ToCsv();
+  EXPECT_EQ(csv.rfind("kind,name,value,count,mean,p50,p99,p999,max\n", 0), 0u)
+      << csv;
+  EXPECT_NE(csv.find("counter,osd.reads,3"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("histogram,cache.latency.hit_us,"), std::string::npos)
+      << csv;
+}
+
+TEST(MetricRegistryTest, ResetZeroesButKeepsRegistrations) {
+  MetricRegistry reg;
+  Counter& c = reg.GetCounter("osd.reads");
+  Gauge& g = reg.GetGauge("flash.devices");
+  Histogram& h = reg.GetHistogram("cache.latency.hit_us");
+  c.Inc(3);
+  g.Set(5.0);
+  h.Add(42.0);
+
+  reg.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(&c, &reg.GetCounter("osd.reads"));  // addresses stable
+}
+
+TEST(MetricRegistryTest, DeviceCountersSurviveSpareReplacement) {
+  // A spare swapped into an array position must keep reporting under the
+  // same metric names (counters are position-lifetime, not device-lifetime)
+  // — including the FTL, which Replace() recreates.
+  MetricRegistry reg;
+  FlashDeviceConfig cfg;
+  cfg.capacity_bytes = 1 << 20;
+  cfg.model_ftl = true;
+  FlashDevice dev(cfg);
+  dev.AttachTelemetry(reg, "flash.dev0");
+
+  auto slot = dev.AllocateSlot(4096);
+  ASSERT_TRUE(slot.ok());
+  std::vector<uint8_t> payload(4096, 0xAB);
+  ASSERT_TRUE(dev.WriteSlot(*slot, payload).ok());
+  uint64_t writes_before = reg.GetCounter("flash.dev0.writes").value();
+  EXPECT_GT(writes_before, 0u);
+
+  dev.Fail();
+  dev.Replace();
+
+  // Same registry entries, still wired to the fresh device + FTL.
+  auto slot2 = dev.AllocateSlot(4096);
+  ASSERT_TRUE(slot2.ok());
+  ASSERT_TRUE(dev.WriteSlot(*slot2, payload).ok());
+  EXPECT_GT(reg.GetCounter("flash.dev0.writes").value(), writes_before);
+  EXPECT_GT(reg.GetCounter("flash.dev0.ftl.host_pages_written").value(), 0u);
+  EXPECT_EQ(reg.name_collisions(), 0u);
+}
+
+}  // namespace
+}  // namespace reo
