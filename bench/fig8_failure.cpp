@@ -9,7 +9,8 @@
 using namespace reo;
 using namespace reo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceArgs targs = ParseTraceArgs(argc, argv);
   auto trace = GenerateMediSyn(MediumLocalityConfig());
   auto configs = PaperConfigs();
 
@@ -28,10 +29,15 @@ int main() {
     SimulationConfig sim = MakeSimConfig(configs[c], 0.10, 1 << 20);
     sim.warmup_pass = true;  // §VI.C: "we first fully warm up the cache"
     sim.failures = kFailures;
+    // Trace the representative Reo-20% failure run when asked to.
+    if (configs[c].label == "Reo-20%") ApplyTracing(sim, targs);
     CacheSimulator s(trace, sim);
     RunReport report = s.Run();
     phases[c] = report.windows;
-    if (configs[c].label == "Reo-20%") reo_telemetry = report.telemetry;
+    if (configs[c].label == "Reo-20%") {
+      reo_telemetry = report.telemetry;
+      ExportTrace(s, targs);
+    }
   }
 
   // Retention probe: freeze admissions during failures so the hit ratio

@@ -9,7 +9,8 @@
 using namespace reo;
 using namespace reo::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceArgs targs = ParseTraceArgs(argc, argv);
   const std::vector<double> ratios{0.10, 0.20, 0.30, 0.40, 0.50};
   const std::vector<Config> configs{
       {"Full replication", ProtectionMode::kFullReplication, 0.0},
@@ -22,8 +23,13 @@ int main() {
   for (size_t c = 0; c < configs.size(); ++c) {
     for (double ratio : ratios) {
       auto trace = GenerateMediSyn(WriteIntensiveConfig(ratio));
-      CacheSimulator sim(trace, MakeSimConfig(configs[c], 0.10));
+      SimulationConfig cfg = MakeSimConfig(configs[c], 0.10);
+      // Trace the representative run: Reo at the heaviest write ratio.
+      bool traced = configs[c].mode == ProtectionMode::kReo && ratio == ratios.back();
+      if (traced) ApplyTracing(cfg, targs);
+      CacheSimulator sim(trace, cfg);
       results[c].push_back(sim.Run());
+      if (traced) ExportTrace(sim, targs);
     }
   }
 

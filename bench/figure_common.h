@@ -12,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "common/file_util.h"
 #include "sim/cache_simulator.h"
+#include "trace/chrome_trace.h"
 #include "workload/medisyn.h"
 
 namespace reo::bench {
@@ -54,6 +56,71 @@ inline void PrintTelemetry(const std::string& label,
   bool csv = fmt != nullptr && std::strcmp(fmt, "csv") == 0;
   std::printf("\n(telemetry: %s)\n%s\n", label.c_str(),
               csv ? snapshot.ToCsv().c_str() : snapshot.ToJson().c_str());
+}
+
+/// Optional request tracing of one representative run, switched on from a
+/// figure bench's command line:
+///   fig8_failure --trace-out fig8.json --events-out fig8.events [--trace-sample N]
+struct TraceArgs {
+  std::string trace_out;
+  std::string events_out;
+  uint64_t sample_every = 1;
+  bool enabled() const { return !trace_out.empty() || !events_out.empty(); }
+};
+
+inline TraceArgs ParseTraceArgs(int argc, char** argv) {
+  TraceArgs args;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--trace-out")) {
+      args.trace_out = next();
+    } else if (!std::strcmp(argv[i], "--events-out")) {
+      args.events_out = next();
+    } else if (!std::strcmp(argv[i], "--trace-sample")) {
+      args.sample_every = std::strtoull(next(), nullptr, 10);
+      if (args.sample_every == 0) args.sample_every = 1;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (figure benches take "
+                   "--trace-out/--events-out/--trace-sample)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+inline void ApplyTracing(SimulationConfig& sim, const TraceArgs& args) {
+  if (!args.enabled()) return;
+  sim.enable_tracing = true;
+  sim.tracer.sample_every = args.sample_every;
+}
+
+/// Writes the traced run's exports (atomic; call before the simulator dies).
+inline void ExportTrace(const CacheSimulator& sim, const TraceArgs& args) {
+  if (!args.trace_out.empty()) {
+    Status st = WriteFileAtomic(args.trace_out, ChromeTraceJson(sim.tracer()));
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", st.to_string().c_str());
+      std::exit(1);
+    }
+    std::printf("chrome trace -> %s\n", args.trace_out.c_str());
+  }
+  if (!args.events_out.empty()) {
+    std::string text = sim.tracer().events().ToText();
+    text += "\n";
+    text += TraceReportText(sim.tracer());
+    Status st = WriteFileAtomic(args.events_out, text);
+    if (!st.ok()) {
+      std::fprintf(stderr, "events write failed: %s\n", st.to_string().c_str());
+      std::exit(1);
+    }
+    std::printf("event log -> %s\n", args.events_out.c_str());
+  }
 }
 
 inline SimulationConfig MakeSimConfig(const Config& cfg, double cache_fraction,

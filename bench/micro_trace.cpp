@@ -1,0 +1,98 @@
+// Tracing hot-path overhead (DESIGN.md "Tracing & Events").
+//
+// The cost contract mirrors the telemetry layer: a component whose
+// SpanRecorder* was never attached pays one branch per potential span;
+// attached-but-unsampled costs one extra load; only sampled requests fill
+// records. These microbenches pin each tier so a regression (an
+// accidental allocation or map lookup on the unattached path) shows up as
+// an order-of-magnitude jump.
+#include <benchmark/benchmark.h>
+
+#include "trace/tracer.h"
+
+using namespace reo;
+
+// Tier 0: the component idiom with no tracer attached — the single branch.
+static void BM_LeafUnattached(benchmark::State& state) {
+  SpanRecorder* trace = nullptr;
+  benchmark::DoNotOptimize(trace);
+  SimTime t = 0;
+  for (auto _ : state) {
+    if (trace) trace->Record(TraceOp::kDeviceRead, t, t + 5);
+    ++t;
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_LeafUnattached);
+
+// Tier 1: attached, but no trace is active (request not sampled / idle).
+static void BM_LeafAttachedIdle(benchmark::State& state) {
+  Tracer tracer;
+  SpanRecorder* trace = &tracer.RecorderFor(TraceComponent::kFlashDevice);
+  SimTime t = 0;
+  for (auto _ : state) {
+    trace->Record(TraceOp::kDeviceRead, t, t + 5);
+    ++t;
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_LeafAttachedIdle);
+
+// Tier 2: attached and sampled — the full record fill.
+static void BM_LeafSampled(benchmark::State& state) {
+  Tracer tracer;
+  SpanRecorder* root = &tracer.RecorderFor(TraceComponent::kCacheManager);
+  SpanRecorder* trace = &tracer.RecorderFor(TraceComponent::kFlashDevice);
+  RequestTrace rt(&tracer, root, TraceOp::kGet, 0);
+  SimTime t = 0;
+  for (auto _ : state) {
+    trace->Record(TraceOp::kDeviceRead, t, t + 5);
+    ++t;
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_LeafSampled);
+
+// Nested guard under an active trace (parent chain save/restore).
+static void BM_NestedSpanSampled(benchmark::State& state) {
+  Tracer tracer;
+  SpanRecorder* root = &tracer.RecorderFor(TraceComponent::kCacheManager);
+  SpanRecorder* trace = &tracer.RecorderFor(TraceComponent::kDataPlane);
+  RequestTrace rt(&tracer, root, TraceOp::kGet, 0);
+  SimTime t = 0;
+  for (auto _ : state) {
+    TraceSpan span(trace, TraceOp::kDataRead, t);
+    span.set_end(t + 5);
+    ++t;
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_NestedSpanSampled);
+
+// Root open/close per request, every request sampled.
+static void BM_RootSampled(benchmark::State& state) {
+  Tracer tracer;
+  SpanRecorder* root = &tracer.RecorderFor(TraceComponent::kCacheManager);
+  SimTime t = 0;
+  for (auto _ : state) {
+    RequestTrace rt(&tracer, root, TraceOp::kGet, t);
+    rt.set_end(t + 5);
+    ++t;
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_RootSampled);
+
+// Root open/close with 1-in-1024 sampling: the common production knob.
+static void BM_RootMostlyUnsampled(benchmark::State& state) {
+  Tracer tracer({.sample_every = 1024});
+  SpanRecorder* root = &tracer.RecorderFor(TraceComponent::kCacheManager);
+  SimTime t = 0;
+  for (auto _ : state) {
+    RequestTrace rt(&tracer, root, TraceOp::kGet, t);
+    rt.set_end(t + 5);
+    ++t;
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_RootMostlyUnsampled);

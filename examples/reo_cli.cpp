@@ -9,12 +9,15 @@
 //   reo_cli --trace-file my.trace --policy full-repl
 //   reo_cli --workload weak --save-trace weak.trace
 //   reo_cli stats --stats-format csv       # full telemetry snapshot
+//   reo_cli --fail 2000:0 --trace-out run.json --events-out run.events
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "common/file_util.h"
 #include "sim/cache_simulator.h"
+#include "trace/chrome_trace.h"
 #include "workload/medisyn.h"
 #include "workload/trace_io.h"
 
@@ -40,7 +43,12 @@ void Usage(const char* argv0) {
       "  --warmup                        unmeasured warm-up pass first\n"
       "  --verify                        CRC-verify every hit\n"
       "  stats                           dump the end-of-run telemetry snapshot\n"
-      "  --stats-format json|csv         snapshot format (default json)\n",
+      "  --stats-format json|csv         snapshot format (default json)\n"
+      "  --stats-out PATH                write the snapshot to a file (atomic)\n"
+      "  --trace-out PATH                write a Chrome/Perfetto trace JSON\n"
+      "  --events-out PATH               write the event log + recovery timeline\n"
+      "  --trace-sample N                trace 1 in N requests (default 1)\n"
+      "  --wire                          route OSD commands over the wire transport\n",
       argv0);
 }
 
@@ -59,6 +67,7 @@ int main(int argc, char** argv) {
   std::string trace_file, save_trace;
   bool dump_stats = false;
   std::string stats_format = "json";
+  std::string stats_out, trace_out, events_out;
   double write_ratio = -1.0;
   SimulationConfig cfg;
   cfg.policy = {.mode = ProtectionMode::kReo, .reo_reserve_fraction = 0.2};
@@ -133,6 +142,20 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--stats-format expects json or csv\n");
         return 2;
       }
+    } else if (!std::strcmp(argv[i], "--stats-out")) {
+      stats_out = next();
+      dump_stats = true;
+    } else if (!std::strcmp(argv[i], "--trace-out")) {
+      trace_out = next();
+      cfg.enable_tracing = true;
+    } else if (!std::strcmp(argv[i], "--events-out")) {
+      events_out = next();
+      cfg.enable_tracing = true;
+    } else if (!std::strcmp(argv[i], "--trace-sample")) {
+      cfg.tracer.sample_every = std::strtoull(next(), nullptr, 10);
+      if (cfg.tracer.sample_every == 0) cfg.tracer.sample_every = 1;
+    } else if (!std::strcmp(argv[i], "--wire")) {
+      cfg.wire_transport = true;
     } else if (!std::strcmp(argv[i], "--warmup")) {
       cfg.warmup_pass = true;
     } else if (!std::strcmp(argv[i], "--verify")) {
@@ -213,9 +236,47 @@ int main(int argc, char** argv) {
               static_cast<double>(report.space.redundancy_bytes) / 1e6,
               report.max_wear * 100);
   if (dump_stats) {
-    std::printf("telemetry:\n%s\n",
-                stats_format == "csv" ? report.telemetry.ToCsv().c_str()
-                                      : report.telemetry.ToJson().c_str());
+    std::string snapshot = stats_format == "csv" ? report.telemetry.ToCsv()
+                                                 : report.telemetry.ToJson();
+    if (!stats_out.empty()) {
+      Status st = WriteFileAtomic(stats_out, snapshot);
+      if (!st.ok()) {
+        std::fprintf(stderr, "stats write failed: %s\n", st.to_string().c_str());
+        return 1;
+      }
+      std::printf("telemetry snapshot -> %s\n", stats_out.c_str());
+    } else {
+      std::printf("telemetry:\n%s\n", snapshot.c_str());
+    }
+  }
+  if (cfg.enable_tracing) {
+    std::printf("trace: %llu/%llu requests sampled, %llu spans (%llu dropped),"
+                " %llu events\n",
+                static_cast<unsigned long long>(report.trace.traces_sampled),
+                static_cast<unsigned long long>(report.trace.requests_seen),
+                static_cast<unsigned long long>(report.trace.spans_recorded),
+                static_cast<unsigned long long>(report.trace.spans_dropped),
+                static_cast<unsigned long long>(report.trace.events_logged));
+    if (!trace_out.empty()) {
+      Status st = WriteFileAtomic(trace_out, ChromeTraceJson(sim.tracer()));
+      if (!st.ok()) {
+        std::fprintf(stderr, "trace write failed: %s\n", st.to_string().c_str());
+        return 1;
+      }
+      std::printf("chrome trace -> %s (load in ui.perfetto.dev)\n",
+                  trace_out.c_str());
+    }
+    if (!events_out.empty()) {
+      std::string text = sim.tracer().events().ToText();
+      text += "\n";
+      text += TraceReportText(sim.tracer());
+      Status st = WriteFileAtomic(events_out, text);
+      if (!st.ok()) {
+        std::fprintf(stderr, "events write failed: %s\n", st.to_string().c_str());
+        return 1;
+      }
+      std::printf("event log -> %s\n", events_out.c_str());
+    }
   }
   return 0;
 }

@@ -100,6 +100,7 @@ std::vector<ObjectId> StripeManager::DamagedObjects() const {
 Result<ArrayIo> StripeManager::RebuildObject(ObjectId id, SimTime now) {
   auto it = objects_.find(id);
   if (it == objects_.end()) return Status{ErrorCode::kNotFound, "no such object"};
+  TraceSpan span(trace_recon_, TraceOp::kRebuild, now, id.oid);
 
   ArrayIo io;
   io.complete = now;
@@ -169,6 +170,7 @@ Result<ArrayIo> StripeManager::RebuildObject(ObjectId id, SimTime now) {
       continue;
     }
     if (!stripe.recoverable()) {
+      span.set_flags(kSpanError);
       return Status{ErrorCode::kUnrecoverable, "stripe beyond parity"};
     }
 
@@ -292,6 +294,8 @@ Result<ArrayIo> StripeManager::RebuildObject(ObjectId id, SimTime now) {
     // Loss repair done; restore fault isolation if placement doubled up.
     REO_RETURN_IF_ERROR(rebalance_stripe(stripe));
   }
+  span.set_end(io.complete);
+  span.set_detail(static_cast<uint64_t>(io.chunk_reads) + io.chunk_writes);
   return io;
 }
 

@@ -282,6 +282,7 @@ Status StripeManager::DecodeStripe(
     return {ErrorCode::kUnrecoverable, "stripe lost beyond parity"};
   }
   size_t m = stripe.data.size();
+  TraceSpan span(trace_recon_, TraceOp::kStripeDecode, now);
 
   // Reads a survivor; latent corruption marks the chunk lost (read-repair
   // semantics) and reports kCorrupted so the caller tries the next one.
@@ -290,6 +291,7 @@ Status StripeManager::DecodeStripe(
     auto buf = array_.device(c.device).ReadSlot(c.slot);
     io.complete = std::max(
         io.complete, array_.device(c.device).SubmitIo(now, c.logical_bytes, false));
+    span.Cover(io.complete);
     ++io.chunk_reads;
     if (!buf.ok()) {
       if (buf.status().code() == ErrorCode::kCorrupted) MarkChunkLost(c);
@@ -313,6 +315,7 @@ Status StripeManager::DecodeStripe(
         return Status::Ok();
       }
     }
+    span.set_flags(kSpanError);
     return {ErrorCode::kUnrecoverable, "all replicas lost"};
   }
 
@@ -334,6 +337,7 @@ Status StripeManager::DecodeStripe(
     if (buf.ok()) present.emplace_back(m + j, *buf);
   }
   if (present.size() < m) {
+    span.set_flags(kSpanError);
     return {ErrorCode::kUnrecoverable, "not enough survivors"};
   }
   std::vector<size_t> missing_data;

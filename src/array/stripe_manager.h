@@ -24,6 +24,7 @@
 #include "ec/rs_code.h"
 #include "flash/flash_array.h"
 #include "array/stripe.h"
+#include "trace/tracer.h"
 
 namespace reo {
 
@@ -205,6 +206,13 @@ class StripeManager {
 
   FlashArray& array() { return array_; }
 
+  /// Resolves the reconstruction span track (stripe decodes, rebuilds)
+  /// and fans out to every device's flash track.
+  void AttachTracing(Tracer& tracer) {
+    trace_recon_ = &tracer.RecorderFor(TraceComponent::kReconstruction);
+    array_.AttachTracing(tracer);
+  }
+
  private:
   struct ObjectEntry {
     uint64_t logical_size = 0;
@@ -254,6 +262,8 @@ class StripeManager {
   uint64_t user_bytes_ = 0;
   uint64_t redundancy_bytes_ = 0;
   uint64_t redundancy_by_level_[4] = {0, 0, 0, 0};
+
+  SpanRecorder* trace_recon_ = nullptr;
 };
 
 }  // namespace reo

@@ -53,6 +53,10 @@ Result<BackendFetch> BackendStore::Fetch(ObjectId id, SimTime now) {
   f.version = e.version;
   f.payload = SynthesizePayload(id, e.version, e.physical_bytes);
   ++fetches_;
+  if (trace_) {
+    trace_->Record(TraceOp::kBackendFetch, now, done, id.oid, /*flags=*/0,
+                   e.logical_bytes);
+  }
   return f;
 }
 
@@ -67,6 +71,10 @@ Result<SimTime> BackendStore::Flush(ObjectId id, uint64_t version, SimTime now) 
                      TransferTime(e.logical_bytes, hdd_.transfer_mbps);
   e.version = version;
   ++flushes_;
+  if (trace_) {
+    trace_->Record(TraceOp::kBackendFlush, now, disk_busy_until_, id.oid,
+                   /*flags=*/0, e.logical_bytes);
+  }
   return disk_busy_until_;
 }
 

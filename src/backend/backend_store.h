@@ -16,6 +16,7 @@
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "backend/network_link.h"
+#include "trace/tracer.h"
 
 namespace reo {
 
@@ -70,6 +71,11 @@ class BackendStore {
   uint64_t flush_count() const { return flushes_; }
   NetworkLink& link() { return link_; }
 
+  /// Resolves the backend span track; fetches/flushes record leaf spans.
+  void AttachTracing(Tracer& tracer) {
+    trace_ = &tracer.RecorderFor(TraceComponent::kBackend);
+  }
+
  private:
   struct Entry {
     uint64_t logical_bytes = 0;
@@ -84,6 +90,7 @@ class BackendStore {
   uint64_t fetches_ = 0;
   uint64_t flushes_ = 0;
   SimTime disk_busy_until_ = 0;
+  SpanRecorder* trace_ = nullptr;
 };
 
 }  // namespace reo

@@ -1,0 +1,60 @@
+#include "common/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define REO_HAVE_FSYNC 1
+#endif
+
+namespace reo {
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) {
+    return Status(ErrorCode::kUnavailable,
+                  "open " + tmp + ": " + std::strerror(errno));
+  }
+  bool write_ok =
+      contents.empty() ||
+      std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  if (write_ok && std::fflush(f) != 0) write_ok = false;
+#ifdef REO_HAVE_FSYNC
+  if (write_ok && fsync(fileno(f)) != 0) write_ok = false;
+#endif
+  if (std::fclose(f) != 0) write_ok = false;
+  if (!write_ok) {
+    std::remove(tmp.c_str());
+    return Status(ErrorCode::kUnavailable,
+                  "write " + tmp + ": " + std::strerror(errno));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status(ErrorCode::kUnavailable,
+                  "rename " + tmp + " -> " + path + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    return Status(ErrorCode::kNotFound,
+                  "open " + path + ": " + std::strerror(errno));
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    return Status(ErrorCode::kCorrupted, "read " + path);
+  }
+  return out;
+}
+
+}  // namespace reo

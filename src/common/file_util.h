@@ -1,0 +1,20 @@
+// Filesystem helpers for report/trace emission. Kept out of the hot path;
+// only CLI tools and exporters use these.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace reo {
+
+/// Writes `contents` to `path` atomically: the bytes land in `path + ".tmp"`
+/// first (flushed + fsynced), then rename() swaps it into place, so readers
+/// never observe a torn or partial file even if the process dies mid-write.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// Reads a whole file into a string. kNotFound if it cannot be opened.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace reo

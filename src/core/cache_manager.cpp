@@ -78,9 +78,27 @@ void CacheManager::AttachTelemetry(MetricRegistry& registry) {
   recovery_.AttachTelemetry(registry);
 }
 
+void CacheManager::AttachTracing(Tracer& tracer) {
+  tracer_ = &tracer;
+  trace_root_ = &tracer.RecorderFor(TraceComponent::kCacheManager);
+  ev_ = &tracer.events();
+  plane_.AttachTracing(tracer);
+  backend_.AttachTracing(tracer);
+}
+
 void CacheManager::PublishResidency() {
   Set(tel_.resident_bytes, static_cast<double>(resident_bytes_));
   Set(tel_.resident_objects, static_cast<double>(entries_.size()));
+}
+
+void CacheManager::FinishRecoveryIfDrained(SimTime now) {
+  if (!recovery_.empty()) return;
+  if (plane_.recovery_active()) {
+    Emit(ev_, now, EventSeverity::kInfo, "recovery.complete",
+         "recovery queue drained",
+         {{"rebuilds", std::to_string(stats_.rebuilds)}});
+  }
+  plane_.set_recovery_active(false);
 }
 
 ObjectState CacheManager::StateOf(ObjectId id, const Entry& e) const {
@@ -120,6 +138,7 @@ RequestResult CacheManager::Get(ObjectId id, uint64_t logical_size, SimTime now)
   ++stats_.gets;
   RequestResult res;
   res.bytes = logical_size;
+  RequestTrace trace(tracer_, trace_root_, TraceOp::kGet, now, id.oid);
 
   if (array_unusable_) {
     // The striped volume is gone: every request goes to the backend.
@@ -127,11 +146,15 @@ RequestResult CacheManager::Get(ObjectId id, uint64_t logical_size, SimTime now)
     ++stats_.uncacheable;
     Inc(tel_.class_misses[static_cast<int>(DataClass::kColdClean)]);
     Inc(tel_.uncacheable);
+    trace.set_op(TraceOp::kGetUncacheable);
     auto fetch = backend_.Fetch(id, now);
     res.sense = fetch.ok() ? SenseCode::kOk : SenseCode::kFail;
     if (fetch.ok()) {
       res.latency = fetch->complete - now;
+      trace.set_end(fetch->complete);
       Observe(tel_.miss_latency_us, static_cast<double>(res.latency) / 1e3);
+    } else {
+      trace.set_flags(kSpanError);
     }
     return res;
   }
@@ -148,6 +171,10 @@ RequestResult CacheManager::Get(ObjectId id, uint64_t logical_size, SimTime now)
       it->second.freq++;
       (void)lru_.Touch(id);
       if (resp.degraded) ++stats_.degraded_reads;
+      trace.set_op(resp.degraded ? TraceOp::kGetDegraded : TraceOp::kGetHit);
+      if (resp.degraded) trace.set_flags(kSpanDegraded);
+      trace.set_class(static_cast<uint8_t>(it->second.cls));
+      trace.set_end(resp.complete);
       Inc(tel_.class_hits[static_cast<int>(it->second.cls)]);
       if (resp.degraded) {
         Inc(tel_.degraded_reads);
@@ -195,14 +222,22 @@ RequestResult CacheManager::Get(ObjectId id, uint64_t logical_size, SimTime now)
         auto rb = plane_.stripes().RebuildObject(id, resp.complete);
         if (rb.ok()) {
           ++stats_.rebuilds;
-          recovery_.RecordRebuild(
-              it->second.cls, /*on_demand=*/true,
-              static_cast<double>(rb->complete > resp.complete
-                                      ? rb->complete - resp.complete
-                                      : 0) /
-                  1e3);
+          double rebuild_us = static_cast<double>(rb->complete > resp.complete
+                                                      ? rb->complete - resp.complete
+                                                      : 0) /
+                              1e3;
+          recovery_.RecordRebuild(it->second.cls, /*on_demand=*/true,
+                                  rebuild_us);
+          trace.set_flags(kSpanOnDemand);
+          trace.Cover(rb->complete);  // repair rides on this request
+          Emit(ev_, resp.complete, EventSeverity::kInfo, "recovery.rebuild",
+               "on-demand repair-on-read",
+               {{"object", id.ToString()},
+                {"class", std::to_string(static_cast<int>(it->second.cls))},
+                {"mode", "on-demand"},
+                {"latency_us", std::to_string(rebuild_us)}});
         }
-        if (recovery_.empty()) plane_.set_recovery_active(false);
+        FinishRecoveryIfDrained(now);
       }
 
       MaybeRefresh(now);
@@ -222,13 +257,16 @@ RequestResult CacheManager::Get(ObjectId id, uint64_t logical_size, SimTime now)
     DataClass miss_cls = Classify(StateOf(id, probe), classifier_.h_hot());
     Inc(tel_.class_misses[static_cast<int>(miss_cls)]);
   }
+  trace.set_op(TraceOp::kGetMiss);
   auto fetch = backend_.Fetch(id, now);
   if (!fetch.ok()) {
     res.sense = SenseCode::kFail;
+    trace.set_flags(kSpanError);
     return res;
   }
   res.latency = fetch->complete - now;
   res.sense = SenseCode::kOk;
+  trace.set_end(fetch->complete);
   Observe(tel_.miss_latency_us, static_cast<double>(res.latency) / 1e3);
 
   auto& array = plane_.stripes().array();
@@ -243,6 +281,7 @@ RequestResult CacheManager::Get(ObjectId id, uint64_t logical_size, SimTime now)
       ++stats_.uncacheable;
       Inc(tel_.uncacheable);
     }
+    trace.Cover(io_complete);  // admission IO rides on the miss
   }
   MaybeRefresh(now);
   AdvanceBackground(now);
@@ -256,6 +295,7 @@ RequestResult CacheManager::Put(ObjectId id, uint64_t logical_size, SimTime now)
   RequestResult res;
   res.is_write = true;
   res.bytes = logical_size;
+  RequestTrace trace(tracer_, trace_root_, TraceOp::kPut, now, id.oid);
 
   uint64_t physical = plane_.stripes().PhysicalSize(logical_size);
   backend_.RegisterObject(id, logical_size, physical);
@@ -264,8 +304,10 @@ RequestResult CacheManager::Put(ObjectId id, uint64_t logical_size, SimTime now)
   if (array_unusable_) {
     ++stats_.uncacheable;
     Inc(tel_.uncacheable);
+    trace.set_op(TraceOp::kPutUncacheable);
     auto done = backend_.Flush(id, version, now);
     res.latency = done.ok() ? *done - now : 0;
+    if (done.ok()) trace.set_end(*done);
     Observe(tel_.write_latency_us, static_cast<double>(res.latency) / 1e3);
     return res;
   }
@@ -283,8 +325,10 @@ RequestResult CacheManager::Put(ObjectId id, uint64_t logical_size, SimTime now)
 
   if (config_.write_policy == WritePolicy::kWriteThrough) {
     // Persist first; the cached copy is clean from the start.
+    trace.set_op(TraceOp::kPutWriteThrough);
     auto done = backend_.Flush(id, version, now);
     res.latency = done.ok() ? *done - now : 0;
+    if (done.ok()) trace.set_end(*done);
     Observe(tel_.write_latency_us, static_cast<double>(res.latency) / 1e3);
     SimTime io_complete = now;
     if (!Admit(id, logical_size, payload, version, /*dirty=*/false, now,
@@ -292,6 +336,7 @@ RequestResult CacheManager::Put(ObjectId id, uint64_t logical_size, SimTime now)
       ++stats_.uncacheable;
       Inc(tel_.uncacheable);
     }
+    trace.Cover(io_complete);
     MaybeRefresh(now);
     AdvanceBackground(now);
     return res;
@@ -302,12 +347,17 @@ RequestResult CacheManager::Put(ObjectId id, uint64_t logical_size, SimTime now)
             io_complete)) {
     res.hit = true;  // absorbed by the cache
     res.latency = io_complete > now ? io_complete - now : 0;
+    trace.set_op(TraceOp::kPutWriteBack);
+    trace.set_class(static_cast<uint8_t>(DataClass::kDirty));
+    trace.set_end(io_complete);
   } else {
     // Cannot cache: write through to the backend synchronously.
     ++stats_.uncacheable;
     Inc(tel_.uncacheable);
+    trace.set_op(TraceOp::kPutUncacheable);
     auto done = backend_.Flush(id, version, now);
     res.latency = done.ok() ? *done - now : 0;
+    if (done.ok()) trace.set_end(*done);
   }
   Observe(tel_.write_latency_us, static_cast<double>(res.latency) / 1e3);
   MaybeRefresh(now);
@@ -333,10 +383,23 @@ bool CacheManager::Admit(ObjectId id, uint64_t logical_size,
 
   // Make room, then create/classify/write. The write itself can still see
   // 0x64 (per-device fragmentation), in which case we evict and retry.
+  constexpr size_t kEvictionStormThreshold = 16;
+  size_t evictions = 0;
+  auto evict_one = [&] {
+    if (!EvictOne(now)) return false;
+    if (++evictions == kEvictionStormThreshold) {
+      Emit(ev_, now, EventSeverity::kWarn, "cache.eviction_storm",
+           "one admission displaced many objects",
+           {{"object", id.ToString()},
+            {"evictions", std::to_string(evictions)},
+            {"bytes", std::to_string(logical_size)}});
+    }
+    return true;
+  };
   size_t attempts = entries_.size() + 2;
   while (attempts-- > 0) {
     while (!plane_.HasSpaceFor(logical_size, static_cast<uint8_t>(cls))) {
-      if (!EvictOne(now)) return false;
+      if (!evict_one()) return false;
     }
     // CREATE is idempotent from the initiator's view: AlreadyExists maps
     // to kFail, which is fine for a re-admission.
@@ -357,7 +420,7 @@ bool CacheManager::Admit(ObjectId id, uint64_t logical_size,
       return true;
     }
     if (resp.sense != SenseCode::kCacheFull) return false;
-    if (!EvictOne(now)) return false;
+    if (!evict_one()) return false;
   }
   return false;
 }
@@ -501,6 +564,11 @@ void CacheManager::RefreshClassification(SimTime now) {
   classifier_.Refresh(candidates, hot_budget);
   double h_hot = classifier_.h_hot();
   Set(tel_.h_hot, h_hot);
+  Emit(ev_, now, EventSeverity::kDebug, "reclass.refresh",
+       "adaptive H_hot threshold recomputed",
+       {{"h_hot", std::to_string(h_hot)},
+        {"candidates", std::to_string(candidates.size())},
+        {"hot_budget", std::to_string(hot_budget)}});
   reserve_full_hint_ = false;  // downgrades below may free budget
 
   // Apply class changes: downgrades first (they release reserve budget),
@@ -549,9 +617,17 @@ void CacheManager::RefreshClassification(SimTime now) {
 // ---------------------------------------------------------------------------
 
 void CacheManager::OnDeviceFailure(DeviceIndex device, SimTime now) {
+  // Failure handling is always traced (force): it is rare and is exactly
+  // what the recovery timeline exists to explain.
+  RequestTrace trace(tracer_, trace_root_, TraceOp::kFailureHandling, now,
+                     /*object=*/0, /*force=*/true);
   auto& stripes = plane_.stripes();
   (void)stripes.array().FailDevice(device);
   auto affected = stripes.OnDeviceFailure(device);
+  Emit(ev_, now, EventSeverity::kError, "device.failure", "device shot down",
+       {{"device", std::to_string(device)},
+        {"affected_objects", std::to_string(affected.size())},
+        {"healthy_left", std::to_string(stripes.array().healthy_count())}});
 
   // Uniform protection is RAID-style striping: once the failure count
   // exceeds the parity tolerance, the whole volume is gone — not just the
@@ -564,6 +640,10 @@ void CacheManager::OnDeviceFailure(DeviceIndex device, SimTime now) {
         plane_.policy().LevelFor(DataClass::kColdClean), array.size());
     if (failed > tolerance) {
       array_unusable_ = true;
+      Emit(ev_, now, EventSeverity::kError, "array.unusable",
+           "uniform-protection volume lost beyond parity tolerance",
+           {{"failed", std::to_string(failed)},
+            {"tolerance", std::to_string(tolerance)}});
       std::vector<ObjectId> resident;
       resident.reserve(entries_.size());
       for (const auto& [id, e] : entries_) {
@@ -613,10 +693,11 @@ void CacheManager::OnDeviceFailure(DeviceIndex device, SimTime now) {
   // dirty) are small and their loss is permanent, so they are re-protected
   // synchronously at failure time; classes 2/3 recover at the background
   // pace.
-  RecoverCriticalNow(now);
+  trace.Cover(RecoverCriticalNow(now));
 }
 
-void CacheManager::RecoverCriticalNow(SimTime now) {
+SimTime CacheManager::RecoverCriticalNow(SimTime now) {
+  SimTime last = now;
   while (auto next = recovery_.Peek()) {
     auto it = entries_.find(*next);
     if (it == entries_.end()) {
@@ -626,10 +707,16 @@ void CacheManager::RecoverCriticalNow(SimTime now) {
     if (it->second.cls > DataClass::kDirty) break;  // queue is class-ordered
     auto rb = plane_.stripes().RebuildObject(*next, now);
     if (rb.ok()) {
-      recovery_.RecordRebuild(
-          it->second.cls, /*on_demand=*/true,
-          static_cast<double>(rb->complete > now ? rb->complete - now : 0) /
-              1e3);
+      double rebuild_us =
+          static_cast<double>(rb->complete > now ? rb->complete - now : 0) / 1e3;
+      recovery_.RecordRebuild(it->second.cls, /*on_demand=*/true, rebuild_us);
+      Emit(ev_, now, EventSeverity::kInfo, "recovery.rebuild",
+           "critical-class rebuild at failure time",
+           {{"object", next->ToString()},
+            {"class", std::to_string(static_cast<int>(it->second.cls))},
+            {"mode", "on-demand"},
+            {"latency_us", std::to_string(rebuild_us)}});
+      last = std::max(last, rb->complete);
       recovery_.Pop();
       ++stats_.rebuilds;
     } else if (rb.code() == ErrorCode::kUnrecoverable) {
@@ -643,11 +730,18 @@ void CacheManager::RecoverCriticalNow(SimTime now) {
       break;  // transient (e.g. no space): keep it queued, retry later
     }
   }
-  if (recovery_.empty()) plane_.set_recovery_active(false);
+  FinishRecoveryIfDrained(now);
+  return last;
 }
 
 void CacheManager::OnSpareInserted(DeviceIndex device, SimTime now) {
+  RequestTrace trace(tracer_, trace_root_, TraceOp::kSpareHandling, now,
+                     /*object=*/0, /*force=*/true);
   (void)plane_.stripes().array().ReplaceDevice(device);
+  Emit(ev_, now, EventSeverity::kInfo, "spare.inserted",
+       "fresh spare swapped into array position",
+       {{"device", std::to_string(device)},
+        {"healthy", std::to_string(plane_.stripes().array().healthy_count())}});
   if (array_unusable_ &&
       plane_.stripes().array().healthy_count() == plane_.stripes().array().size()) {
     // A fully repaired uniform array comes back empty (re-formatted).
@@ -676,10 +770,11 @@ void CacheManager::OnSpareInserted(DeviceIndex device, SimTime now) {
                       it->second.logical_size);
   }
   if (!recovery_.empty()) plane_.set_recovery_active(true);
-  RecoverCriticalNow(now);
+  trace.Cover(RecoverCriticalNow(now));
 }
 
-void CacheManager::RunRecoveryBudget(SimTime now, uint64_t byte_budget) {
+SimTime CacheManager::RunRecoveryBudget(SimTime now, uint64_t byte_budget) {
+  SimTime last = now;
   uint64_t rebuilt = 0;
   while (rebuilt < byte_budget) {
     auto next = recovery_.Peek();
@@ -691,10 +786,16 @@ void CacheManager::RunRecoveryBudget(SimTime now, uint64_t byte_budget) {
     }
     auto rb = plane_.stripes().RebuildObject(*next, now);
     if (rb.ok()) {
-      recovery_.RecordRebuild(
-          it->second.cls, /*on_demand=*/false,
-          static_cast<double>(rb->complete > now ? rb->complete - now : 0) /
-              1e3);
+      double rebuild_us =
+          static_cast<double>(rb->complete > now ? rb->complete - now : 0) / 1e3;
+      recovery_.RecordRebuild(it->second.cls, /*on_demand=*/false, rebuild_us);
+      Emit(ev_, now, EventSeverity::kInfo, "recovery.rebuild",
+           "paced background rebuild",
+           {{"object", next->ToString()},
+            {"class", std::to_string(static_cast<int>(it->second.cls))},
+            {"mode", "background"},
+            {"latency_us", std::to_string(rebuild_us)}});
+      last = std::max(last, rb->complete);
       recovery_.Pop();
       ++stats_.rebuilds;
       rebuilt += it->second.logical_size;
@@ -709,16 +810,28 @@ void CacheManager::RunRecoveryBudget(SimTime now, uint64_t byte_budget) {
       break;  // e.g. no space to place rebuilt chunks; keep queued
     }
   }
-  if (recovery_.empty()) plane_.set_recovery_active(false);
+  FinishRecoveryIfDrained(now);
+  return last;
 }
 
 SimTime CacheManager::DrainRecovery(SimTime now) {
-  RunRecoveryBudget(now, UINT64_MAX);
+  RequestTrace trace(tracer_, trace_root_, TraceOp::kRecoveryDrain, now,
+                     /*object=*/0, /*force=*/true);
+  trace.Cover(RunRecoveryBudget(now, UINT64_MAX));
   return now;
 }
 
 StripeManager::ScrubReport CacheManager::RunScrub(SimTime now) {
+  RequestTrace trace(tracer_, trace_root_, TraceOp::kScrub, now,
+                     /*object=*/0, /*force=*/true);
   auto report = plane_.stripes().Scrub(now);
+  trace.Cover(report.complete);
+  Emit(ev_, now, EventSeverity::kInfo, "scrub.complete",
+       "full-array scrub pass",
+       {{"scanned", std::to_string(report.chunks_scanned)},
+        {"corrupt", std::to_string(report.corrupt_found)},
+        {"repaired", std::to_string(report.chunks_repaired)},
+        {"lost", std::to_string(report.lost.size())}});
   for (ObjectId id : report.lost) {
     auto it = entries_.find(id);
     if (it == entries_.end()) continue;

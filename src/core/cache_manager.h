@@ -29,6 +29,7 @@
 #include "osd/osd_initiator.h"
 #include "osd/osd_target.h"
 #include "telemetry/metric_registry.h"
+#include "trace/tracer.h"
 
 namespace reo {
 
@@ -183,6 +184,14 @@ class CacheManager {
   /// updates.
   void AttachTelemetry(MetricRegistry& registry);
 
+  /// Resolves tracing sinks: the manager opens the root span of every
+  /// client request (Get/Put) and of every failure-plane entry point, and
+  /// emits the structured events (device failures, rebuilds, eviction
+  /// storms, reclassification refreshes). Fans out to the data plane and
+  /// backend it owns references to; the simulator attaches the target and
+  /// transport separately.
+  void AttachTracing(Tracer& tracer);
+
  private:
   struct Entry {
     uint64_t logical_size = 0;
@@ -215,9 +224,11 @@ class CacheManager {
 
   void RefreshClassification(SimTime now);
   /// Synchronously rebuilds queued Class 0/1 (metadata, dirty) objects.
-  void RecoverCriticalNow(SimTime now);
+  /// Returns the completion time of the last rebuild (`now` if none ran).
+  SimTime RecoverCriticalNow(SimTime now);
   void MaybeRefresh(SimTime now);
-  void RunRecoveryBudget(SimTime now, uint64_t byte_budget);
+  /// Returns the completion time of the last rebuild (`now` if none ran).
+  SimTime RunRecoveryBudget(SimTime now, uint64_t byte_budget);
 
   OsdInitiator initiator_;
   ReoDataPlane& plane_;
@@ -265,7 +276,16 @@ class CacheManager {
 
   void PublishResidency();
 
+  /// Emits "recovery.complete" once when the queue drains after failure
+  /// work (and clears the plane's recovery-active flag).
+  void FinishRecoveryIfDrained(SimTime now);
+
   Telemetry tel_;
+
+  // Tracing sinks (null when un-attached; each use costs one branch).
+  Tracer* tracer_ = nullptr;
+  SpanRecorder* trace_root_ = nullptr;
+  EventLog* ev_ = nullptr;
   CacheStats stats_;
   uint64_t request_counter_ = 0;
   uint64_t next_version_ = 1;

@@ -39,6 +39,11 @@ void ReoDataPlane::AttachTelemetry(MetricRegistry& registry) {
       .Set(static_cast<double>(reserve_bytes_));
 }
 
+void ReoDataPlane::AttachTracing(Tracer& tracer) {
+  trace_ = &tracer.RecorderFor(TraceComponent::kDataPlane);
+  stripes_.AttachTracing(tracer);
+}
+
 RedundancyLevel ReoDataPlane::EffectiveLevel(uint64_t logical_bytes,
                                              uint8_t class_id) const {
   auto cls = static_cast<DataClass>(class_id);
@@ -60,6 +65,7 @@ Result<DataPlaneIo> ReoDataPlane::WriteObject(ObjectId id,
                                               std::span<const uint8_t> payload,
                                               uint64_t logical_bytes,
                                               uint8_t class_id, SimTime now) {
+  TraceSpan span(trace_, TraceOp::kDataWrite, now, id.oid);
   RedundancyLevel desired = policy_.LevelFor(static_cast<DataClass>(class_id));
   RedundancyLevel level = EffectiveLevel(logical_bytes, class_id);
   if (level != desired) {
@@ -67,7 +73,12 @@ Result<DataPlaneIo> ReoDataPlane::WriteObject(ObjectId id,
     Inc(tel_reserve_rejections_);
   }
   auto io = stripes_.PutObject(id, payload, logical_bytes, level, now);
-  if (!io.ok()) return io.status();
+  if (!io.ok()) {
+    span.set_flags(kSpanError);
+    return io.status();
+  }
+  span.set_end(io->complete);
+  span.set_detail(logical_bytes);
   Inc(tel_writes_);
   Set(tel_redundancy_bytes_, static_cast<double>(stripes_.redundancy_bytes()));
   Set(tel_user_bytes_, static_cast<double>(stripes_.user_bytes()));
@@ -75,10 +86,18 @@ Result<DataPlaneIo> ReoDataPlane::WriteObject(ObjectId id,
 }
 
 Result<DataPlaneIo> ReoDataPlane::ReadObject(ObjectId id, SimTime now) {
+  TraceSpan span(trace_, TraceOp::kDataRead, now, id.oid);
   auto io = stripes_.GetObject(id, now);
-  if (!io.ok()) return io.status();
+  if (!io.ok()) {
+    span.set_flags(kSpanError);
+    return io.status();
+  }
   Inc(tel_reads_);
-  if (io->degraded) Inc(tel_degraded_reads_);
+  if (io->degraded) {
+    Inc(tel_degraded_reads_);
+    span.set_flags(kSpanDegraded);
+  }
+  span.set_end(io->complete);
   return ToDataPlaneIo(std::move(*io));
 }
 
@@ -95,10 +114,16 @@ Status ReoDataPlane::RemoveObject(ObjectId id) {
 Status ReoDataPlane::SetObjectClass(ObjectId id, uint8_t class_id, SimTime now) {
   auto size = stripes_.LogicalSizeOf(id);
   if (!size.ok()) return size.status();
+  TraceSpan span(trace_, TraceOp::kReencode, now, id.oid);
+  span.set_detail(class_id);
   RedundancyLevel desired = policy_.LevelFor(static_cast<DataClass>(class_id));
   RedundancyLevel effective = EffectiveLevel(*size, class_id);
   auto io = stripes_.ReencodeObject(id, effective, now);
-  if (!io.ok()) return io.status();
+  if (!io.ok()) {
+    span.set_flags(kSpanError);
+    return io.status();
+  }
+  span.set_end(io->complete);
   Inc(tel_reclass_);
   Set(tel_redundancy_bytes_, static_cast<double>(stripes_.redundancy_bytes()));
   Set(tel_user_bytes_, static_cast<double>(stripes_.user_bytes()));

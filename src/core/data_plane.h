@@ -13,6 +13,7 @@
 #include "core/policy.h"
 #include "osd/osd_target.h"
 #include "telemetry/metric_registry.h"
+#include "trace/tracer.h"
 
 namespace reo {
 
@@ -55,6 +56,10 @@ class ReoDataPlane final : public DataPlane {
   /// hot-path updates: op counts, reserve pressure, redundancy footprint.
   void AttachTelemetry(MetricRegistry& registry);
 
+  /// Resolves the data-plane span track and fans out to the stripe layer
+  /// (reconstruction track + per-device flash tracks).
+  void AttachTracing(Tracer& tracer);
+
  private:
   StripeManager& stripes_;
   RedundancyPolicy policy_;
@@ -71,6 +76,8 @@ class ReoDataPlane final : public DataPlane {
   Counter* tel_reserve_rejections_ = nullptr;
   Gauge* tel_redundancy_bytes_ = nullptr;
   Gauge* tel_user_bytes_ = nullptr;
+
+  SpanRecorder* trace_ = nullptr;
 };
 
 }  // namespace reo

@@ -54,6 +54,12 @@ void FlashArray::AttachTelemetry(MetricRegistry& registry) {
   tel_healthy_->Set(static_cast<double>(healthy_count()));
 }
 
+void FlashArray::AttachTracing(Tracer& tracer) {
+  for (DeviceIndex i = 0; i < devices_.size(); ++i) {
+    devices_[i]->AttachTracing(tracer, static_cast<uint8_t>(i));
+  }
+}
+
 uint64_t FlashArray::total_capacity_bytes() const {
   uint64_t sum = 0;
   for (const auto& d : devices_) sum += d->config().capacity_bytes;

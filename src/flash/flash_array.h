@@ -47,6 +47,9 @@ class FlashArray {
   /// updates.
   void AttachTelemetry(MetricRegistry& registry);
 
+  /// Resolves a span track per device position ("flash.dev<i>").
+  void AttachTracing(Tracer& tracer);
+
  private:
   std::vector<std::unique_ptr<FlashDevice>> devices_;
   Gauge* tel_healthy_ = nullptr;

@@ -46,6 +46,10 @@ void FlashDevice::AttachTelemetry(MetricRegistry& registry,
   if (ftl_) ftl_->AttachTelemetry(registry, prefix + ".ftl");
 }
 
+void FlashDevice::AttachTracing(Tracer& tracer, uint8_t array_index) {
+  trace_ = &tracer.RecorderFor(TraceComponent::kFlashDevice, array_index);
+}
+
 Status FlashDevice::FtlWriteSlot(Slot& s) {
   if (s.page_count == 0) {
     // First write: allocate a contiguous lpn range (reusing a freed range
@@ -178,6 +182,13 @@ SimTime FlashDevice::ServiceTime(uint64_t logical_bytes, bool is_write) const {
 SimTime FlashDevice::SubmitIo(SimTime start, uint64_t logical_bytes, bool is_write) {
   SimTime begin = std::max(start, busy_until_);
   busy_until_ = begin + ServiceTime(logical_bytes, is_write);
+  if (trace_) {
+    // Span covers queueing-adjusted service only, so same-track spans on a
+    // busy device abut instead of overlapping.
+    trace_->Record(is_write ? TraceOp::kDeviceWrite : TraceOp::kDeviceRead,
+                   begin, busy_until_, /*object=*/0, /*flags=*/0,
+                   /*detail=*/logical_bytes);
+  }
   return busy_until_;
 }
 

@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "flash/ftl.h"
 #include "telemetry/metric_registry.h"
+#include "trace/tracer.h"
 
 namespace reo {
 
@@ -140,6 +141,11 @@ class FlashDevice {
   /// are array-position-lifetime; gauges reflect the current device).
   void AttachTelemetry(MetricRegistry& registry, const std::string& prefix);
 
+  /// Resolves this device's span track ("flash.dev<index>"). Like
+  /// telemetry, the recorder pointer is position-lifetime: it survives
+  /// Fail/Replace so a spare keeps recording on the same track.
+  void AttachTracing(Tracer& tracer, uint8_t array_index);
+
  private:
   struct Slot {
     bool allocated = false;
@@ -180,6 +186,10 @@ class FlashDevice {
   Gauge* tel_bytes_written_ = nullptr;
   Gauge* tel_wear_ = nullptr;
   uint64_t tel_published_erases_ = 0;  ///< FTL erase count already exported
+
+  // Tracing (null when un-attached): SubmitIo records one leaf span per IO
+  // on this device's track, [queue-adjusted begin, completion].
+  SpanRecorder* trace_ = nullptr;
 };
 
 }  // namespace reo

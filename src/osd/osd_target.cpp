@@ -27,6 +27,16 @@ void OsdTarget::AttachTelemetry(MetricRegistry& registry) {
 OsdResponse OsdTarget::Execute(const OsdCommand& cmd) {
   ++stats_.commands;
   Inc(tel_commands_);
+  TraceOp span_op = TraceOp::kOsdCommand;
+  switch (cmd.op) {
+    case OsdOp::kRead: span_op = TraceOp::kOsdRead; break;
+    case OsdOp::kWrite:
+      span_op = cmd.id == kControlObject ? TraceOp::kOsdControl
+                                         : TraceOp::kOsdWrite;
+      break;
+    default: break;
+  }
+  TraceSpan span(trace_, span_op, cmd.now, cmd.id.oid);
   OsdResponse resp;
   switch (cmd.op) {
     case OsdOp::kFormat:
@@ -117,7 +127,10 @@ OsdResponse OsdTarget::Execute(const OsdCommand& cmd) {
   if (resp.sense != SenseCode::kOk) {
     ++stats_.sense_errors;
     Inc(tel_sense_errors_);
+    span.set_flags(kSpanError);
   }
+  if (resp.degraded) span.set_flags(kSpanDegraded);
+  span.Cover(resp.complete);
   return resp;
 }
 

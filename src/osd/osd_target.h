@@ -19,6 +19,7 @@
 #include "osd/object_store.h"
 #include "osd/sense.h"
 #include "telemetry/metric_registry.h"
+#include "trace/tracer.h"
 
 namespace reo {
 
@@ -140,6 +141,12 @@ class OsdTarget {
   /// updates: op counts, payload bytes in/out, sense-error counts.
   void AttachTelemetry(MetricRegistry& registry);
 
+  /// Resolves the target's span track: Execute records one span per
+  /// command, op-labelled, flagged degraded / error from the response.
+  void AttachTracing(Tracer& tracer) {
+    trace_ = &tracer.RecorderFor(TraceComponent::kOsdTarget);
+  }
+
  private:
   OsdResponse HandleControlWrite(const OsdCommand& command);
   OsdResponse HandleWrite(const OsdCommand& command);
@@ -158,6 +165,8 @@ class OsdTarget {
   Counter* tel_sense_errors_ = nullptr;
   Counter* tel_bytes_in_ = nullptr;
   Counter* tel_bytes_out_ = nullptr;
+
+  SpanRecorder* trace_ = nullptr;
 };
 
 }  // namespace reo

@@ -156,6 +156,7 @@ void OsdTransport::AttachTelemetry(MetricRegistry& registry) {
 OsdResponse OsdTransport::Roundtrip(const OsdCommand& command) {
   ++stats_.commands;
   Inc(tel_commands_);
+  TraceSpan span(trace_, TraceOp::kRoundtrip, command.now, command.id.oid);
 
   // Initiator -> target.
   auto request_wire = EncodeCommand(command);
@@ -167,6 +168,7 @@ OsdResponse OsdTransport::Roundtrip(const OsdCommand& command) {
   if (!decoded.ok()) {
     ++stats_.decode_errors;
     Inc(tel_decode_errors_);
+    span.set_flags(kSpanError);
     OsdResponse err;
     err.sense = SenseCode::kFail;
     return err;
@@ -185,11 +187,15 @@ OsdResponse OsdTransport::Roundtrip(const OsdCommand& command) {
   if (!back.ok()) {
     ++stats_.decode_errors;
     Inc(tel_decode_errors_);
+    span.set_flags(kSpanError);
     OsdResponse err;
     err.sense = SenseCode::kFail;
     return err;
   }
   back->complete = received;
+  span.set_end(received);
+  span.set_detail(request_wire.size() + response_wire.size());
+  if (back->degraded) span.set_flags(kSpanDegraded);
   return std::move(*back);
 }
 

@@ -16,6 +16,7 @@
 #include "backend/network_link.h"
 #include "osd/osd_target.h"
 #include "telemetry/metric_registry.h"
+#include "trace/tracer.h"
 
 namespace reo {
 
@@ -54,6 +55,12 @@ class OsdTransport {
   /// updates: command count, bytes each way, decode errors.
   void AttachTelemetry(MetricRegistry& registry);
 
+  /// Resolves the transport span track: every Roundtrip records one span
+  /// covering encode + both link transfers + target execution.
+  void AttachTracing(Tracer& tracer) {
+    trace_ = &tracer.RecorderFor(TraceComponent::kTransport);
+  }
+
  private:
   OsdTarget& target_;
   NetworkLink link_;
@@ -64,6 +71,8 @@ class OsdTransport {
   Counter* tel_bytes_sent_ = nullptr;
   Counter* tel_bytes_received_ = nullptr;
   Counter* tel_decode_errors_ = nullptr;
+
+  SpanRecorder* trace_ = nullptr;
 };
 
 }  // namespace reo

@@ -6,7 +6,7 @@
 namespace reo {
 
 CacheSimulator::CacheSimulator(const Trace& trace, SimulationConfig config)
-    : trace_(trace), config_(std::move(config)) {
+    : trace_(trace), config_(std::move(config)), tracer_(config_.tracer) {
   uint64_t dataset = trace_.catalog.TotalBytes();
   uint64_t raw_capacity = static_cast<uint64_t>(
       config_.cache_fraction * static_cast<double>(dataset));
@@ -35,12 +35,27 @@ CacheSimulator::CacheSimulator(const Trace& trace, SimulationConfig config)
   cmc.verify_hits = config_.verify_hits;
   cache_ = std::make_unique<CacheManager>(*target_, *plane_, *backend_, cmc);
 
+  if (config_.wire_transport) {
+    transport_ = std::make_unique<OsdTransport>(*target_, config_.net);
+    cache_->initiator_mutable().UseTransport(transport_.get());
+  }
+
   // Attach every layer to the run-wide registry (the cache manager attaches
   // its recovery scheduler itself).
   array_->AttachTelemetry(telemetry_);
   plane_->AttachTelemetry(telemetry_);
   target_->AttachTelemetry(telemetry_);
   cache_->AttachTelemetry(telemetry_);
+  if (transport_) transport_->AttachTelemetry(telemetry_);
+
+  if (config_.enable_tracing) {
+    // The cache manager fans out to the data plane (stripes + flash
+    // devices) and the backend; the target and wire transport attach here.
+    cache_->AttachTracing(tracer_);
+    target_->AttachTracing(tracer_);
+    if (transport_) transport_->AttachTracing(tracer_);
+    sim_ev_ = &tracer_.events();
+  }
 
   // Register the catalog with the backend store.
   for (uint32_t i = 0; i < trace_.catalog.count(); ++i) {
@@ -79,6 +94,10 @@ RunReport CacheSimulator::Run() {
   for (uint64_t i = 0; i < trace_.requests.size(); ++i) {
     while (next_failure < config_.failures.size() &&
            config_.failures[next_failure].at_request == i) {
+      Emit(sim_ev_, clock_.now(), EventSeverity::kWarn, "sim.fail_injected",
+           "scripted device failure",
+           {{"device", std::to_string(config_.failures[next_failure].device)},
+            {"request", std::to_string(i)}});
       cache_->OnDeviceFailure(config_.failures[next_failure].device, clock_.now());
       ++failed_so_far;
       char label[48];
@@ -99,6 +118,10 @@ RunReport CacheSimulator::Run() {
     }
     while (next_spare < config_.spares.size() &&
            config_.spares[next_spare].at_request == i) {
+      Emit(sim_ev_, clock_.now(), EventSeverity::kInfo, "sim.spare_injected",
+           "scripted spare insertion",
+           {{"device", std::to_string(config_.spares[next_spare].device)},
+            {"request", std::to_string(i)}});
       cache_->OnSpareInserted(config_.spares[next_spare].device, clock_.now());
       ++next_spare;
     }
@@ -135,6 +158,7 @@ RunReport CacheSimulator::Run() {
   report.dataset_bytes = trace_.catalog.TotalBytes();
   report.raw_capacity_bytes = array_->total_capacity_bytes();
   report.telemetry = telemetry_.Snapshot();
+  report.trace = tracer_.Stats();
   return report;
 }
 

@@ -15,6 +15,7 @@
 #include "core/cache_manager.h"
 #include "sim/metrics.h"
 #include "telemetry/metric_registry.h"
+#include "trace/tracer.h"
 #include "workload/trace.h"
 
 namespace reo {
@@ -70,6 +71,16 @@ struct SimulationConfig {
 
   /// Verify hit payload contents (CRC) during the run.
   bool verify_hits = false;
+
+  // Tracing (DESIGN.md "Tracing & Events"). When enabled, every layer is
+  // attached to the simulator's Tracer and the run produces spans + a
+  // structured event log exportable via ChromeTraceJson / TraceReportText.
+  bool enable_tracing = false;
+  TracerConfig tracer;
+  /// Route every OSD command through the serialized wire transport (the
+  /// iSCSI stand-in) instead of the in-process fast path, so traces show
+  /// the transport layer. Slightly slower; off by default.
+  bool wire_transport = false;
 };
 
 /// Everything a bench/test needs from one run.
@@ -86,6 +97,8 @@ struct RunReport {
   /// Point-in-time telemetry snapshot taken at the end of the run (every
   /// layer is attached to the simulator's registry at construction).
   MetricSnapshot telemetry;
+  /// Trace accounting (all zero unless `enable_tracing` was set).
+  TraceStats trace;
 };
 
 /// Owns one fully wired system instance and replays one trace through it.
@@ -109,6 +122,10 @@ class CacheSimulator {
   OsdTarget& target() { return *target_; }
   /// Live metric registry (all layers attached); snapshot at any time.
   MetricRegistry& telemetry() { return telemetry_; }
+  /// Tracing sink (spans + event log). Inert unless `enable_tracing`;
+  /// export with ChromeTraceJson / TraceReportText after Run().
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
 
  private:
   void ReplayUnmeasured();
@@ -116,14 +133,18 @@ class CacheSimulator {
   const Trace& trace_;
   SimulationConfig config_;
 
-  /// Declared before the components so it outlives their cached pointers.
+  /// Declared before the components so they outlive the cached pointers.
   MetricRegistry telemetry_;
+  Tracer tracer_;
   std::unique_ptr<FlashArray> array_;
   std::unique_ptr<StripeManager> stripes_;
   std::unique_ptr<ReoDataPlane> plane_;
   std::unique_ptr<OsdTarget> target_;
+  std::unique_ptr<OsdTransport> transport_;  ///< only when wire_transport
   std::unique_ptr<BackendStore> backend_;
   std::unique_ptr<CacheManager> cache_;
+  /// Event sink for the injection script ("sim.*"); null when tracing off.
+  EventLog* sim_ev_ = nullptr;
   SimClock clock_;
   SimTime server_free_ = 0;  ///< when the (sequential) cache server frees up
 };

@@ -18,6 +18,24 @@ std::string Num(double v) {
   return buf;
 }
 
+/// RFC 4180 field quoting: names containing a comma, quote, or newline
+/// are wrapped in double quotes with embedded quotes doubled, so a
+/// snapshot always loads as one row per metric.
+std::string CsvField(std::string_view s) {
+  if (s.find_first_of(",\"\r\n") == std::string_view::npos) {
+    return std::string(s);
+  }
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
 void AppendJsonString(std::string& out, std::string_view s) {
   out.push_back('"');
   for (char c : s) {
@@ -75,13 +93,13 @@ std::string MetricSnapshot::ToCsv() const {
   for (const Entry& e : entries) {
     switch (e.kind) {
       case Kind::kCounter:
-        out += "counter," + e.name + "," + Num(e.value) + ",,,,,,\n";
+        out += "counter," + CsvField(e.name) + "," + Num(e.value) + ",,,,,,\n";
         break;
       case Kind::kGauge:
-        out += "gauge," + e.name + "," + Num(e.value) + ",,,,,,\n";
+        out += "gauge," + CsvField(e.name) + "," + Num(e.value) + ",,,,,,\n";
         break;
       case Kind::kHistogram:
-        out += "histogram," + e.name + ",," +
+        out += "histogram," + CsvField(e.name) + ",," +
                Num(static_cast<double>(e.count)) + "," + Num(e.mean) + "," +
                Num(e.p50) + "," + Num(e.p99) + "," + Num(e.p999) + "," +
                Num(e.max) + "\n";

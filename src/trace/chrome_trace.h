@@ -1,0 +1,20 @@
+// Exporters: Chrome trace-event JSON (loads in Perfetto / chrome://tracing)
+// and the human-readable recovery-timeline text report.
+#pragma once
+
+#include <string>
+
+#include "trace/tracer.h"
+
+namespace reo {
+
+/// Renders every retained span and event as Chrome trace-event JSON:
+/// one track (tid) per component (devices fan out per instance), complete
+/// ("X") events for spans with trace/span/parent/object args, instant
+/// ("i") events for the EventLog. Timestamps are virtual microseconds.
+std::string ChromeTraceJson(const Tracer& tracer);
+
+/// The EventLog's recovery timeline plus a span-accounting footer.
+std::string TraceReportText(const Tracer& tracer);
+
+}  // namespace reo

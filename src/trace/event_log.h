@@ -1,0 +1,90 @@
+// Structured log of discrete system occurrences: device failures, spare
+// insertions, class reclassification refreshes, on-demand vs background
+// rebuilds, eviction storms. Complements spans (which time *continuous*
+// work) with the sparse milestones the paper's recovery analysis (§VI.C,
+// Fig. 8) reads minute-by-minute.
+//
+// Events are rare by construction, so they carry real strings; the hot
+// path never emits one. The log is bounded: once `capacity` events are
+// held, later ones are counted but not stored (the earliest events are
+// the ones a post-mortem timeline needs).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace reo {
+
+enum class EventSeverity : uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+constexpr std::string_view to_string(EventSeverity s) {
+  switch (s) {
+    case EventSeverity::kDebug: return "DEBUG";
+    case EventSeverity::kInfo: return "INFO";
+    case EventSeverity::kWarn: return "WARN";
+    case EventSeverity::kError: return "ERROR";
+  }
+  return "?";
+}
+
+/// One logged occurrence: a dot-scoped category ("device.failure",
+/// "recovery.rebuild"), a short message, and key=value detail fields.
+struct LoggedEvent {
+  SimTime time = 0;
+  EventSeverity severity = EventSeverity::kInfo;
+  std::string category;
+  std::string message;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  /// First value for `key`, or empty when absent.
+  std::string_view Field(std::string_view key) const;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 65536) : capacity_(capacity) {}
+
+  void Emit(SimTime time, EventSeverity severity, std::string_view category,
+            std::string_view message,
+            std::initializer_list<std::pair<std::string_view, std::string>>
+                fields = {});
+
+  const std::vector<LoggedEvent>& events() const { return events_; }
+  uint64_t dropped() const { return dropped_; }
+  size_t size() const { return events_.size(); }
+  void Clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  /// Full log, one line per event:
+  ///   [     12.345 ms] WARN  device.failure      device 0 shot down  device=0 ...
+  std::string ToText() const;
+
+  /// Human-readable recovery report: the failure/spare/rebuild milestones
+  /// in time order, with per-class rebuild roll-ups — the "what did the
+  /// recovery scheduler do minute-by-minute" answer for a Fig. 8 run.
+  std::string RecoveryTimeline() const;
+
+ private:
+  std::vector<LoggedEvent> events_;
+  size_t capacity_;
+  uint64_t dropped_ = 0;
+};
+
+/// Null-tolerant emit helper, mirroring telemetry's Inc/Set/Observe: a
+/// component whose EventLog* is un-attached pays one branch.
+inline void Emit(EventLog* log, SimTime time, EventSeverity severity,
+                 std::string_view category, std::string_view message,
+                 std::initializer_list<std::pair<std::string_view, std::string>>
+                     fields = {}) {
+  if (log) log->Emit(time, severity, category, message, fields);
+}
+
+}  // namespace reo

@@ -1,0 +1,207 @@
+#include "trace/json_lint.h"
+
+#include <cctype>
+
+namespace reo {
+namespace {
+
+class Lint {
+ public:
+  explicit Lint(std::string_view text) : text_(text) {}
+
+  JsonLintResult Run() {
+    SkipWs();
+    if (!Value()) return Fail();
+    SkipWs();
+    if (pos_ != text_.size()) {
+      error_ = "trailing garbage after top-level value";
+      return Fail();
+    }
+    result_.ok = true;
+    return result_;
+  }
+
+ private:
+  JsonLintResult Fail() {
+    result_.ok = false;
+    result_.error = error_.empty() ? "malformed JSON" : error_;
+    result_.error_offset = pos_;
+    return result_;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eof() { return pos_ >= text_.size(); }
+  char Peek() { return text_[pos_]; }
+
+  bool Expect(char c) {
+    if (Eof() || text_[pos_] != c) {
+      error_ = std::string("expected '") + c + "'";
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      error_ = "bad literal";
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool Value() {
+    if (Eof()) {
+      error_ = "unexpected end of input";
+      return false;
+    }
+    switch (Peek()) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String(nullptr);
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool String(std::string* out) {
+    if (!Expect('"')) return false;
+    while (true) {
+      if (Eof()) {
+        error_ = "unterminated string";
+        return false;
+      }
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        error_ = "raw control character in string";
+        return false;
+      }
+      if (c == '\\') {
+        if (Eof()) {
+          error_ = "unterminated escape";
+          return false;
+        }
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': case '\\': case '/': case 'b': case 'f':
+          case 'n': case 'r': case 't':
+            if (out) out->push_back(e);
+            break;
+          case 'u':
+            for (int i = 0; i < 4; ++i) {
+              if (Eof() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+                error_ = "bad \\u escape";
+                return false;
+              }
+              ++pos_;
+            }
+            break;
+          default:
+            --pos_;
+            error_ = "bad escape character";
+            return false;
+        }
+      } else if (out) {
+        out->push_back(c);
+      }
+    }
+  }
+
+  bool Number() {
+    size_t begin = pos_;
+    if (!Eof() && Peek() == '-') ++pos_;
+    while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (!Eof() && Peek() == '.') {
+      ++pos_;
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (!Eof() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!Eof() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (pos_ == begin ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_ - 1]))) {
+      pos_ = begin;
+      error_ = "invalid number";
+      return false;
+    }
+    return true;
+  }
+
+  bool Object() {
+    if (!Expect('{')) return false;
+    ++result_.objects;
+    SkipWs();
+    if (!Eof() && Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!String(&key)) return false;
+      SkipWs();
+      if (!Expect(':')) return false;
+      SkipWs();
+      if (key == "ph" && !Eof() && Peek() == '"') {
+        std::string ph;
+        if (!String(&ph)) return false;
+        if (ph == "X") ++result_.complete_events;
+        else if (ph == "M") ++result_.metadata_events;
+        else if (ph == "i") ++result_.instant_events;
+      } else if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (!Eof() && Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  bool Array() {
+    if (!Expect('[')) return false;
+    ++result_.arrays;
+    SkipWs();
+    if (!Eof() && Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (!Eof() && Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+  JsonLintResult result_;
+};
+
+}  // namespace
+
+JsonLintResult LintJson(std::string_view text) { return Lint(text).Run(); }
+
+}  // namespace reo

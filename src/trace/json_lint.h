@@ -1,0 +1,29 @@
+// Minimal dependency-free JSON validator used by tools/trace_validate and
+// the trace tests. Not a general parser: it checks well-formedness and
+// counts Chrome trace-event phases, nothing more.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace reo {
+
+struct JsonLintResult {
+  bool ok = false;
+  std::string error;        ///< empty when ok
+  size_t error_offset = 0;  ///< byte offset of the first problem
+  uint64_t objects = 0;
+  uint64_t arrays = 0;
+  /// Counts of `"ph":"X"` / `"ph":"M"` / `"ph":"i"` pairs seen — the
+  /// Chrome trace-event span / metadata / instant events.
+  uint64_t complete_events = 0;
+  uint64_t metadata_events = 0;
+  uint64_t instant_events = 0;
+};
+
+/// Validates that `text` is one complete JSON value (trailing whitespace
+/// allowed) and tallies trace-event phases along the way.
+JsonLintResult LintJson(std::string_view text);
+
+}  // namespace reo

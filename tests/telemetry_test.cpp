@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "flash/flash_device.h"
@@ -162,6 +164,34 @@ TEST(MetricRegistryTest, ResetZeroesButKeepsRegistrations) {
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(reg.size(), 3u);
   EXPECT_EQ(&c, &reg.GetCounter("osd.reads"));  // addresses stable
+}
+
+TEST(MetricRegistryTest, CsvEscapesDelimitersInNames) {
+  // Metric names are caller-chosen strings; one with a comma, quote, or
+  // newline must not shift the CSV columns of every row after it.
+  MetricRegistry reg;
+  reg.GetCounter("plain.reads").Inc(7);
+  reg.GetCounter("weird,name").Inc(1);
+  reg.GetCounter("say \"what\"").Inc(2);
+  reg.GetGauge("multi\nline").Set(3.0);
+  MetricSnapshot snap = reg.Snapshot();
+  std::string csv = snap.ToCsv();
+
+  EXPECT_NE(csv.find("counter,plain.reads,7"), std::string::npos);
+  // RFC 4180: quote the field, double embedded quotes.
+  EXPECT_NE(csv.find("counter,\"weird,name\",1"), std::string::npos);
+  EXPECT_NE(csv.find("counter,\"say \"\"what\"\"\",2"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,\"multi\nline\",3"), std::string::npos);
+
+  // Every unquoted line still has exactly 8 commas (9 columns).
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t eol = csv.find('\n', pos);
+    std::string line = csv.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find('"') != std::string::npos) continue;  // quoted: multi-line
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 8) << line;
+  }
 }
 
 TEST(MetricRegistryTest, DeviceCountersSurviveSpareReplacement) {
