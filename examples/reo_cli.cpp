@@ -48,7 +48,9 @@ void Usage(const char* argv0) {
       "  --trace-out PATH                write a Chrome/Perfetto trace JSON\n"
       "  --events-out PATH               write the event log + recovery timeline\n"
       "  --trace-sample N                trace 1 in N requests (default 1)\n"
-      "  --wire                          route OSD commands over the wire transport\n",
+      "  --wire                          route OSD commands over the wire transport\n"
+      "  --link-gbps F                   modeled link bandwidth in Gbit/s (default 10)\n"
+      "  --link-rtt-us F                 modeled link round-trip in microseconds (default 100)\n",
       argv0);
 }
 
@@ -156,6 +158,14 @@ int main(int argc, char** argv) {
       if (cfg.tracer.sample_every == 0) cfg.tracer.sample_every = 1;
     } else if (!std::strcmp(argv[i], "--wire")) {
       cfg.wire_transport = true;
+    } else if (!std::strcmp(argv[i], "--link-gbps")) {
+      cfg.net.gbps = std::atof(next());
+      if (cfg.net.gbps <= 0) {
+        std::fprintf(stderr, "--link-gbps expects a positive bandwidth\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--link-rtt-us")) {
+      cfg.net.rtt_ns = static_cast<SimTime>(std::atof(next()) * kNsPerUs);
     } else if (!std::strcmp(argv[i], "--warmup")) {
       cfg.warmup_pass = true;
     } else if (!std::strcmp(argv[i], "--verify")) {

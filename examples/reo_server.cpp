@@ -1,0 +1,202 @@
+// reo_server: the Reo cache target as a real network service.
+//
+// Stands up the production stack — flash array, stripe manager,
+// differentiated-redundancy data plane, OSD target — behind the epoll
+// OsdServer, and serves the OSD wire protocol over TCP until SIGTERM /
+// SIGINT, which triggers a graceful drain (stop accepting, finish
+// in-flight requests, flush, exit). Examples:
+//
+//   reo_server --port 9555
+//   reo_server --port 0 --port-file port.txt --stats-out stats.json
+//   reo_server --policy 2-parity --devices 8 --capacity-mb 512
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/file_util.h"
+#include "core/data_plane.h"
+#include "core/policy.h"
+#include "flash/flash_array.h"
+#include "osd/osd_target.h"
+#include "server/osd_server.h"
+#include "telemetry/metric_registry.h"
+#include "trace/event_log.h"
+
+using namespace reo;
+
+namespace {
+
+OsdServer* g_server = nullptr;
+
+void HandleShutdownSignal(int) {
+  // RequestDrain is async-signal-safe: a flag store plus an eventfd write.
+  if (g_server != nullptr) g_server->RequestDrain();
+}
+
+void Usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --bind ADDR          listen address (default 127.0.0.1)\n"
+      "  --port N             listen port; 0 picks an ephemeral one (default 0)\n"
+      "  --port-file PATH     write the bound port to PATH (for scripts/CI)\n"
+      "  --policy reo|0-parity|1-parity|2-parity|full-repl   (default reo)\n"
+      "  --reserve F          Reo redundancy reserve fraction (default 0.2)\n"
+      "  --devices N          flash devices (default 5)\n"
+      "  --capacity-mb N      cache capacity budget in MiB (default 256)\n"
+      "  --chunk-kb N         chunk size in KiB (default 64)\n"
+      "  --scale-shift N      physical payload scale (default 0: full bytes)\n"
+      "  --max-connections N  concurrent connection cap (default 1024)\n"
+      "  --idle-timeout-ms N  close idle connections (default 60000)\n"
+      "  --stats-out PATH     write the telemetry snapshot JSON on exit\n"
+      "  --events-out PATH    write the event log text on exit\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OsdServerConfig server_cfg;
+  PolicyConfig policy{.mode = ProtectionMode::kReo, .reo_reserve_fraction = 0.2};
+  size_t num_devices = 5;
+  uint64_t capacity_bytes = 256ull << 20;
+  uint64_t chunk_bytes = 64 * 1024;
+  uint32_t scale_shift = 0;
+  std::string port_file, stats_out, events_out;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--bind")) {
+      server_cfg.bind_address = next();
+    } else if (!std::strcmp(argv[i], "--port")) {
+      server_cfg.port = static_cast<uint16_t>(std::strtoul(next(), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--port-file")) {
+      port_file = next();
+    } else if (!std::strcmp(argv[i], "--policy")) {
+      std::string p = next();
+      if (p == "reo") policy.mode = ProtectionMode::kReo;
+      else if (p == "0-parity") policy.mode = ProtectionMode::kUniform0;
+      else if (p == "1-parity") policy.mode = ProtectionMode::kUniform1;
+      else if (p == "2-parity") policy.mode = ProtectionMode::kUniform2;
+      else if (p == "full-repl") policy.mode = ProtectionMode::kFullReplication;
+      else {
+        std::fprintf(stderr, "unknown policy %s\n", p.c_str());
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--reserve")) {
+      policy.reo_reserve_fraction = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--devices")) {
+      num_devices = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--capacity-mb")) {
+      capacity_bytes = std::strtoull(next(), nullptr, 10) << 20;
+    } else if (!std::strcmp(argv[i], "--chunk-kb")) {
+      chunk_bytes = std::strtoull(next(), nullptr, 10) * 1024;
+    } else if (!std::strcmp(argv[i], "--scale-shift")) {
+      scale_shift = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--max-connections")) {
+      server_cfg.max_connections = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--idle-timeout-ms")) {
+      server_cfg.idle_timeout_ms = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--stats-out")) {
+      stats_out = next();
+    } else if (!std::strcmp(argv[i], "--events-out")) {
+      events_out = next();
+    } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // The production stack, same wiring as the simulator minus the replay
+  // harness: every byte a client writes lands in the striped flash array
+  // under the selected protection policy.
+  FlashDeviceConfig dev;
+  dev.capacity_bytes = std::max<uint64_t>(capacity_bytes, 4 * chunk_bytes);
+  FlashArray array(num_devices, dev);
+  StripeManagerConfig smc;
+  smc.chunk_logical_bytes = chunk_bytes;
+  smc.scale_shift = scale_shift;
+  smc.capacity_limit_bytes = capacity_bytes;
+  StripeManager stripes(array, smc);
+  ReoDataPlane plane(stripes, RedundancyPolicy(policy));
+  OsdTarget target(plane);
+
+  MetricRegistry telemetry;
+  EventLog events;
+  array.AttachTelemetry(telemetry);
+  plane.AttachTelemetry(telemetry);
+  target.AttachTelemetry(telemetry);
+
+  OsdServer server(target, server_cfg);
+  server.AttachTelemetry(telemetry);
+  server.AttachEvents(events);
+  Status st = server.Listen();
+  if (!st.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  if (!port_file.empty()) {
+    Status wf = WriteFileAtomic(port_file, std::to_string(server.port()) + "\n");
+    if (!wf.ok()) {
+      std::fprintf(stderr, "port file: %s\n", wf.to_string().c_str());
+      return 1;
+    }
+  }
+  std::printf("reo_server listening on %s:%u (policy %s, %zu devices,"
+              " %llu MiB budget)\n",
+              server_cfg.bind_address.c_str(), server.port(),
+              std::string(to_string(policy.mode)).c_str(), num_devices,
+              static_cast<unsigned long long>(capacity_bytes >> 20));
+  std::fflush(stdout);
+
+  g_server = &server;
+  struct sigaction sa{};
+  sa.sa_handler = HandleShutdownSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  server.Run();
+  g_server = nullptr;
+
+  const OsdServerStats& s = server.stats();
+  std::printf("drained: %llu connections served, %llu requests,"
+              " %llu bytes in / %llu out\n",
+              static_cast<unsigned long long>(s.accepted),
+              static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.bytes_in),
+              static_cast<unsigned long long>(s.bytes_out));
+  std::printf("wire errors: %llu frame, %llu crc, %llu decode\n",
+              static_cast<unsigned long long>(s.frame_errors),
+              static_cast<unsigned long long>(s.crc_errors),
+              static_cast<unsigned long long>(s.decode_errors));
+  if (!stats_out.empty()) {
+    Status wf = WriteFileAtomic(stats_out, telemetry.Snapshot().ToJson());
+    if (!wf.ok()) {
+      std::fprintf(stderr, "stats write failed: %s\n", wf.to_string().c_str());
+      return 1;
+    }
+    std::printf("telemetry snapshot -> %s\n", stats_out.c_str());
+  }
+  if (!events_out.empty()) {
+    Status wf = WriteFileAtomic(events_out, events.ToText());
+    if (!wf.ok()) {
+      std::fprintf(stderr, "events write failed: %s\n", wf.to_string().c_str());
+      return 1;
+    }
+    std::printf("event log -> %s\n", events_out.c_str());
+  }
+  return 0;
+}

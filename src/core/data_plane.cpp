@@ -66,6 +66,19 @@ Result<DataPlaneIo> ReoDataPlane::WriteObject(ObjectId id,
                                               uint64_t logical_bytes,
                                               uint8_t class_id, SimTime now) {
   TraceSpan span(trace_, TraceOp::kDataWrite, now, id.oid);
+  // The in-process simulator hands over exactly PhysicalSize(logical)
+  // bytes (chunk-padded, possibly scaled); wire clients naturally send
+  // logical-sized payloads. Adapt the latter to the array's chunk
+  // geometry here — zero-pad up to the physical footprint (or truncate
+  // under a scaled configuration, where payload storage is lossy by
+  // design). Any other size mismatch still fails in PutObject.
+  std::vector<uint8_t> shaped;
+  if (uint64_t physical = stripes_.PhysicalSize(logical_bytes);
+      payload.size() == logical_bytes && payload.size() != physical) {
+    shaped.assign(payload.begin(), payload.end());
+    shaped.resize(physical, 0);
+    payload = shaped;
+  }
   RedundancyLevel desired = policy_.LevelFor(static_cast<DataClass>(class_id));
   RedundancyLevel level = EffectiveLevel(logical_bytes, class_id);
   if (level != desired) {

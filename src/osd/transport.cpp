@@ -53,9 +53,12 @@ class Reader {
     for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(buf_[pos_++]) << (8 * i);
     return true;
   }
+  // Length-prefixed fields compare the announced count against the bytes
+  // actually remaining (never `pos_ + n`, which a hostile 64-bit length
+  // wraps past the size check into an out-of-bounds read).
   bool Bytes(std::vector<uint8_t>* out) {
     uint64_t n = 0;
-    if (!U64(&n) || pos_ + n > buf_.size()) return false;
+    if (!U64(&n) || n > Remaining()) return false;
     out->assign(buf_.begin() + static_cast<long>(pos_),
                 buf_.begin() + static_cast<long>(pos_ + n));
     pos_ += n;
@@ -63,7 +66,7 @@ class Reader {
   }
   bool U64Vec(std::vector<uint64_t>* out) {
     uint64_t n = 0;
-    if (!U64(&n) || pos_ + n * 8 > buf_.size()) return false;
+    if (!U64(&n) || n > Remaining() / 8) return false;
     out->resize(static_cast<size_t>(n));
     for (auto& x : *out) {
       if (!U64(&x)) return false;
@@ -73,6 +76,8 @@ class Reader {
   bool Done() const { return pos_ == buf_.size(); }
 
  private:
+  size_t Remaining() const { return buf_.size() - pos_; }
+
   std::span<const uint8_t> buf_;
   size_t pos_ = 0;
 };

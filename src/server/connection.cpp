@@ -1,0 +1,217 @@
+#include "server/connection.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace reo {
+namespace {
+
+/// Input-side buffering bound: always admits one maximum-size frame (or
+/// the decoder could deadlock below the watermark), plus a read quantum.
+size_t InputCap(const ConnectionConfig& c) {
+  return FramedSize(c.max_frame_payload) + 64 * 1024;
+}
+
+}  // namespace
+
+Connection::Connection(int fd, uint64_t id, EventLoop& loop,
+                       ConnectionHost& host, ConnectionConfig config,
+                       std::string peer)
+    : fd_(fd),
+      id_(id),
+      loop_(loop),
+      host_(host),
+      config_(config),
+      peer_(std::move(peer)),
+      decoder_(config.max_frame_payload) {
+  interest_ = EPOLLIN;
+  Status st = loop_.Add(fd_, interest_, [this](uint32_t ev) { OnReady(ev); });
+  if (!st.ok()) {
+    closing_ = true;
+    close_reason_ = st.to_string();
+    // Tear down from the loop, not the constructor: the host must finish
+    // inserting us into its connection table first.
+    loop_.AddTimer(0, [this] { host_.OnClose(*this, close_reason_); });
+    return;
+  }
+  ArmIdleTimer();
+}
+
+Connection::~Connection() {
+  if (idle_timer_) loop_.CancelTimer(idle_timer_);
+  loop_.Remove(fd_);
+  close(fd_);
+}
+
+void Connection::ArmIdleTimer() {
+  if (idle_timer_) loop_.CancelTimer(idle_timer_);
+  idle_timer_ = 0;
+  if (config_.idle_timeout_ms == 0) return;
+  idle_timer_ = loop_.AddTimer(config_.idle_timeout_ms, [this] {
+    idle_timer_ = 0;
+    Fail("idle timeout");
+    FinishEvent();
+  });
+}
+
+void Connection::Fail(std::string_view reason) {
+  if (!closing_) {
+    closing_ = true;
+    close_reason_ = reason;
+  }
+}
+
+void Connection::FinishEvent() {
+  if (closing_) host_.OnClose(*this, close_reason_);  // deletes this
+}
+
+void Connection::BeginDrain() {
+  if (draining_ || closing_) return;
+  // Final read pass: requests the peer already sent (sitting in the
+  // kernel receive buffer) are still in-flight and get served; only
+  // bytes arriving after this point are refused.
+  if (!DoRead()) {
+    draining_ = true;
+    FinishEvent();
+    return;
+  }
+  draining_ = true;
+  if (!ProcessFrames()) {
+    FinishEvent();
+    return;
+  }
+  UpdateInterest();
+}
+
+void Connection::OnReady(uint32_t events) {
+  if (closing_) return;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    Fail(events & EPOLLERR ? "socket error" : "peer hangup");
+    FinishEvent();
+    return;
+  }
+  if ((events & EPOLLIN) && !draining_ && !DoRead()) {
+    FinishEvent();
+    return;
+  }
+  // Both readable and writable events land here: Pump executes whatever
+  // frames became decodable and flushes whatever became writable.
+  if (!ProcessFrames()) {
+    FinishEvent();
+    return;
+  }
+  UpdateInterest();
+  FinishEvent();
+}
+
+bool Connection::DoRead() {
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    if (pending_write_bytes() >= config_.write_high_watermark ||
+        decoder_.buffered() >= InputCap(config_)) {
+      break;  // backpressure: stop pulling bytes off the socket
+    }
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      host_.OnBytes(static_cast<uint64_t>(n), 0);
+      decoder_.Feed({buf, static_cast<size_t>(n)});
+      if (static_cast<size_t>(n) < sizeof(buf)) break;  // drained the socket
+      continue;
+    }
+    if (n == 0) {
+      // Orderly shutdown from the peer: execute and answer what is
+      // already buffered, then close (same path as a server drain).
+      draining_ = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    Fail("read error");
+    return false;
+  }
+  return true;
+}
+
+bool Connection::ProcessFrames() {
+  std::vector<uint8_t> payload;
+  for (;;) {
+    bool input_exhausted = true;
+    if (pending_write_bytes() < config_.write_high_watermark) {
+      FrameStatus st = decoder_.Next(&payload);
+      if (st == FrameStatus::kFrame) {
+        ++frames_handled_;
+        ArmIdleTimer();
+        std::vector<uint8_t> response =
+            host_.OnFrame(*this, std::move(payload));
+        if (!response.empty()) {
+          AppendFrame(out_, response);
+          if (pending_write_bytes() > config_.write_hard_limit) {
+            Fail("write queue overflow");
+            return false;
+          }
+        }
+        continue;  // keep executing the pipeline
+      }
+      if (st != FrameStatus::kNeedMore) {
+        // Corruption or lost framing: surface it loudly, then drop.
+        host_.OnCorruptFrame(*this, st);
+        Fail(st == FrameStatus::kCrcMismatch ? "crc mismatch" : "bad framing");
+        return false;
+      }
+    } else {
+      input_exhausted = false;  // stopped by backpressure, not input
+    }
+    if (!DoWrite()) return false;
+    if (pending_write_bytes() >= config_.write_high_watermark) {
+      return true;  // EPOLLOUT resumes us
+    }
+    if (input_exhausted) {
+      if (draining_ && pending_write_bytes() == 0) {
+        Fail("drained");
+        return false;
+      }
+      return true;
+    }
+    // Backpressure cleared by the flush: loop and execute more frames.
+  }
+}
+
+bool Connection::DoWrite() {
+  while (out_consumed_ < out_.size()) {
+    ssize_t n = send(fd_, out_.data() + out_consumed_,
+                     out_.size() - out_consumed_, MSG_NOSIGNAL);
+    if (n > 0) {
+      host_.OnBytes(0, static_cast<uint64_t>(n));
+      out_consumed_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    Fail("write error");
+    return false;
+  }
+  if (out_consumed_ == out_.size()) {
+    out_.clear();
+    out_consumed_ = 0;
+  }
+  return true;
+}
+
+void Connection::UpdateInterest() {
+  uint32_t want = 0;
+  if (!draining_ && pending_write_bytes() < config_.write_high_watermark &&
+      decoder_.buffered() < InputCap(config_)) {
+    want |= EPOLLIN;
+  }
+  if (pending_write_bytes() > 0) want |= EPOLLOUT;
+  if (want == 0) want = EPOLLHUP;  // still detect peer teardown
+  if (want != interest_) {
+    interest_ = want;
+    (void)loop_.Modify(fd_, interest_);
+  }
+}
+
+}  // namespace reo

@@ -1,0 +1,122 @@
+// One accepted TCP connection: non-blocking socket IO, incremental frame
+// reassembly, pipelined request dispatch, and a bounded write queue with
+// read backpressure.
+//
+// Lifecycle: OsdServer accepts the socket and owns the Connection; the
+// Connection registers itself with the EventLoop and calls back into its
+// ConnectionHost for every decoded frame. All entry points run on the
+// loop thread. Close is single-shot: the connection reports its reason to
+// the host exactly once, and the host destroys it (no member may be
+// touched after OnClose fires).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/event_loop.h"
+#include "server/frame.h"
+
+namespace reo {
+
+class Connection;
+
+/// Server-side callbacks a Connection drives. OnClose hands ownership
+/// back: the host is expected to destroy the connection.
+class ConnectionHost {
+ public:
+  virtual ~ConnectionHost() = default;
+
+  /// A complete, CRC-verified frame arrived; returns the response payload
+  /// to ship back (empty = no response).
+  virtual std::vector<uint8_t> OnFrame(Connection& conn,
+                                       std::vector<uint8_t> payload) = 0;
+
+  /// The stream produced a corrupt frame (CRC mismatch) or lost framing
+  /// (bad magic / oversized length). The connection closes right after;
+  /// this hook exists so the corruption is counted and logged, never
+  /// silently swallowed.
+  virtual void OnCorruptFrame(Connection& conn, FrameStatus status) = 0;
+
+  /// Raw byte accounting (called per successful read/write batch).
+  virtual void OnBytes(uint64_t bytes_in, uint64_t bytes_out) = 0;
+
+  /// Terminal notification; the host destroys `conn`.
+  virtual void OnClose(Connection& conn, std::string_view reason) = 0;
+};
+
+struct ConnectionConfig {
+  /// Pending response bytes above which the connection stops reading
+  /// (and stops executing further pipelined frames).
+  size_t write_high_watermark = 4u << 20;
+  /// Hard cap: a peer that will not drain its responses gets closed.
+  size_t write_hard_limit = 64u << 20;
+  /// Close connections idle (no complete frame) this long. 0 = never.
+  uint64_t idle_timeout_ms = 60'000;
+  size_t max_frame_payload = kMaxFramePayload;
+};
+
+class Connection {
+ public:
+  /// Takes ownership of `fd` (nonblocking). Registers with `loop`.
+  Connection(int fd, uint64_t id, EventLoop& loop, ConnectionHost& host,
+             ConnectionConfig config, std::string peer);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  uint64_t id() const { return id_; }
+  const std::string& peer() const { return peer_; }
+  int fd() const { return fd_; }
+
+  /// Bytes of response data accepted but not yet written to the socket.
+  size_t pending_write_bytes() const { return out_.size() - out_consumed_; }
+
+  /// Frames decoded and dispatched on this connection.
+  uint64_t frames_handled() const { return frames_handled_; }
+
+  /// Enters drain mode: one final read pass (requests already sent by
+  /// the peer count as in-flight), then stop reading, finish dispatching
+  /// every buffered frame, flush the responses, and close ("drained").
+  /// Idempotent.
+  void BeginDrain();
+
+  bool draining() const { return draining_; }
+
+ private:
+  void OnReady(uint32_t events);
+  /// Reads until EAGAIN / EOF / backpressure; returns false on fatal error.
+  bool DoRead();
+  /// Dispatches buffered frames until backpressure or exhaustion.
+  bool ProcessFrames();
+  /// Writes pending bytes until EAGAIN; returns false on fatal error.
+  bool DoWrite();
+  void UpdateInterest();
+  void ArmIdleTimer();
+  /// Records the close reason (first wins) and schedules teardown.
+  void Fail(std::string_view reason);
+  /// Final step of every event: reports close to the host (which deletes
+  /// `this`) if a reason was recorded. Nothing may run after it.
+  void FinishEvent();
+
+  int fd_;
+  uint64_t id_;
+  EventLoop& loop_;
+  ConnectionHost& host_;
+  ConnectionConfig config_;
+  std::string peer_;
+
+  FrameDecoder decoder_;
+  std::vector<uint8_t> out_;
+  size_t out_consumed_ = 0;
+  uint32_t interest_ = 0;
+  bool draining_ = false;
+  bool closing_ = false;
+  std::string close_reason_;
+  uint64_t frames_handled_ = 0;
+  TimerId idle_timer_ = 0;
+};
+
+}  // namespace reo

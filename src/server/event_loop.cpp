@@ -1,0 +1,185 @@
+#include "server/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace reo {
+
+// --- TimerWheel --------------------------------------------------------------
+
+TimerWheel::TimerWheel(uint64_t tick_ms, size_t slots)
+    : tick_ms_(tick_ms ? tick_ms : 1), slots_(slots ? slots : 1) {}
+
+TimerId TimerWheel::Schedule(uint64_t now_ms, uint64_t delay_ms,
+                             std::function<void()> cb) {
+  TimerId id = next_id_++;
+  Entry e{id, now_ms + delay_ms, std::move(cb)};
+  // Slot by deadline tick; Advance() re-checks the deadline so entries
+  // scheduled more than one wheel revolution out simply wait in place.
+  size_t slot = static_cast<size_t>(e.deadline_ms / tick_ms_) % slots_.size();
+  slots_[slot].push_front(std::move(e));
+  live_.emplace(id, std::make_pair(slot, slots_[slot].begin()));
+  if (last_tick_ == 0) last_tick_ = now_ms / tick_ms_;
+  return id;
+}
+
+void TimerWheel::Cancel(TimerId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  slots_[it->second.first].erase(it->second.second);
+  live_.erase(it);
+}
+
+void TimerWheel::Advance(uint64_t now_ms) {
+  if (live_.empty()) {
+    last_tick_ = now_ms / tick_ms_;
+    return;
+  }
+  uint64_t tick = now_ms / tick_ms_;
+  // Visit each slot between the last drained tick and now (at most one
+  // full revolution), firing entries whose deadline has passed.
+  uint64_t span = tick - last_tick_;
+  if (span > slots_.size()) span = slots_.size();
+  for (uint64_t t = 0; t <= span; ++t) {
+    size_t slot = static_cast<size_t>((last_tick_ + t) % slots_.size());
+    auto& list = slots_[slot];
+    for (auto it = list.begin(); it != list.end();) {
+      if (it->deadline_ms > now_ms) {
+        ++it;
+        continue;
+      }
+      auto cb = std::move(it->cb);
+      live_.erase(it->id);
+      it = list.erase(it);
+      cb();  // may schedule/cancel other timers; iterators stay valid (list)
+    }
+  }
+  last_tick_ = tick;
+}
+
+int TimerWheel::NextTimeoutMs(uint64_t now_ms) const {
+  if (live_.empty()) return -1;
+  uint64_t best = UINT64_MAX;
+  for (const auto& [id, where] : live_) {
+    const Entry& e = *where.second;
+    if (e.deadline_ms < best) best = e.deadline_ms;
+  }
+  if (best <= now_ms) return 0;
+  uint64_t delta = best - now_ms;
+  return delta > 60'000 ? 60'000 : static_cast<int>(delta);
+}
+
+// --- EventLoop ---------------------------------------------------------------
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  REO_CHECK(epoll_fd_ >= 0 && wake_fd_ >= 0);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  REO_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+  now_ms_ = ReadClockMs();
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+uint64_t EventLoop::ReadClockMs() const {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1'000'000;
+}
+
+Status EventLoop::Add(int fd, uint32_t events,
+                      std::function<void(uint32_t)> handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status{ErrorCode::kInternal,
+                  std::string("epoll_ctl add: ") + std::strerror(errno)};
+  }
+  handlers_[fd] = std::move(handler);
+  fd_generation_[fd] = ++generation_;
+  return Status::Ok();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status{ErrorCode::kInternal,
+                  std::string("epoll_ctl mod: ") + std::strerror(errno)};
+  }
+  return Status::Ok();
+}
+
+void EventLoop::Remove(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+  fd_generation_.erase(fd);
+  ++generation_;
+}
+
+TimerId EventLoop::AddTimer(uint64_t delay_ms, std::function<void()> cb) {
+  return timers_.Schedule(now_ms_, delay_ms, std::move(cb));
+}
+
+void EventLoop::CancelTimer(TimerId id) { timers_.Cancel(id); }
+
+void EventLoop::Wake() {
+  uint64_t one = 1;
+  // write(2) is async-signal-safe; short/failed writes only mean the
+  // eventfd is already signalled.
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::Stop() {
+  stop_ = true;
+  Wake();
+}
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  while (!stop_) {
+    now_ms_ = ReadClockMs();
+    int timeout = timers_.NextTimeoutMs(now_ms_);
+    int n = epoll_wait(epoll_fd_, events, kMaxEvents, timeout);
+    if (n < 0 && errno != EINTR) break;
+    now_ms_ = ReadClockMs();
+    for (int i = 0; i < n && !stop_; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drain = 0;
+        [[maybe_unused]] ssize_t r = read(wake_fd_, &drain, sizeof(drain));
+        continue;
+      }
+      // A handler earlier in this batch may have removed (or removed and
+      // re-added) this fd; consult the generation map before dispatching.
+      auto gen = fd_generation_.find(fd);
+      if (gen == fd_generation_.end()) continue;
+      uint64_t expected = gen->second;
+      auto h = handlers_.find(fd);
+      if (h == handlers_.end()) continue;
+      // Copy: the handler may Remove(fd) and invalidate the map entry.
+      auto handler = h->second;
+      if (fd_generation_.count(fd) && fd_generation_[fd] == expected) {
+        handler(events[i].events);
+      }
+    }
+    timers_.Advance(now_ms_);
+  }
+}
+
+}  // namespace reo

@@ -1,0 +1,69 @@
+#include "server/frame.h"
+
+#include "common/crc32c.h"
+
+namespace reo {
+namespace {
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void AppendFrame(std::vector<uint8_t>& out, std::span<const uint8_t> payload) {
+  out.reserve(out.size() + FramedSize(payload.size()));
+  PutU32(out, kFrameMagic);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  PutU32(out, Crc32c(payload));
+}
+
+std::vector<uint8_t> EncodeFrame(std::span<const uint8_t> payload) {
+  std::vector<uint8_t> out;
+  AppendFrame(out, payload);
+  return out;
+}
+
+void FrameDecoder::Feed(std::span<const uint8_t> bytes) {
+  if (poisoned_) return;
+  // Compact before growing: drop the already-consumed prefix once it
+  // dominates the buffer, so steady-state memory stays near one frame.
+  if (consumed_ > 0 && (consumed_ >= buf_.size() || consumed_ > 64 * 1024)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+FrameStatus FrameDecoder::Next(std::vector<uint8_t>* out) {
+  if (poisoned_) return FrameStatus::kBadMagic;
+  size_t avail = buf_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) return FrameStatus::kNeedMore;
+  const uint8_t* head = buf_.data() + consumed_;
+  if (ReadU32(head) != kFrameMagic) {
+    poisoned_ = true;
+    return FrameStatus::kBadMagic;
+  }
+  uint32_t length = ReadU32(head + 4);
+  if (length > max_payload_) {
+    poisoned_ = true;
+    return FrameStatus::kOversized;
+  }
+  if (avail < FramedSize(length)) return FrameStatus::kNeedMore;
+
+  const uint8_t* payload = head + kFrameHeaderBytes;
+  uint32_t want = ReadU32(payload + length);
+  consumed_ += FramedSize(length);
+  if (Crc32c({payload, length}) != want) return FrameStatus::kCrcMismatch;
+  out->assign(payload, payload + length);
+  return FrameStatus::kFrame;
+}
+
+}  // namespace reo

@@ -1,0 +1,87 @@
+// Wire framing for the socket serving path.
+//
+// The simulated transport (osd/transport.h) hands complete byte vectors
+// around in-process, so it never needs message boundaries. A real TCP
+// stream does: this module wraps the existing EncodeCommand /
+// EncodeResponse blobs in a length-prefixed frame with a CRC32C trailer
+// (common/crc32c), and reassembles frames incrementally from the
+// arbitrary read chunks a socket delivers.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset 0   u32  magic   "REOF" (0x464F4552 on the wire)
+//   offset 4   u32  length  payload byte count
+//   offset 8   ...  payload (an encoded OSD command or response)
+//   offset 8+n u32  crc     CRC32C over the payload bytes only
+//
+// The decoder is strict: a bad magic or an oversized length poisons the
+// stream (framing is lost, the connection must be dropped); a CRC
+// mismatch is reported per-frame so the caller can count the corruption
+// before dropping the connection (see ISSUE: never silently).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace reo {
+
+inline constexpr uint32_t kFrameMagic = 0x464F4552;  // "REOF"
+inline constexpr size_t kFrameHeaderBytes = 8;
+inline constexpr size_t kFrameTrailerBytes = 4;
+/// Default ceiling on one frame's payload. Commands carry at most one
+/// object's physical payload; 16 MiB leaves ample headroom over the
+/// largest scaled chunk while bounding a malicious length field.
+inline constexpr size_t kMaxFramePayload = 16u << 20;
+
+/// Bytes a payload occupies once framed.
+constexpr size_t FramedSize(size_t payload_bytes) {
+  return kFrameHeaderBytes + payload_bytes + kFrameTrailerBytes;
+}
+
+/// Appends one complete frame around `payload` to `out`.
+void AppendFrame(std::vector<uint8_t>& out, std::span<const uint8_t> payload);
+
+/// Convenience single-frame encode.
+std::vector<uint8_t> EncodeFrame(std::span<const uint8_t> payload);
+
+/// Outcome of one FrameDecoder::Next() attempt.
+enum class FrameStatus : uint8_t {
+  kFrame,        ///< *out holds the next payload
+  kNeedMore,     ///< no complete frame buffered yet
+  kBadMagic,     ///< stream does not start with a frame header; unrecoverable
+  kOversized,    ///< length field exceeds the configured maximum; unrecoverable
+  kCrcMismatch,  ///< frame extracted but payload failed its CRC
+};
+
+/// Incremental frame reassembler for one byte stream. Feed it whatever a
+/// read() returned; pull complete payloads out. After kBadMagic or
+/// kOversized the stream offset is ambiguous and the decoder refuses
+/// further work (fail-stop, matching how the connection must be closed).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Buffers `bytes` for reassembly.
+  void Feed(std::span<const uint8_t> bytes);
+
+  /// Tries to extract the next frame. On kFrame, `*out` receives the
+  /// payload. On kCrcMismatch the corrupt frame is consumed (the caller
+  /// decides whether the connection survives). kBadMagic / kOversized are
+  /// sticky.
+  FrameStatus Next(std::vector<uint8_t>* out);
+
+  /// Bytes buffered but not yet consumed by complete frames.
+  size_t buffered() const { return buf_.size() - consumed_; }
+
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;  ///< prefix of buf_ already handed out
+  size_t max_payload_;
+  bool poisoned_ = false;
+};
+
+}  // namespace reo

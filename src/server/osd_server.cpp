@@ -1,0 +1,271 @@
+#include "server/osd_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "osd/transport.h"
+
+namespace reo {
+namespace {
+
+std::string PeerName(const sockaddr_in& addr) {
+  char ip[INET_ADDRSTRLEN] = {};
+  inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+}  // namespace
+
+OsdServer::OsdServer(OsdTarget& target, OsdServerConfig config)
+    : target_(target), config_(std::move(config)) {
+  config_.connection.idle_timeout_ms = config_.idle_timeout_ms;
+}
+
+OsdServer::~OsdServer() {
+  connections_.clear();
+  if (listen_fd_ >= 0) close(listen_fd_);
+}
+
+SimTime OsdServer::NowNs() const {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<SimTime>(ts.tv_sec) * kNsPerSec +
+         static_cast<SimTime>(ts.tv_nsec);
+}
+
+Status OsdServer::Listen() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status{ErrorCode::kInternal,
+                  std::string("socket: ") + std::strerror(errno)};
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "bad bind address " + config_.bind_address};
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status{ErrorCode::kUnavailable,
+                  std::string("bind: ") + std::strerror(errno)};
+  }
+  if (listen(listen_fd_, config_.backlog) != 0) {
+    return Status{ErrorCode::kInternal,
+                  std::string("listen: ") + std::strerror(errno)};
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status{ErrorCode::kInternal,
+                  std::string("getsockname: ") + std::strerror(errno)};
+  }
+  port_ = ntohs(addr.sin_port);
+  return Status::Ok();
+}
+
+void OsdServer::AttachTelemetry(MetricRegistry& registry) {
+  tel_accepted_ = &registry.GetCounter("server.connections.accepted");
+  tel_closed_ = &registry.GetCounter("server.connections.closed");
+  tel_rejected_ = &registry.GetCounter("server.connections.rejected");
+  tel_requests_ = &registry.GetCounter("server.requests");
+  tel_bytes_in_ = &registry.GetCounter("server.bytes_in");
+  tel_bytes_out_ = &registry.GetCounter("server.bytes_out");
+  tel_frame_errors_ = &registry.GetCounter("server.frame_errors");
+  tel_crc_errors_ = &registry.GetCounter("server.crc_errors");
+  tel_decode_errors_ = &registry.GetCounter("server.decode_errors");
+  tel_active_ = &registry.GetGauge("server.connections.active");
+  tel_lat_read_ = &registry.GetHistogram("server.latency.read_us");
+  tel_lat_write_ = &registry.GetHistogram("server.latency.write_us");
+  tel_lat_other_ = &registry.GetHistogram("server.latency.other_us");
+}
+
+void OsdServer::Run() {
+  REO_CHECK(listen_fd_ >= 0);  // Listen() first
+  Status st = loop_.Add(listen_fd_, EPOLLIN, [this](uint32_t) {
+    OnAcceptReady();
+  });
+  REO_CHECK(st.ok());
+  // Latch drain requests (RequestDrain may fire from a signal handler:
+  // it only sets the flag and wakes the loop) via a cheap poll timer.
+  std::function<void()> poll_drain = [this, &poll_drain] {
+    if (drain_requested_ && !draining_) {
+      BeginDrainOnLoop();
+      return;
+    }
+    if (!loop_.stopped()) loop_.AddTimer(20, poll_drain);
+  };
+  loop_.AddTimer(20, poll_drain);
+  loop_.Run();
+}
+
+void OsdServer::RequestDrain() {
+  drain_requested_ = true;
+  loop_.Wake();
+}
+
+void OsdServer::BeginDrainOnLoop() {
+  draining_ = true;
+  Emit(events_, NowNs(), EventSeverity::kInfo, "server.drain",
+       "graceful shutdown requested",
+       {{"active", std::to_string(connections_.size())}});
+  // Stop accepting: close the listening socket outright so clients see
+  // connection-refused instead of a hung handshake.
+  if (listen_fd_ >= 0) {
+    loop_.Remove(listen_fd_);
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Snapshot ids: BeginDrain can complete (and erase) connections inline.
+  std::vector<uint64_t> ids;
+  ids.reserve(connections_.size());
+  for (const auto& [id, conn] : connections_) ids.push_back(id);
+  for (uint64_t id : ids) {
+    auto it = connections_.find(id);
+    if (it != connections_.end()) it->second->BeginDrain();
+  }
+  if (!connections_.empty()) {
+    loop_.AddTimer(config_.drain_timeout_ms, [this] {
+      if (connections_.empty()) return;
+      Emit(events_, NowNs(), EventSeverity::kWarn, "server.drain_timeout",
+           "force-closing connections past the drain deadline",
+           {{"remaining", std::to_string(connections_.size())}});
+      stats_.closed += connections_.size();
+      Inc(tel_closed_, connections_.size());
+      connections_.clear();
+      Set(tel_active_, 0);
+      MaybeFinishDrain();
+    });
+  }
+  MaybeFinishDrain();
+}
+
+void OsdServer::MaybeFinishDrain() {
+  if (draining_ && connections_.empty()) {
+    Emit(events_, NowNs(), EventSeverity::kInfo, "server.drained",
+         "all connections drained; stopping");
+    loop_.Stop();
+  }
+}
+
+void OsdServer::OnAcceptReady() {
+  for (;;) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    int fd = accept4(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept errors (ECONNABORTED etc.): try next wake
+    }
+    if (connections_.size() >= config_.max_connections) {
+      ++stats_.rejected;
+      Inc(tel_rejected_);
+      Emit(events_, NowNs(), EventSeverity::kWarn, "server.reject",
+           "connection refused at max_connections",
+           {{"peer", PeerName(addr)},
+            {"max", std::to_string(config_.max_connections)}});
+      close(fd);
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    uint64_t id = next_conn_id_++;
+    ConnectionHost& host = *this;  // conversion is private outside members
+    connections_.emplace(
+        id, std::make_unique<Connection>(fd, id, loop_, host,
+                                         config_.connection, PeerName(addr)));
+    ++stats_.accepted;
+    Inc(tel_accepted_);
+    Set(tel_active_, static_cast<double>(connections_.size()));
+    Emit(events_, NowNs(), EventSeverity::kDebug, "server.accept",
+         "connection accepted",
+         {{"peer", connections_[id]->peer()}, {"conn", std::to_string(id)}});
+  }
+}
+
+std::vector<uint8_t> OsdServer::OnFrame(Connection& conn,
+                                        std::vector<uint8_t> payload) {
+  ++stats_.requests;
+  Inc(tel_requests_);
+  auto decoded = DecodeCommand(payload);
+  if (!decoded.ok()) {
+    ++stats_.decode_errors;
+    Inc(tel_decode_errors_);
+    Emit(events_, NowNs(), EventSeverity::kWarn, "server.decode_error",
+         "framed payload is not a valid OSD command",
+         {{"peer", conn.peer()},
+          {"bytes", std::to_string(payload.size())},
+          {"error", std::string(decoded.status().message())}});
+    OsdResponse err;
+    err.sense = SenseCode::kFail;
+    ++stats_.responses;
+    return EncodeResponse(err);
+  }
+  // Device time starts when the command lands at the target, as with the
+  // simulated link; the server stamps its own monotonic clock.
+  SimTime start = NowNs();
+  decoded->now = start;
+  OsdResponse resp = target_.Execute(*decoded);
+  double service_us = static_cast<double>(NowNs() - start) / 1e3;
+  switch (decoded->op) {
+    case OsdOp::kRead: Observe(tel_lat_read_, service_us); break;
+    case OsdOp::kWrite: Observe(tel_lat_write_, service_us); break;
+    default: Observe(tel_lat_other_, service_us); break;
+  }
+  ++stats_.responses;
+  return EncodeResponse(resp);
+}
+
+void OsdServer::OnCorruptFrame(Connection& conn, FrameStatus status) {
+  const char* kind = "bad_magic";
+  if (status == FrameStatus::kCrcMismatch) {
+    ++stats_.crc_errors;
+    Inc(tel_crc_errors_);
+    kind = "crc_mismatch";
+  } else {
+    ++stats_.frame_errors;
+    Inc(tel_frame_errors_);
+    if (status == FrameStatus::kOversized) kind = "oversized_length";
+  }
+  Emit(events_, NowNs(), EventSeverity::kWarn, "server.wire_corruption",
+       "corrupt frame on connection; dropping it",
+       {{"peer", conn.peer()},
+        {"conn", std::to_string(conn.id())},
+        {"kind", kind},
+        {"frames_ok", std::to_string(conn.frames_handled())}});
+}
+
+void OsdServer::OnBytes(uint64_t bytes_in, uint64_t bytes_out) {
+  stats_.bytes_in += bytes_in;
+  stats_.bytes_out += bytes_out;
+  Inc(tel_bytes_in_, bytes_in);
+  Inc(tel_bytes_out_, bytes_out);
+}
+
+void OsdServer::OnClose(Connection& conn, std::string_view reason) {
+  Emit(events_, NowNs(), EventSeverity::kDebug, "server.close",
+       "connection closed",
+       {{"peer", conn.peer()},
+        {"conn", std::to_string(conn.id())},
+        {"reason", std::string(reason)},
+        {"frames", std::to_string(conn.frames_handled())}});
+  ++stats_.closed;
+  Inc(tel_closed_);
+  connections_.erase(conn.id());  // destroys conn
+  Set(tel_active_, static_cast<double>(connections_.size()));
+  MaybeFinishDrain();
+}
+
+}  // namespace reo

@@ -1,0 +1,128 @@
+// OsdServer: the real network target.
+//
+// Exports the existing OSD wire protocol (osd/transport.h encodings)
+// over TCP: a listening socket plus N framed connections multiplexed on
+// one epoll EventLoop. Decoded commands dispatch synchronously into an
+// OsdTarget — the same dispatch the simulator's in-process transport
+// uses, so everything behind the target (data plane, flash array,
+// recovery) serves real remote traffic unchanged.
+//
+// Shutdown is graceful by contract: RequestDrain() (async-signal-safe,
+// call it from a SIGTERM handler) stops the accept path, lets every
+// connection finish the requests it has already received, flushes their
+// responses, and then Run() returns. A drain deadline force-closes
+// stragglers so shutdown is bounded.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "osd/osd_target.h"
+#include "server/connection.h"
+#include "server/event_loop.h"
+#include "telemetry/metric_registry.h"
+#include "trace/event_log.h"
+
+namespace reo {
+
+struct OsdServerConfig {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral; read the bound port via port()
+  int backlog = 128;
+  size_t max_connections = 1024;
+  uint64_t idle_timeout_ms = 60'000;
+  /// After RequestDrain(), connections that have not finished within this
+  /// budget are force-closed so shutdown always completes.
+  uint64_t drain_timeout_ms = 5'000;
+  ConnectionConfig connection;
+};
+
+/// Aggregate serving counters (mirrored into MetricRegistry when attached).
+struct OsdServerStats {
+  uint64_t accepted = 0;
+  uint64_t closed = 0;
+  uint64_t rejected = 0;       ///< accepts refused at max_connections
+  uint64_t requests = 0;       ///< frames decoded into commands
+  uint64_t responses = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t frame_errors = 0;   ///< lost framing: bad magic / oversized length
+  uint64_t crc_errors = 0;     ///< frame CRC32C mismatches
+  uint64_t decode_errors = 0;  ///< framed payloads DecodeCommand rejected
+};
+
+class OsdServer final : private ConnectionHost {
+ public:
+  /// @param target command executor; must outlive the server.
+  explicit OsdServer(OsdTarget& target, OsdServerConfig config = {});
+  ~OsdServer() override;
+
+  /// Binds and listens; after success port() returns the bound port.
+  Status Listen();
+  uint16_t port() const { return port_; }
+
+  /// Serves until drain completes. Call from the (single) serving thread.
+  void Run();
+
+  /// Initiates graceful shutdown. Thread- and async-signal-safe.
+  void RequestDrain();
+
+  size_t active_connections() const { return connections_.size(); }
+  const OsdServerStats& stats() const { return stats_; }
+  EventLoop& loop() { return loop_; }
+
+  /// Registers serving metrics ("server.*"): connection/request/byte
+  /// counters, wire-corruption counters, per-op service latency
+  /// histograms. Resolve-once, like every other layer.
+  void AttachTelemetry(MetricRegistry& registry);
+
+  /// Attaches the structured event sink: accept/close at debug,
+  /// wire corruption at warn, drain milestones at info.
+  void AttachEvents(EventLog& events) { events_ = &events; }
+
+ private:
+  // ConnectionHost:
+  std::vector<uint8_t> OnFrame(Connection& conn,
+                               std::vector<uint8_t> payload) override;
+  void OnCorruptFrame(Connection& conn, FrameStatus status) override;
+  void OnBytes(uint64_t bytes_in, uint64_t bytes_out) override;
+  void OnClose(Connection& conn, std::string_view reason) override;
+
+  void OnAcceptReady();
+  void BeginDrainOnLoop();
+  void MaybeFinishDrain();
+  SimTime NowNs() const;
+
+  OsdTarget& target_;
+  OsdServerConfig config_;
+  EventLoop loop_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ = 1;
+  OsdServerStats stats_;
+  bool draining_ = false;
+  /// Set by RequestDrain() (possibly from a signal); latched on the loop.
+  volatile bool drain_requested_ = false;
+
+  EventLog* events_ = nullptr;
+
+  // Telemetry (null when un-attached).
+  Counter* tel_accepted_ = nullptr;
+  Counter* tel_closed_ = nullptr;
+  Counter* tel_rejected_ = nullptr;
+  Counter* tel_requests_ = nullptr;
+  Counter* tel_bytes_in_ = nullptr;
+  Counter* tel_bytes_out_ = nullptr;
+  Counter* tel_frame_errors_ = nullptr;
+  Counter* tel_crc_errors_ = nullptr;
+  Counter* tel_decode_errors_ = nullptr;
+  Gauge* tel_active_ = nullptr;
+  Histogram* tel_lat_read_ = nullptr;
+  Histogram* tel_lat_write_ = nullptr;
+  Histogram* tel_lat_other_ = nullptr;
+};
+
+}  // namespace reo

@@ -1,0 +1,168 @@
+#include "server/socket_initiator.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace reo {
+
+SocketInitiator::~SocketInitiator() { Close(); }
+
+SocketInitiator::SocketInitiator(SocketInitiator&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      decoder_(std::move(other.decoder_)),
+      stats_(other.stats_),
+      tel_commands_(other.tel_commands_),
+      tel_bytes_sent_(other.tel_bytes_sent_),
+      tel_bytes_received_(other.tel_bytes_received_),
+      tel_decode_errors_(other.tel_decode_errors_),
+      tel_crc_errors_(other.tel_crc_errors_),
+      tel_frame_errors_(other.tel_frame_errors_) {}
+
+SocketInitiator& SocketInitiator::operator=(SocketInitiator&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+    stats_ = other.stats_;
+    tel_commands_ = other.tel_commands_;
+    tel_bytes_sent_ = other.tel_bytes_sent_;
+    tel_bytes_received_ = other.tel_bytes_received_;
+    tel_decode_errors_ = other.tel_decode_errors_;
+    tel_crc_errors_ = other.tel_crc_errors_;
+    tel_frame_errors_ = other.tel_frame_errors_;
+  }
+  return *this;
+}
+
+void SocketInitiator::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+void SocketInitiator::AttachTelemetry(MetricRegistry& registry) {
+  tel_commands_ = &registry.GetCounter("initiator.commands");
+  tel_bytes_sent_ = &registry.GetCounter("initiator.bytes_sent");
+  tel_bytes_received_ = &registry.GetCounter("initiator.bytes_received");
+  tel_decode_errors_ = &registry.GetCounter("initiator.decode_errors");
+  tel_crc_errors_ = &registry.GetCounter("initiator.crc_errors");
+  tel_frame_errors_ = &registry.GetCounter("initiator.frame_errors");
+}
+
+Status SocketInitiator::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status{ErrorCode::kInternal,
+                  std::string("socket: ") + std::strerror(errno)};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string& ip = host == "localhost" ? std::string("127.0.0.1") : host;
+  if (inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status{ErrorCode::kInvalidArgument, "bad host " + host};
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st{ErrorCode::kUnavailable,
+              std::string("connect: ") + std::strerror(errno)};
+    Close();
+    return st;
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  decoder_ = FrameDecoder();
+  return Status::Ok();
+}
+
+Status SocketInitiator::SendBytes(const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = send(fd_, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status{ErrorCode::kUnavailable,
+                  std::string("send: ") + std::strerror(errno)};
+  }
+  stats_.bytes_sent += len;
+  Inc(tel_bytes_sent_, len);
+  return Status::Ok();
+}
+
+Status SocketInitiator::Send(const OsdCommand& command) {
+  if (fd_ < 0) return Status{ErrorCode::kUnavailable, "not connected"};
+  ++stats_.commands;
+  Inc(tel_commands_);
+  std::vector<uint8_t> frame = EncodeFrame(EncodeCommand(command));
+  REO_RETURN_IF_ERROR(SendBytes(frame.data(), frame.size()));
+  ++stats_.frames_sent;
+  return Status::Ok();
+}
+
+Result<OsdResponse> SocketInitiator::Receive() {
+  if (fd_ < 0) return Status{ErrorCode::kUnavailable, "not connected"};
+  std::vector<uint8_t> payload;
+  for (;;) {
+    FrameStatus st = decoder_.Next(&payload);
+    if (st == FrameStatus::kFrame) break;
+    if (st == FrameStatus::kCrcMismatch) {
+      ++stats_.crc_errors;
+      Inc(tel_crc_errors_);
+      Close();
+      return Status{ErrorCode::kCorrupted, "response frame failed CRC32C"};
+    }
+    if (st != FrameStatus::kNeedMore) {
+      ++stats_.frame_errors;
+      Inc(tel_frame_errors_);
+      Close();
+      return Status{ErrorCode::kCorrupted, "response stream lost framing"};
+    }
+    uint8_t buf[64 * 1024];
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      stats_.bytes_received += static_cast<uint64_t>(n);
+      Inc(tel_bytes_received_, static_cast<uint64_t>(n));
+      decoder_.Feed({buf, static_cast<size_t>(n)});
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Close();
+    return Status{ErrorCode::kUnavailable,
+                  n == 0 ? std::string("server closed the connection")
+                         : std::string("recv: ") + std::strerror(errno)};
+  }
+  ++stats_.frames_received;
+  auto resp = DecodeResponse(payload);
+  if (!resp.ok()) {
+    ++stats_.decode_errors;
+    Inc(tel_decode_errors_);
+    Close();
+    return resp.status();
+  }
+  return resp;
+}
+
+OsdResponse SocketInitiator::Roundtrip(const OsdCommand& command) {
+  Status sent = Send(command);
+  if (sent.ok()) {
+    auto resp = Receive();
+    if (resp.ok()) return std::move(*resp);
+  }
+  OsdResponse err;
+  err.sense = SenseCode::kFail;
+  return err;
+}
+
+}  // namespace reo

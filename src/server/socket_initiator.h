@@ -1,0 +1,77 @@
+// SocketInitiator: the client end of the real network path.
+//
+// Mirrors OsdTransport's interface shape — Roundtrip(command) ->
+// response, stats(), AttachTelemetry() — but ships the same encoded
+// bytes over a TCP socket to an OsdServer instead of a simulated
+// NetworkLink. Blocking IO: the load generator and tests run one
+// initiator per closed-loop worker. Send()/Receive() are exposed
+// separately so callers can pipeline several commands onto the wire
+// before collecting responses (the graceful-drain test depends on it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "osd/osd_target.h"
+#include "osd/transport.h"
+#include "server/frame.h"
+#include "telemetry/metric_registry.h"
+
+namespace reo {
+
+/// Wire counters for one socket session: the simulated transport's
+/// counters plus the framing-level corruption the real path can see.
+struct SocketInitiatorStats : TransportStats {
+  uint64_t frames_sent = 0;
+  uint64_t frames_received = 0;
+  uint64_t crc_errors = 0;    ///< response frames failing CRC32C
+  uint64_t frame_errors = 0;  ///< lost framing (bad magic / oversized)
+};
+
+class SocketInitiator {
+ public:
+  SocketInitiator() = default;
+  ~SocketInitiator();
+
+  SocketInitiator(const SocketInitiator&) = delete;
+  SocketInitiator& operator=(const SocketInitiator&) = delete;
+  SocketInitiator(SocketInitiator&& other) noexcept;
+  SocketInitiator& operator=(SocketInitiator&& other) noexcept;
+
+  /// Connects to `host`:`port` (IPv4 dotted quad or "localhost").
+  Status Connect(const std::string& host, uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one command and waits for its response. On any transport
+  /// failure returns a response with sense kFail (matching OsdTransport's
+  /// contract); the session is closed.
+  OsdResponse Roundtrip(const OsdCommand& command);
+
+  /// Pipelining: ships one command without waiting.
+  Status Send(const OsdCommand& command);
+  /// Receives the next response frame (blocking).
+  Result<OsdResponse> Receive();
+
+  const SocketInitiatorStats& stats() const { return stats_; }
+
+  /// Registers wire-level metrics ("initiator.*").
+  void AttachTelemetry(MetricRegistry& registry);
+
+ private:
+  Status SendBytes(const uint8_t* data, size_t len);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  SocketInitiatorStats stats_;
+
+  // Telemetry (null when un-attached).
+  Counter* tel_commands_ = nullptr;
+  Counter* tel_bytes_sent_ = nullptr;
+  Counter* tel_bytes_received_ = nullptr;
+  Counter* tel_decode_errors_ = nullptr;
+  Counter* tel_crc_errors_ = nullptr;
+  Counter* tel_frame_errors_ = nullptr;
+};
+
+}  // namespace reo

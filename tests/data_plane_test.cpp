@@ -3,7 +3,9 @@
 // space queries.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "backend/backend_store.h"
 #include "core/data_plane.h"
@@ -145,6 +147,24 @@ TEST(ReoDataPlaneTest, ReadWriteRoundTripAndRemove) {
   EXPECT_FALSE(io->degraded);
   ASSERT_TRUE(fx.plane->RemoveObject(Oid(1)).ok());
   EXPECT_EQ(fx.plane->ReadObject(Oid(1), 0).code(), ErrorCode::kNotFound);
+}
+
+TEST(ReoDataPlaneTest, WireSizedPayloadIsChunkPadded) {
+  // Wire clients hand over logical-sized payloads; the data plane pads
+  // them to the array's chunk geometry instead of rejecting the write.
+  PlaneFixture fx(ProtectionMode::kReo, 0.5);
+  const uint64_t logical = kChunk / 2 + 7;  // sub-chunk, not chunk-aligned
+  std::vector<uint8_t> payload(logical);
+  for (uint64_t i = 0; i < logical; ++i) payload[i] = static_cast<uint8_t>(i);
+
+  ASSERT_TRUE(fx.plane->WriteObject(Oid(1), payload, logical, 2, 0).ok());
+  auto io = fx.plane->ReadObject(Oid(1), 0);
+  ASSERT_TRUE(io.ok());
+  ASSERT_EQ(io->payload.size(), fx.stripes->PhysicalSize(logical));
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), io->payload.begin()));
+  for (uint64_t i = logical; i < io->payload.size(); ++i) {
+    ASSERT_EQ(io->payload[i], 0u) << "pad byte " << i << " not zero";
+  }
 }
 
 TEST(ReoDataPlaneTest, HasSpaceForConsidersRedundancy) {

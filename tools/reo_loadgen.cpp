@@ -1,0 +1,327 @@
+// reo_loadgen: closed-loop load generator for reo_server.
+//
+// Opens N connections, each driven by its own thread in a closed loop
+// (one outstanding request per connection — the paper's replay style,
+// §VI.A), issuing a configurable read/write mix over a Zipf-popular
+// object set (common/zipf). Latencies land in common/histogram
+// instances, are merged into a MetricRegistry, and the summary
+// (throughput, p50/p99/p999) plus the JSON snapshot are reported from
+// that registry. Exits non-zero if the wire saw any frame/CRC/decode
+// error, so CI can assert a clean run. Examples:
+//
+//   reo_loadgen --port 9555 --connections 8 --requests 5000
+//   reo_loadgen --port $(cat port.txt) --write-ratio 0.3 --zipf 0.9
+//       --stats-out loadgen_stats.json
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "server/socket_initiator.h"
+#include "telemetry/metric_registry.h"
+
+using namespace reo;
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t connections = 4;
+  uint64_t requests = 2000;  ///< per connection
+  double write_ratio = 0.3;
+  uint32_t objects = 1000;
+  double zipf_skew = 0.9;
+  uint64_t object_bytes = 64 * 1024;
+  uint64_t seed = 42;
+  bool verify = true;
+  std::string stats_out;
+};
+
+/// Everything one worker thread produces; merged on the main thread
+/// after join (MetricRegistry itself is single-threaded by design).
+struct WorkerResult {
+  Histogram read_us;
+  Histogram write_us;
+  Histogram all_us;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t sense_errors = 0;
+  uint64_t verify_errors = 0;
+  SocketInitiatorStats wire;
+  Status fatal = Status::Ok();
+};
+
+ObjectId IdForRank(uint32_t rank) {
+  // Skip past the exofs reserved metadata oids (Table I: 0x10000-0x10004).
+  return ObjectId{kFirstUserId, kFirstUserId + 0x1000 + rank};
+}
+
+/// Deterministic per-object payload so any reader can verify contents.
+std::vector<uint8_t> PayloadFor(uint32_t rank, uint64_t bytes) {
+  std::vector<uint8_t> data(bytes);
+  Pcg32 rng(/*seed=*/rank + 1, /*stream=*/0x9e3779b9);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  return data;
+}
+
+OsdCommand MakeWrite(uint32_t rank, uint64_t bytes) {
+  OsdCommand c;
+  c.op = OsdOp::kWrite;
+  c.id = IdForRank(rank);
+  c.logical_size = bytes;
+  c.data = PayloadFor(rank, bytes);
+  return c;
+}
+
+void Worker(const Options& opt, const ZipfSampler& zipf, size_t index,
+            WorkerResult* out) {
+  SocketInitiator client;
+  Status st = client.Connect(opt.host, opt.port);
+  if (!st.ok()) {
+    out->fatal = st;
+    return;
+  }
+  Pcg32 rng(opt.seed + 0x1000 + index, /*stream=*/index);
+  for (uint64_t i = 0; i < opt.requests; ++i) {
+    uint32_t rank = zipf.Sample(rng);
+    bool is_write = rng.NextDouble() < opt.write_ratio;
+    OsdCommand cmd;
+    if (is_write) {
+      cmd = MakeWrite(rank, opt.object_bytes);
+    } else {
+      cmd.op = OsdOp::kRead;
+      cmd.id = IdForRank(rank);
+    }
+    auto start = std::chrono::steady_clock::now();
+    OsdResponse resp = client.Roundtrip(cmd);
+    double us = std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    if (!client.connected()) {
+      out->fatal = Status{ErrorCode::kUnavailable, "connection lost mid-run"};
+      break;
+    }
+    (is_write ? out->write_us : out->read_us).Add(us);
+    out->all_us.Add(us);
+    ++(is_write ? out->writes : out->reads);
+    if (!resp.ok()) {
+      ++out->sense_errors;
+    } else if (!is_write && opt.verify) {
+      // The server may return chunk-padded payloads; the logical-size
+      // prefix must match exactly.
+      std::vector<uint8_t> want = PayloadFor(rank, opt.object_bytes);
+      if (resp.data.size() < want.size() ||
+          !std::equal(want.begin(), want.end(), resp.data.begin())) {
+        ++out->verify_errors;
+      }
+    }
+  }
+  out->wire = client.stats();
+}
+
+/// Writes every object once so the measured phase reads warm data.
+Status Populate(const Options& opt) {
+  SocketInitiator client;
+  REO_RETURN_IF_ERROR(client.Connect(opt.host, opt.port));
+
+  // FORMAT also creates the first user partition (exofs convention).
+  OsdCommand format;
+  format.op = OsdOp::kFormat;
+  format.capacity_bytes = 4 * opt.objects * opt.object_bytes;
+  if (!client.Roundtrip(format).ok()) {
+    return Status{ErrorCode::kInternal, "FORMAT failed"};
+  }
+
+  for (uint32_t rank = 0; rank < opt.objects; ++rank) {
+    OsdCommand create;
+    create.op = OsdOp::kCreate;
+    create.id = IdForRank(rank);
+    create.logical_size = opt.object_bytes;
+    if (!client.Roundtrip(create).ok()) {
+      return Status{ErrorCode::kInternal,
+                    "CREATE failed for rank " + std::to_string(rank)};
+    }
+    OsdResponse wr = client.Roundtrip(MakeWrite(rank, opt.object_bytes));
+    if (!wr.ok()) {
+      return Status{ErrorCode::kInternal,
+                    "populate WRITE failed for rank " + std::to_string(rank) +
+                        " (sense " + std::string(to_string(wr.sense)) + ")"};
+    }
+  }
+  const SocketInitiatorStats& w = client.stats();
+  if (w.crc_errors + w.frame_errors + w.decode_errors > 0) {
+    return Status{ErrorCode::kCorrupted, "wire errors during populate"};
+  }
+  return Status::Ok();
+}
+
+void Usage(const char* argv0) {
+  std::printf(
+      "usage: %s --port N [options]\n"
+      "  --host ADDR          server address (default 127.0.0.1)\n"
+      "  --port N             server port (required)\n"
+      "  --connections N      closed-loop connections/threads (default 4)\n"
+      "  --requests N         requests per connection (default 2000)\n"
+      "  --write-ratio F      fraction of writes (default 0.3)\n"
+      "  --objects N          distinct objects (default 1000)\n"
+      "  --zipf S             Zipf popularity skew (default 0.9)\n"
+      "  --object-kb N        object size in KiB (default 64)\n"
+      "  --seed N             RNG seed (default 42)\n"
+      "  --no-verify          skip read-payload content verification\n"
+      "  --stats-out PATH     write the telemetry snapshot JSON\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--host")) opt.host = next();
+    else if (!std::strcmp(argv[i], "--port")) opt.port = static_cast<uint16_t>(std::strtoul(next(), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--connections")) opt.connections = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--requests")) opt.requests = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--write-ratio")) opt.write_ratio = std::atof(next());
+    else if (!std::strcmp(argv[i], "--objects")) opt.objects = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--zipf")) opt.zipf_skew = std::atof(next());
+    else if (!std::strcmp(argv[i], "--object-kb")) opt.object_bytes = std::strtoull(next(), nullptr, 10) * 1024;
+    else if (!std::strcmp(argv[i], "--seed")) opt.seed = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--no-verify")) opt.verify = false;
+    else if (!std::strcmp(argv[i], "--stats-out")) opt.stats_out = next();
+    else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (opt.port == 0) {
+    std::fprintf(stderr, "--port is required\n");
+    Usage(argv[0]);
+    return 2;
+  }
+
+  Status setup = Populate(opt);
+  if (!setup.ok()) {
+    std::fprintf(stderr, "populate failed: %s\n", setup.to_string().c_str());
+    return 1;
+  }
+  std::printf("populated %u objects x %llu KiB; starting %zu connections"
+              " x %llu requests (%.0f%% writes, zipf %.2f)\n",
+              opt.objects, static_cast<unsigned long long>(opt.object_bytes >> 10),
+              opt.connections, static_cast<unsigned long long>(opt.requests),
+              opt.write_ratio * 100, opt.zipf_skew);
+  std::fflush(stdout);
+
+  ZipfSampler zipf(opt.objects, opt.zipf_skew);
+  std::vector<WorkerResult> results(opt.connections);
+  auto bench_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(opt.connections);
+    for (size_t i = 0; i < opt.connections; ++i) {
+      threads.emplace_back(Worker, std::cref(opt), std::cref(zipf), i,
+                           &results[i]);
+    }
+    for (auto& t : threads) t.join();
+  }
+  double elapsed_sec = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - bench_start)
+                           .count();
+
+  // Merge the per-thread results into one registry; everything reported
+  // below is read back out of its snapshot.
+  MetricRegistry registry;
+  Histogram& read_us = registry.GetHistogram("loadgen.latency.read_us");
+  Histogram& write_us = registry.GetHistogram("loadgen.latency.write_us");
+  Histogram& all_us = registry.GetHistogram("loadgen.latency.all_us");
+  Counter& reads = registry.GetCounter("loadgen.reads");
+  Counter& writes = registry.GetCounter("loadgen.writes");
+  Counter& sense_errors = registry.GetCounter("loadgen.sense_errors");
+  Counter& verify_errors = registry.GetCounter("loadgen.verify_errors");
+  Counter& bytes_sent = registry.GetCounter("loadgen.bytes_sent");
+  Counter& bytes_received = registry.GetCounter("loadgen.bytes_received");
+  Counter& crc_errors = registry.GetCounter("loadgen.wire.crc_errors");
+  Counter& frame_errors = registry.GetCounter("loadgen.wire.frame_errors");
+  Counter& decode_errors = registry.GetCounter("loadgen.wire.decode_errors");
+  int fatal = 0;
+  for (const WorkerResult& r : results) {
+    read_us.Merge(r.read_us);
+    write_us.Merge(r.write_us);
+    all_us.Merge(r.all_us);
+    reads.Inc(r.reads);
+    writes.Inc(r.writes);
+    sense_errors.Inc(r.sense_errors);
+    verify_errors.Inc(r.verify_errors);
+    bytes_sent.Inc(r.wire.bytes_sent);
+    bytes_received.Inc(r.wire.bytes_received);
+    crc_errors.Inc(r.wire.crc_errors);
+    frame_errors.Inc(r.wire.frame_errors);
+    decode_errors.Inc(r.wire.decode_errors);
+    if (!r.fatal.ok()) {
+      std::fprintf(stderr, "worker failed: %s\n", r.fatal.to_string().c_str());
+      fatal = 1;
+    }
+  }
+  uint64_t total_ops = reads.value() + writes.value();
+  registry.GetGauge("loadgen.elapsed_sec").Set(elapsed_sec);
+  registry.GetGauge("loadgen.throughput.ops_per_sec")
+      .Set(elapsed_sec > 0 ? static_cast<double>(total_ops) / elapsed_sec : 0);
+  registry.GetGauge("loadgen.throughput.mbps")
+      .Set(elapsed_sec > 0
+               ? static_cast<double>(bytes_sent.value() + bytes_received.value()) /
+                     1e6 / elapsed_sec
+               : 0);
+
+  MetricSnapshot snap = registry.Snapshot();
+  const MetricSnapshot::Entry* lat = snap.Find("loadgen.latency.all_us");
+  const MetricSnapshot::Entry* ops_s = snap.Find("loadgen.throughput.ops_per_sec");
+  const MetricSnapshot::Entry* mbps = snap.Find("loadgen.throughput.mbps");
+  std::printf("%llu ops in %.2f s: %.0f ops/s, %.1f MB/s on the wire\n",
+              static_cast<unsigned long long>(total_ops), elapsed_sec,
+              ops_s ? ops_s->value : 0.0, mbps ? mbps->value : 0.0);
+  if (lat != nullptr && lat->count > 0) {
+    std::printf("latency: p50 %.0f us, p99 %.0f us, p999 %.0f us"
+                " (mean %.0f, max %.0f)\n",
+                lat->p50, lat->p99, lat->p999, lat->mean, lat->max);
+  }
+  std::printf("errors: %llu sense, %llu verify, wire %llu crc / %llu frame"
+              " / %llu decode\n",
+              static_cast<unsigned long long>(sense_errors.value()),
+              static_cast<unsigned long long>(verify_errors.value()),
+              static_cast<unsigned long long>(crc_errors.value()),
+              static_cast<unsigned long long>(frame_errors.value()),
+              static_cast<unsigned long long>(decode_errors.value()));
+  if (!opt.stats_out.empty()) {
+    Status wf = WriteFileAtomic(opt.stats_out, snap.ToJson());
+    if (!wf.ok()) {
+      std::fprintf(stderr, "stats write failed: %s\n", wf.to_string().c_str());
+      return 1;
+    }
+    std::printf("telemetry snapshot -> %s\n", opt.stats_out.c_str());
+  }
+  if (fatal) return 1;
+  if (crc_errors.value() + frame_errors.value() + decode_errors.value() > 0) {
+    return 2;  // wire corruption: the CI smoke gate
+  }
+  if (verify_errors.value() > 0) return 3;
+  return 0;
+}
