@@ -18,12 +18,14 @@ TimerWheel::TimerWheel(uint64_t tick_ms, size_t slots)
 TimerId TimerWheel::Schedule(uint64_t now_ms, uint64_t delay_ms,
                              std::function<void()> cb) {
   TimerId id = next_id_++;
-  Entry e{id, now_ms + delay_ms, std::move(cb)};
+  uint64_t deadline = now_ms + delay_ms;
+  Entry e{id, deadline, std::move(cb)};
   // Slot by deadline tick; Advance() re-checks the deadline so entries
   // scheduled more than one wheel revolution out simply wait in place.
-  size_t slot = static_cast<size_t>(e.deadline_ms / tick_ms_) % slots_.size();
+  size_t slot = static_cast<size_t>(deadline / tick_ms_) % slots_.size();
   slots_[slot].push_front(std::move(e));
   live_.emplace(id, std::make_pair(slot, slots_[slot].begin()));
+  deadlines_.insert(deadline);
   if (last_tick_ == 0) last_tick_ = now_ms / tick_ms_;
   return id;
 }
@@ -31,16 +33,18 @@ TimerId TimerWheel::Schedule(uint64_t now_ms, uint64_t delay_ms,
 void TimerWheel::Cancel(TimerId id) {
   auto it = live_.find(id);
   if (it == live_.end()) return;
-  slots_[it->second.first].erase(it->second.second);
+  auto node = it->second.second;
+  deadlines_.erase(deadlines_.find(node->deadline_ms));
+  slots_[it->second.first].erase(node);
   live_.erase(it);
 }
 
 void TimerWheel::Advance(uint64_t now_ms) {
+  uint64_t tick = now_ms / tick_ms_;
   if (live_.empty()) {
-    last_tick_ = now_ms / tick_ms_;
+    last_tick_ = tick;
     return;
   }
-  uint64_t tick = now_ms / tick_ms_;
   // Visit each slot between the last drained tick and now (at most one
   // full revolution), firing entries whose deadline has passed.
   uint64_t span = tick - last_tick_;
@@ -48,27 +52,32 @@ void TimerWheel::Advance(uint64_t now_ms) {
   for (uint64_t t = 0; t <= span; ++t) {
     size_t slot = static_cast<size_t>((last_tick_ + t) % slots_.size());
     auto& list = slots_[slot];
-    for (auto it = list.begin(); it != list.end();) {
-      if (it->deadline_ms > now_ms) {
-        ++it;
-        continue;
+    // Fire due entries one at a time, fully unlinking each entry (slot
+    // list, live_, deadlines_) BEFORE running its callback: a callback
+    // may Cancel() any other pending timer, erasing arbitrary list
+    // nodes, so no iterator into the slot may survive across cb().
+    // After every callback the slot is rescanned from the front.
+    bool fired = true;
+    while (fired) {
+      fired = false;
+      for (auto it = list.begin(); it != list.end(); ++it) {
+        if (it->deadline_ms > now_ms) continue;
+        auto cb = std::move(it->cb);
+        live_.erase(it->id);
+        deadlines_.erase(deadlines_.find(it->deadline_ms));
+        list.erase(it);
+        fired = true;
+        cb();
+        break;
       }
-      auto cb = std::move(it->cb);
-      live_.erase(it->id);
-      it = list.erase(it);
-      cb();  // may schedule/cancel other timers; iterators stay valid (list)
     }
   }
   last_tick_ = tick;
 }
 
 int TimerWheel::NextTimeoutMs(uint64_t now_ms) const {
-  if (live_.empty()) return -1;
-  uint64_t best = UINT64_MAX;
-  for (const auto& [id, where] : live_) {
-    const Entry& e = *where.second;
-    if (e.deadline_ms < best) best = e.deadline_ms;
-  }
+  if (deadlines_.empty()) return -1;
+  uint64_t best = *deadlines_.begin();
   if (best <= now_ms) return 0;
   uint64_t delta = best - now_ms;
   return delta > 60'000 ? 60'000 : static_cast<int>(delta);
@@ -145,38 +154,42 @@ void EventLoop::Wake() {
 }
 
 void EventLoop::Stop() {
-  stop_ = true;
+  stop_.store(true, std::memory_order_relaxed);
   Wake();
 }
 
 void EventLoop::Run() {
   constexpr int kMaxEvents = 128;
   epoll_event events[kMaxEvents];
-  while (!stop_) {
+  uint64_t batch_gen[kMaxEvents];
+  while (!stop_.load(std::memory_order_relaxed)) {
     now_ms_ = ReadClockMs();
     int timeout = timers_.NextTimeoutMs(now_ms_);
     int n = epoll_wait(epoll_fd_, events, kMaxEvents, timeout);
     if (n < 0 && errno != EINTR) break;
     now_ms_ = ReadClockMs();
-    for (int i = 0; i < n && !stop_; ++i) {
+    // Snapshot each fd's registration generation before dispatching any
+    // handler: a handler earlier in the batch may Remove() (or remove and
+    // re-add) a later fd, and its stale readiness must not reach the
+    // handler of a new registration that reused the fd number.
+    for (int i = 0; i < n; ++i) {
+      auto gen = fd_generation_.find(events[i].data.fd);
+      batch_gen[i] = gen == fd_generation_.end() ? 0 : gen->second;
+    }
+    for (int i = 0; i < n && !stop_.load(std::memory_order_relaxed); ++i) {
       int fd = events[i].data.fd;
       if (fd == wake_fd_) {
         uint64_t drain = 0;
         [[maybe_unused]] ssize_t r = read(wake_fd_, &drain, sizeof(drain));
         continue;
       }
-      // A handler earlier in this batch may have removed (or removed and
-      // re-added) this fd; consult the generation map before dispatching.
       auto gen = fd_generation_.find(fd);
-      if (gen == fd_generation_.end()) continue;
-      uint64_t expected = gen->second;
+      if (gen == fd_generation_.end() || gen->second != batch_gen[i]) continue;
       auto h = handlers_.find(fd);
       if (h == handlers_.end()) continue;
       // Copy: the handler may Remove(fd) and invalidate the map entry.
       auto handler = h->second;
-      if (fd_generation_.count(fd) && fd_generation_[fd] == expected) {
-        handler(events[i].events);
-      }
+      handler(events[i].events);
     }
     timers_.Advance(now_ms_);
   }

@@ -9,9 +9,11 @@
 // write) so a SIGTERM handler may call it directly.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -57,6 +59,9 @@ class TimerWheel {
   std::vector<std::list<Entry>> slots_;
   /// id -> (slot, iterator) for O(1) cancel.
   std::unordered_map<TimerId, std::pair<size_t, std::list<Entry>::iterator>> live_;
+  /// Every pending deadline, ordered, so NextTimeoutMs() is O(1) instead
+  /// of scanning live_ on every loop iteration.
+  std::multiset<uint64_t> deadlines_;
   uint64_t last_tick_ = 0;  ///< wheel position already drained (in ticks)
   TimerId next_id_ = 1;
 };
@@ -96,7 +101,7 @@ class EventLoop {
   /// async-signal-safe.
   void Wake();
 
-  bool stopped() const { return stop_; }
+  bool stopped() const { return stop_.load(std::memory_order_relaxed); }
 
   /// CLOCK_MONOTONIC milliseconds, cached once per loop iteration.
   uint64_t now_ms() const { return now_ms_; }
@@ -107,12 +112,14 @@ class EventLoop {
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  ///< eventfd; written by Wake()/Stop()
   std::unordered_map<int, std::function<void(uint32_t)>> handlers_;
-  /// Bumped on Remove() so stale ready-list entries are skipped.
+  /// Bumped on Add()/Remove() so stale ready-list entries are skipped.
   uint64_t generation_ = 0;
   std::unordered_map<int, uint64_t> fd_generation_;
   TimerWheel timers_;
   uint64_t now_ms_ = 0;
-  volatile bool stop_ = false;  ///< set from signal handlers; plain flag
+  /// Set via Stop() from any thread or a signal handler; lock-free
+  /// relaxed atomics are both data-race-free and async-signal-safe.
+  std::atomic<bool> stop_{false};
 };
 
 }  // namespace reo

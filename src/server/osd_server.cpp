@@ -99,19 +99,20 @@ void OsdServer::Run() {
   REO_CHECK(st.ok());
   // Latch drain requests (RequestDrain may fire from a signal handler:
   // it only sets the flag and wakes the loop) via a cheap poll timer.
-  std::function<void()> poll_drain = [this, &poll_drain] {
-    if (drain_requested_ && !draining_) {
-      BeginDrainOnLoop();
-      return;
-    }
-    if (!loop_.stopped()) loop_.AddTimer(20, poll_drain);
-  };
-  loop_.AddTimer(20, poll_drain);
+  loop_.AddTimer(20, [this] { PollDrain(); });
   loop_.Run();
 }
 
+void OsdServer::PollDrain() {
+  if (drain_requested_.load(std::memory_order_relaxed) && !draining_) {
+    BeginDrainOnLoop();
+    return;
+  }
+  if (!loop_.stopped()) loop_.AddTimer(20, [this] { PollDrain(); });
+}
+
 void OsdServer::RequestDrain() {
-  drain_requested_ = true;
+  drain_requested_.store(true, std::memory_order_relaxed);
   loop_.Wake();
 }
 

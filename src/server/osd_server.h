@@ -14,6 +14,7 @@
 // stragglers so shutdown is bounded.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -91,6 +92,7 @@ class OsdServer final : private ConnectionHost {
   void OnClose(Connection& conn, std::string_view reason) override;
 
   void OnAcceptReady();
+  void PollDrain();
   void BeginDrainOnLoop();
   void MaybeFinishDrain();
   SimTime NowNs() const;
@@ -104,8 +106,9 @@ class OsdServer final : private ConnectionHost {
   uint64_t next_conn_id_ = 1;
   OsdServerStats stats_;
   bool draining_ = false;
-  /// Set by RequestDrain() (possibly from a signal); latched on the loop.
-  volatile bool drain_requested_ = false;
+  /// Set by RequestDrain() (possibly from a signal handler — lock-free
+  /// relaxed atomics are async-signal-safe); latched on the loop.
+  std::atomic<bool> drain_requested_{false};
 
   EventLog* events_ = nullptr;
 

@@ -421,6 +421,32 @@ TEST(TimerWheelTest, CallbackMayScheduleMoreTimers) {
   EXPECT_EQ(fired, 2);
 }
 
+// Regression: a firing callback cancelling other timers that are due in
+// the SAME slot (the drain path does exactly this — the drain-timeout
+// callback destroys Connections, whose destructors cancel their idle
+// timers) must not leave Advance() holding a freed list node.
+TEST(TimerWheelTest, CallbackMayCancelOtherDueTimers) {
+  TimerWheel wheel(10, 8);
+  std::vector<TimerId> victims;
+  int cancelled_fired = 0;
+  int canceller_fired = 0;
+  // All four land in the same slot and are all due at once; the canceller
+  // is scheduled last so push_front puts it ahead of its victims.
+  for (int i = 0; i < 3; ++i) {
+    victims.push_back(
+        wheel.Schedule(0, 20, [&] { ++cancelled_fired; }));
+  }
+  wheel.Schedule(0, 20, [&] {
+    ++canceller_fired;
+    for (TimerId id : victims) wheel.Cancel(id);
+  });
+  wheel.Advance(25);
+  EXPECT_EQ(canceller_fired, 1);
+  EXPECT_EQ(cancelled_fired, 0);
+  EXPECT_EQ(wheel.pending(), 0u);
+  EXPECT_EQ(wheel.NextTimeoutMs(25), -1);
+}
+
 TEST(TimerWheelTest, NextTimeoutTracksEarliestDeadline) {
   TimerWheel wheel(10, 16);
   EXPECT_EQ(wheel.NextTimeoutMs(0), -1);
