@@ -1,5 +1,6 @@
-// Filesystem helpers for report/trace emission. Kept out of the hot path;
-// only CLI tools and exporters use these.
+// Filesystem helpers shared by the persistence layer, CLI tools, and
+// exporters. WriteFileAtomic carries checkpoint images, so its durability
+// contract is load-bearing, not just convenience.
 #pragma once
 
 #include <string>
@@ -9,9 +10,11 @@
 
 namespace reo {
 
-/// Writes `contents` to `path` atomically: the bytes land in `path + ".tmp"`
-/// first (flushed + fsynced), then rename() swaps it into place, so readers
-/// never observe a torn or partial file even if the process dies mid-write.
+/// Writes `contents` to `path` atomically and durably: the bytes land in a
+/// per-call unique `path + ".tmp.<pid>.<seq>"` first (flushed + fsynced),
+/// rename() swaps it into place, and the parent directory is fsynced so the
+/// rename survives a power cut. Readers never observe a torn or partial
+/// file, and concurrent writers to the same path cannot corrupt each other.
 Status WriteFileAtomic(const std::string& path, std::string_view contents);
 
 /// Reads a whole file into a string. kNotFound if it cannot be opened.

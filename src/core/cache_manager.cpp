@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/crc32c.h"
+#include "persist/persistence.h"
 
 namespace reo {
 namespace {
@@ -120,6 +121,9 @@ SenseCode CacheManager::SendClassification(ObjectId id, DataClass cls,
     it->second.cls = sense == SenseCode::kRedundancyFull
                          ? DataClass::kColdClean
                          : cls;
+    if (persist_ != nullptr) {
+      (void)persist_->NoteHotness(id, StateOf(id, it->second).H());
+    }
   }
   return sense;
 }
@@ -564,6 +568,7 @@ void CacheManager::RefreshClassification(SimTime now) {
   classifier_.Refresh(candidates, hot_budget);
   double h_hot = classifier_.h_hot();
   Set(tel_.h_hot, h_hot);
+  if (persist_ != nullptr) (void)persist_->NoteClassifierState(h_hot);
   Emit(ev_, now, EventSeverity::kDebug, "reclass.refresh",
        "adaptive H_hot threshold recomputed",
        {{"h_hot", std::to_string(h_hot)},

@@ -192,6 +192,12 @@ class CacheManager {
   /// transport separately.
   void AttachTracing(Tracer& tracer);
 
+  /// Streams classification knowledge into the durable journal — per-object
+  /// hotness at #SETID# time and the adaptive H_hot after each refresh — so
+  /// a restart restores hot-before-cold inside the clean classes and
+  /// resumes with a warm threshold. Null (the default) is a no-op.
+  void AttachPersistence(PersistenceManager* persist) { persist_ = persist; }
+
  private:
   struct Entry {
     uint64_t logical_size = 0;
@@ -233,6 +239,7 @@ class CacheManager {
   OsdInitiator initiator_;
   ReoDataPlane& plane_;
   BackendStore& backend_;
+  PersistenceManager* persist_ = nullptr;
   CacheManagerConfig config_;
 
   std::unordered_map<ObjectId, Entry, ObjectIdHash> entries_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "persist/persistence.h"
+
 namespace reo {
 namespace {
 
@@ -95,6 +97,19 @@ Result<DataPlaneIo> ReoDataPlane::WriteObject(ObjectId id,
   Inc(tel_writes_);
   Set(tel_redundancy_bytes_, static_cast<double>(stripes_.redundancy_bytes()));
   Set(tel_user_bytes_, static_cast<double>(stripes_.user_bytes()));
+  if (persist_ != nullptr) {
+    // Persist the physical (shaped) bytes: restore replays them through
+    // PutObject unchanged. Replicated classes (0/1) must be durable before
+    // the ack, so a failed commit fails the write; clean classes can be
+    // re-fetched from the backend, so their commit failures only count.
+    Status commit = persist_->CommitWrite(id, class_id, logical_bytes,
+                                          payload, now);
+    if (!commit.ok() && class_id <= 1 && !persist_->replaying()) {
+      span.set_flags(kSpanError);
+      return Status(ErrorCode::kUnavailable,
+                    "persistence commit failed: " + commit.message());
+    }
+  }
   return ToDataPlaneIo(std::move(*io));
 }
 
@@ -120,6 +135,7 @@ Status ReoDataPlane::RemoveObject(ObjectId id) {
     Inc(tel_removes_);
     Set(tel_redundancy_bytes_, static_cast<double>(stripes_.redundancy_bytes()));
     Set(tel_user_bytes_, static_cast<double>(stripes_.user_bytes()));
+    if (persist_ != nullptr) (void)persist_->CommitEvict(id, /*now=*/0);
   }
   return st;
 }
@@ -140,6 +156,9 @@ Status ReoDataPlane::SetObjectClass(ObjectId id, uint8_t class_id, SimTime now) 
   Inc(tel_reclass_);
   Set(tel_redundancy_bytes_, static_cast<double>(stripes_.redundancy_bytes()));
   Set(tel_user_bytes_, static_cast<double>(stripes_.user_bytes()));
+  if (persist_ != nullptr) {
+    (void)persist_->CommitState(id, class_id, std::nullopt, now);
+  }
   if (effective != desired) {
     ++reserve_rejections_;
     Inc(tel_reserve_rejections_);
@@ -162,6 +181,14 @@ ObjectHealth ReoDataPlane::Health(ObjectId id) const {
 
 bool ReoDataPlane::HasSpaceFor(uint64_t logical_bytes, uint8_t class_id) const {
   return stripes_.HasSpaceFor(logical_bytes, EffectiveLevel(logical_bytes, class_id));
+}
+
+void ReoDataPlane::OnFormat(uint64_t capacity_bytes, SimTime now) {
+  (void)capacity_bytes;
+  (void)now;
+  // A client-driven FORMAT starts an empty cache: drop the durable state
+  // too — but never while restore itself is replaying through a format.
+  if (persist_ != nullptr && !persist_->replaying()) persist_->ResetAll();
 }
 
 }  // namespace reo

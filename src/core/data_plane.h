@@ -17,6 +17,8 @@
 
 namespace reo {
 
+class PersistenceManager;
+
 class ReoDataPlane final : public DataPlane {
  public:
   /// @param stripes storage engine; must outlive the plane.
@@ -32,6 +34,7 @@ class ReoDataPlane final : public DataPlane {
   ObjectHealth Health(ObjectId id) const override;
   bool recovery_active() const override { return recovery_active_; }
   bool HasSpaceFor(uint64_t logical_bytes, uint8_t class_id) const override;
+  void OnFormat(uint64_t capacity_bytes, SimTime now) override;
 
   // --- Reo-specific ----------------------------------------------------------
 
@@ -60,9 +63,15 @@ class ReoDataPlane final : public DataPlane {
   /// (reconstruction track + per-device flash tracks).
   void AttachTracing(Tracer& tracer);
 
+  /// Routes every successful write/reclass/remove through the durable log.
+  /// Null (the default) keeps the plane byte-identical to the in-memory
+  /// configuration. The manager must outlive the plane.
+  void AttachPersistence(PersistenceManager* persist) { persist_ = persist; }
+
  private:
   StripeManager& stripes_;
   RedundancyPolicy policy_;
+  PersistenceManager* persist_ = nullptr;
   uint64_t reserve_bytes_ = 0;
   bool recovery_active_ = false;
   uint64_t reserve_rejections_ = 0;

@@ -41,6 +41,7 @@ OsdResponse OsdTarget::Execute(const OsdCommand& cmd) {
   switch (cmd.op) {
     case OsdOp::kFormat:
       store_.Format(cmd.capacity_bytes);
+      data_plane_.OnFormat(cmd.capacity_bytes, cmd.now);
       break;
 
     case OsdOp::kCreatePartition:

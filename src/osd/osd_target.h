@@ -71,6 +71,13 @@ class DataPlane {
   /// Whether an object of `logical_bytes` in class `class_id` (data plus
   /// its redundancy) currently fits.
   virtual bool HasSpaceFor(uint64_t logical_bytes, uint8_t class_id) const = 0;
+
+  /// FORMAT OSD notification: the target wiped its metadata store; planes
+  /// holding state of their own (e.g. durable logs) discard it here.
+  virtual void OnFormat(uint64_t capacity_bytes, SimTime now) {
+    (void)capacity_bytes;
+    (void)now;
+  }
 };
 
 /// OSD command opcodes (the subset of OSD-2 Reo exercises).

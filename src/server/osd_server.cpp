@@ -154,6 +154,7 @@ void OsdServer::BeginDrainOnLoop() {
 
 void OsdServer::MaybeFinishDrain() {
   if (draining_ && connections_.empty()) {
+    if (config_.on_drained) config_.on_drained();
     Emit(events_, NowNs(), EventSeverity::kInfo, "server.drained",
          "all connections drained; stopping");
     loop_.Stop();

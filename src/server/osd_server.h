@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -38,6 +39,10 @@ struct OsdServerConfig {
   /// budget are force-closed so shutdown always completes.
   uint64_t drain_timeout_ms = 5'000;
   ConnectionConfig connection;
+  /// Invoked on the loop thread once drain completes, before Run()
+  /// returns — the clean-shutdown checkpoint hook (every in-flight
+  /// request has been answered; nothing can dirty the state afterwards).
+  std::function<void()> on_drained;
 };
 
 /// Aggregate serving counters (mirrored into MetricRegistry when attached).

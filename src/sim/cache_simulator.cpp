@@ -31,9 +31,21 @@ CacheSimulator::CacheSimulator(const Trace& trace, SimulationConfig config)
   target_ = std::make_unique<OsdTarget>(*plane_);
   backend_ = std::make_unique<BackendStore>(config_.hdd, config_.net);
 
+  if (config_.persistence.enabled()) {
+    auto persist = PersistenceManager::Open(config_.persistence);
+    // Simulator runs treat an unopenable data dir as a configuration
+    // error; the REO_CHECK keeps misconfigured benches from silently
+    // running without the durability they asked for.
+    REO_CHECK(persist.ok());
+    persist_ = std::move(*persist);
+    persist_->AttachTelemetry(telemetry_);
+    plane_->AttachPersistence(persist_.get());
+  }
+
   CacheManagerConfig cmc = config_.cache;
   cmc.verify_hits = config_.verify_hits;
   cache_ = std::make_unique<CacheManager>(*target_, *plane_, *backend_, cmc);
+  if (persist_) cache_->AttachPersistence(persist_.get());
 
   if (config_.wire_transport) {
     transport_ = std::make_unique<OsdTransport>(*target_, config_.net);
@@ -55,6 +67,7 @@ CacheSimulator::CacheSimulator(const Trace& trace, SimulationConfig config)
     target_->AttachTracing(tracer_);
     if (transport_) transport_->AttachTracing(tracer_);
     sim_ev_ = &tracer_.events();
+    if (persist_) persist_->AttachEvents(tracer_.events());
   }
 
   // Register the catalog with the backend store.

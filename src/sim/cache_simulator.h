@@ -13,6 +13,7 @@
 
 #include "backend/backend_store.h"
 #include "core/cache_manager.h"
+#include "persist/persistence.h"
 #include "sim/metrics.h"
 #include "telemetry/metric_registry.h"
 #include "trace/tracer.h"
@@ -81,6 +82,11 @@ struct SimulationConfig {
   /// iSCSI stand-in) instead of the in-process fast path, so traces show
   /// the transport layer. Slightly slower; off by default.
   bool wire_transport = false;
+
+  /// Durable cache state (DESIGN.md "Persistence & restart recovery").
+  /// The default (empty data_dir) is the null backend: no files are
+  /// touched and the run is byte-identical to the in-memory simulator.
+  PersistenceConfig persistence;
 };
 
 /// Everything a bench/test needs from one run.
@@ -126,6 +132,8 @@ class CacheSimulator {
   /// export with ChromeTraceJson / TraceReportText after Run().
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+  /// Durable-state manager; null unless `persistence.data_dir` was set.
+  PersistenceManager* persistence() { return persist_.get(); }
 
  private:
   void ReplayUnmeasured();
@@ -142,6 +150,7 @@ class CacheSimulator {
   std::unique_ptr<OsdTarget> target_;
   std::unique_ptr<OsdTransport> transport_;  ///< only when wire_transport
   std::unique_ptr<BackendStore> backend_;
+  std::unique_ptr<PersistenceManager> persist_;  ///< only when data_dir set
   std::unique_ptr<CacheManager> cache_;
   /// Event sink for the injection script ("sim.*"); null when tracing off.
   EventLog* sim_ev_ = nullptr;

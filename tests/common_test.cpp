@@ -1,12 +1,15 @@
 // Unit tests for the common substrate: status/result, CRC32C, PCG32,
-// Zipf sampling, histograms, and the virtual clock.
+// Zipf sampling, histograms, file utilities, and the virtual clock.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <set>
+#include <thread>
 
 #include "common/crc32c.h"
+#include "common/file_util.h"
 #include "common/histogram.h"
 #include "common/object_id.h"
 #include "common/rng.h"
@@ -328,6 +331,78 @@ TEST(UnitsTest, HumanBytes) {
   EXPECT_EQ(HumanBytes(4 * kKiB), "4.00 KiB");
   EXPECT_EQ(HumanBytes(3 * kMiB), "3.00 MiB");
   EXPECT_EQ(HumanBytes(2 * kGiB), "2.00 GiB");
+}
+
+// --- File utilities --------------------------------------------------------
+
+TEST(FileUtilTest, WriteReadRoundTrip) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "reo_file_util_rt";
+  std::filesystem::create_directories(dir);
+  std::string path = (dir / "blob.bin").string();
+  std::string payload = "hello\0world";
+  ASSERT_TRUE(WriteFileAtomic(path, payload).ok());
+  auto back = ReadFileToString(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, payload);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileUtilTest, OverwriteReplacesContents) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "reo_file_util_ow";
+  std::filesystem::create_directories(dir);
+  std::string path = (dir / "blob.bin").string();
+  ASSERT_TRUE(WriteFileAtomic(path, "first image, rather long").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "second").ok());
+  auto back = ReadFileToString(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "second");
+  std::filesystem::remove_all(dir);
+}
+
+// Regression: the tmp name used to be a fixed `path + ".tmp"`, so two
+// concurrent writers interleaved bytes in the SAME tmp file and rename
+// could publish a mixed image. With per-call unique tmp names, the final
+// file must always be exactly one writer's payload, and no tmp debris
+// may survive.
+TEST(FileUtilTest, ConcurrentWritersNeverTearTheFile) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "reo_file_util_race";
+  std::filesystem::create_directories(dir);
+  std::string path = (dir / "contended.bin").string();
+
+  constexpr int kWriters = 8;
+  constexpr int kRounds = 25;
+  std::vector<std::string> payloads;
+  for (int w = 0; w < kWriters; ++w) {
+    // Distinct lengths AND distinct bytes: any interleaving is detectable.
+    payloads.push_back(std::string(1024 + 257 * w, static_cast<char>('A' + w)));
+  }
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int r = 0; r < kRounds; ++r) {
+        ASSERT_TRUE(WriteFileAtomic(path, payloads[w]).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  auto back = ReadFileToString(path);
+  ASSERT_TRUE(back.ok());
+  bool matches_one_writer = false;
+  for (const std::string& p : payloads) matches_one_writer |= (*back == p);
+  EXPECT_TRUE(matches_one_writer)
+      << "final file is a mix of writers (size " << back->size() << ")";
+
+  // The unique-suffix scheme must also clean up after itself.
+  size_t leftovers = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().filename().string() != "contended.bin") ++leftovers;
+  }
+  EXPECT_EQ(leftovers, 0u);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

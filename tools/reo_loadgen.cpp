@@ -12,11 +12,27 @@
 //   reo_loadgen --port 9555 --connections 8 --requests 5000
 //   reo_loadgen --port $(cat port.txt) --write-ratio 0.3 --zipf 0.9
 //       --stats-out loadgen_stats.json
+//
+// Crash testing (used by the CI crash-recovery smoke job):
+//
+//   # classify everything dirty, SIGKILL the server after 200 acked burst
+//   # writes, and record which writes were acknowledged:
+//   reo_loadgen --port N --write-class 1 --write-ratio 1.0
+//       --kill-after 200 --kill-pid-file server.pid --ack-manifest acks.txt
+//   # after restart: verify every acknowledged object is readable with
+//   # the correct contents (exit 4 on any loss):
+//   reo_loadgen --port N --verify-manifest acks.txt
+#include <signal.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +41,7 @@
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/zipf.h"
+#include "osd/control_protocol.h"
 #include "server/socket_initiator.h"
 #include "telemetry/metric_registry.h"
 
@@ -44,7 +61,39 @@ struct Options {
   uint64_t seed = 42;
   bool verify = true;
   std::string stats_out;
+
+  // Crash-testing modes.
+  int write_class = -1;        ///< classify every object via #SETID# (-1: off)
+  uint64_t kill_after = 0;     ///< SIGKILL the server after N acked writes
+  std::string kill_pid_file;   ///< where the server's pid lives
+  std::string ack_manifest;    ///< write acknowledged ranks here
+  std::string verify_manifest; ///< verify-only mode: read ranks from here
 };
+
+/// Acknowledged-write bookkeeping shared by the worker threads.
+std::atomic<uint64_t> g_acked_writes{0};
+std::atomic<bool> g_killed{false};
+
+/// SIGKILLs the process named in `opt.kill_pid_file` (crash testing).
+void KillServer(const Options& opt) {
+  auto pid_text = ReadFileToString(opt.kill_pid_file);
+  if (!pid_text.ok()) {
+    std::fprintf(stderr, "kill: cannot read %s: %s\n",
+                 opt.kill_pid_file.c_str(),
+                 pid_text.status().to_string().c_str());
+    return;
+  }
+  long pid = std::strtol(pid_text->c_str(), nullptr, 10);
+  if (pid <= 1) {
+    std::fprintf(stderr, "kill: implausible pid %ld\n", pid);
+    return;
+  }
+  ::kill(static_cast<pid_t>(pid), SIGKILL);
+  g_killed.store(true);
+  std::printf("SIGKILL sent to server pid %ld after %llu acked writes\n", pid,
+              static_cast<unsigned long long>(g_acked_writes.load()));
+  std::fflush(stdout);
+}
 
 /// Everything one worker thread produces; merged on the main thread
 /// after join (MetricRegistry itself is single-threaded by design).
@@ -56,6 +105,7 @@ struct WorkerResult {
   uint64_t writes = 0;
   uint64_t sense_errors = 0;
   uint64_t verify_errors = 0;
+  std::vector<uint32_t> acked_ranks;  ///< writes the server acknowledged
   SocketInitiatorStats wire;
   Status fatal = Status::Ok();
 };
@@ -107,14 +157,25 @@ void Worker(const Options& opt, const ZipfSampler& zipf, size_t index,
                     std::chrono::steady_clock::now() - start)
                     .count();
     if (!client.connected()) {
-      out->fatal = Status{ErrorCode::kUnavailable, "connection lost mid-run"};
+      // In kill mode the server vanishing is the point, not a failure.
+      if (!g_killed.load()) {
+        out->fatal = Status{ErrorCode::kUnavailable, "connection lost mid-run"};
+      }
       break;
     }
     (is_write ? out->write_us : out->read_us).Add(us);
     out->all_us.Add(us);
     ++(is_write ? out->writes : out->reads);
+    if (is_write && resp.ok()) {
+      // This response means the server committed (and, for replicated
+      // classes, fsynced) the write before answering: from here on a crash
+      // must not lose it. Record it, and pull the trigger at the threshold.
+      out->acked_ranks.push_back(rank);
+      uint64_t acked = g_acked_writes.fetch_add(1) + 1;
+      if (opt.kill_after > 0 && acked == opt.kill_after) KillServer(opt);
+    }
     if (!resp.ok()) {
-      ++out->sense_errors;
+      if (!g_killed.load()) ++out->sense_errors;
     } else if (!is_write && opt.verify) {
       // The server may return chunk-padded payloads; the logical-size
       // prefix must match exactly.
@@ -128,8 +189,25 @@ void Worker(const Options& opt, const ZipfSampler& zipf, size_t index,
   out->wire = client.stats();
 }
 
+/// Assigns `class_id` to the object via the #SETID# control channel, the
+/// same path the cache manager's classifier uses.
+Status Classify(SocketInitiator& client, uint32_t rank, uint8_t class_id) {
+  OsdCommand ctl;
+  ctl.op = OsdOp::kWrite;
+  ctl.id = kControlObject;
+  ctl.data = EncodeControlMessage(
+      SetIdCommand{.target = IdForRank(rank), .class_id = class_id});
+  ctl.logical_size = ctl.data.size();
+  if (!client.Roundtrip(ctl).ok()) {
+    return Status{ErrorCode::kInternal,
+                  "SETID failed for rank " + std::to_string(rank)};
+  }
+  return Status::Ok();
+}
+
 /// Writes every object once so the measured phase reads warm data.
-Status Populate(const Options& opt) {
+/// Populate writes count as acknowledged too: the server committed them.
+Status Populate(const Options& opt, std::vector<uint32_t>* acked_ranks) {
   SocketInitiator client;
   REO_RETURN_IF_ERROR(client.Connect(opt.host, opt.port));
 
@@ -150,18 +228,79 @@ Status Populate(const Options& opt) {
       return Status{ErrorCode::kInternal,
                     "CREATE failed for rank " + std::to_string(rank)};
     }
+    if (opt.write_class >= 0) {
+      REO_RETURN_IF_ERROR(
+          Classify(client, rank, static_cast<uint8_t>(opt.write_class)));
+    }
     OsdResponse wr = client.Roundtrip(MakeWrite(rank, opt.object_bytes));
     if (!wr.ok()) {
       return Status{ErrorCode::kInternal,
                     "populate WRITE failed for rank " + std::to_string(rank) +
                         " (sense " + std::string(to_string(wr.sense)) + ")"};
     }
+    if (acked_ranks != nullptr) acked_ranks->push_back(rank);
   }
   const SocketInitiatorStats& w = client.stats();
   if (w.crc_errors + w.frame_errors + w.decode_errors > 0) {
     return Status{ErrorCode::kCorrupted, "wire errors during populate"};
   }
   return Status::Ok();
+}
+
+/// Verify-only mode: reads every rank listed in the manifest back and
+/// checks contents against the deterministic payload. Any acknowledged
+/// object that is missing or wrong after a restart is durability loss.
+int VerifyManifest(const Options& opt) {
+  auto text = ReadFileToString(opt.verify_manifest);
+  if (!text.ok()) {
+    std::fprintf(stderr, "cannot read manifest %s: %s\n",
+                 opt.verify_manifest.c_str(),
+                 text.status().to_string().c_str());
+    return 1;
+  }
+  std::set<uint32_t> ranks;
+  std::istringstream lines(*text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ranks.insert(static_cast<uint32_t>(std::strtoul(line.c_str(), nullptr, 10)));
+  }
+  SocketInitiator client;
+  Status st = client.Connect(opt.host, opt.port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  uint64_t missing = 0, mismatched = 0;
+  for (uint32_t rank : ranks) {
+    OsdCommand read;
+    read.op = OsdOp::kRead;
+    read.id = IdForRank(rank);
+    OsdResponse resp = client.Roundtrip(read);
+    if (!client.connected()) {
+      std::fprintf(stderr, "connection lost during verify\n");
+      return 1;
+    }
+    if (!resp.ok()) {
+      ++missing;
+      std::fprintf(stderr, "rank %u: acked write missing after restart"
+                   " (sense %s)\n", rank,
+                   std::string(to_string(resp.sense)).c_str());
+      continue;
+    }
+    std::vector<uint8_t> want = PayloadFor(rank, opt.object_bytes);
+    if (resp.data.size() < want.size() ||
+        !std::equal(want.begin(), want.end(), resp.data.begin())) {
+      ++mismatched;
+      std::fprintf(stderr, "rank %u: payload mismatch after restart\n", rank);
+    }
+  }
+  const SocketInitiatorStats& w = client.stats();
+  std::printf("verified %zu acked objects: %llu missing, %llu mismatched\n",
+              ranks.size(), static_cast<unsigned long long>(missing),
+              static_cast<unsigned long long>(mismatched));
+  if (w.crc_errors + w.frame_errors + w.decode_errors > 0) return 2;
+  return (missing + mismatched > 0) ? 4 : 0;
 }
 
 void Usage(const char* argv0) {
@@ -177,7 +316,14 @@ void Usage(const char* argv0) {
       "  --object-kb N        object size in KiB (default 64)\n"
       "  --seed N             RNG seed (default 42)\n"
       "  --no-verify          skip read-payload content verification\n"
-      "  --stats-out PATH     write the telemetry snapshot JSON\n",
+      "  --stats-out PATH     write the telemetry snapshot JSON\n"
+      "crash testing:\n"
+      "  --write-class C      classify objects into class C via #SETID#\n"
+      "  --kill-after N       SIGKILL the server after N acked burst writes\n"
+      "  --kill-pid-file PATH file holding the server pid (for --kill-after)\n"
+      "  --ack-manifest PATH  record acknowledged write ranks, one per line\n"
+      "  --verify-manifest PATH  verify-only mode: read each listed rank\n"
+      "                       back and compare contents (exit 4 on loss)\n",
       argv0);
 }
 
@@ -204,6 +350,11 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--seed")) opt.seed = std::strtoull(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--no-verify")) opt.verify = false;
     else if (!std::strcmp(argv[i], "--stats-out")) opt.stats_out = next();
+    else if (!std::strcmp(argv[i], "--write-class")) opt.write_class = std::atoi(next());
+    else if (!std::strcmp(argv[i], "--kill-after")) opt.kill_after = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--kill-pid-file")) opt.kill_pid_file = next();
+    else if (!std::strcmp(argv[i], "--ack-manifest")) opt.ack_manifest = next();
+    else if (!std::strcmp(argv[i], "--verify-manifest")) opt.verify_manifest = next();
     else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       Usage(argv[0]);
       return 0;
@@ -218,8 +369,14 @@ int main(int argc, char** argv) {
     Usage(argv[0]);
     return 2;
   }
+  if (!opt.verify_manifest.empty()) return VerifyManifest(opt);
+  if (opt.kill_after > 0 && opt.kill_pid_file.empty()) {
+    std::fprintf(stderr, "--kill-after requires --kill-pid-file\n");
+    return 2;
+  }
 
-  Status setup = Populate(opt);
+  std::vector<uint32_t> populate_acks;
+  Status setup = Populate(opt, &populate_acks);
   if (!setup.ok()) {
     std::fprintf(stderr, "populate failed: %s\n", setup.to_string().c_str());
     return 1;
@@ -317,6 +474,36 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("telemetry snapshot -> %s\n", opt.stats_out.c_str());
+  }
+  if (!opt.ack_manifest.empty()) {
+    // Every rank any connection saw acknowledged, deduped: the exact set
+    // the post-restart verify pass must find intact.
+    std::set<uint32_t> acked(populate_acks.begin(), populate_acks.end());
+    for (const WorkerResult& r : results) {
+      acked.insert(r.acked_ranks.begin(), r.acked_ranks.end());
+    }
+    std::ostringstream manifest;
+    for (uint32_t rank : acked) manifest << rank << "\n";
+    Status wf = WriteFileAtomic(opt.ack_manifest, manifest.str());
+    if (!wf.ok()) {
+      std::fprintf(stderr, "manifest write failed: %s\n",
+                   wf.to_string().c_str());
+      return 1;
+    }
+    std::printf("ack manifest (%zu ranks) -> %s\n", acked.size(),
+                opt.ack_manifest.c_str());
+  }
+  if (opt.kill_after > 0) {
+    // Kill mode succeeds iff the kill was delivered; dropped connections
+    // and truncated responses after the SIGKILL are expected, so the
+    // wire-corruption gates below do not apply.
+    if (!g_killed.load()) {
+      std::fprintf(stderr, "kill mode: server was never killed"
+                   " (fewer than %llu writes acked?)\n",
+                   static_cast<unsigned long long>(opt.kill_after));
+      return 1;
+    }
+    return 0;
   }
   if (fatal) return 1;
   if (crc_errors.value() + frame_errors.value() + decode_errors.value() > 0) {
