@@ -44,6 +44,10 @@ void Usage(const char* argv0) {
       "  --devices N                     flash devices (default 5)\n"
       "  --fail REQ:DEV                  inject failure (repeatable)\n"
       "  --spare REQ:DEV                 insert spare (repeatable)\n"
+      "  --fault-spec PATH               JSON fault-injection spec (see\n"
+      "                                  src/fault/fault_spec.h for the format)\n"
+      "  --scrub-every N                 full scrub pass every N requests\n"
+      "  --failslow-demote               demote devices flagged fail-slow\n"
       "  --warmup                        unmeasured warm-up pass first\n"
       "  --verify                        CRC-verify every hit\n"
       "  stats                           dump the end-of-run telemetry snapshot\n"
@@ -190,6 +194,18 @@ int main(int argc, char** argv) {
       ev.at_request = req;
       ev.device = dev;
       cfg.spares.push_back(ev);
+    } else if (!std::strcmp(argv[i], "--fault-spec")) {
+      auto spec = LoadFaultSpecFile(next());
+      if (!spec.ok()) {
+        std::fprintf(stderr, "bad fault spec: %s\n",
+                     spec.status().to_string().c_str());
+        return 2;
+      }
+      cfg.faults = std::move(*spec);
+    } else if (!std::strcmp(argv[i], "--scrub-every")) {
+      cfg.scrub_interval_requests = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--failslow-demote")) {
+      cfg.failslow_demote = true;
     } else if (!std::strcmp(argv[i], "recover-stats")) {
       recover_stats = true;
     } else if (!std::strcmp(argv[i], "--data-dir")) {
@@ -311,6 +327,22 @@ int main(int argc, char** argv) {
               static_cast<double>(report.space.user_bytes) / 1e6,
               static_cast<double>(report.space.redundancy_bytes) / 1e6,
               report.max_wear * 100);
+  if (!cfg.faults.empty()) {
+    auto counter = [&report](const char* name) -> double {
+      const MetricSnapshot::Entry* e = report.telemetry.Find(name);
+      return e != nullptr ? e->value : 0.0;
+    };
+    std::printf("faults: %.0f injected; crc detected %.0f, repaired %.0f"
+                " (unrepaired %.0f)\n",
+                counter("fault.injected"), counter("fault.crc_detected"),
+                counter("fault.crc_repairs") + counter("scrub.chunks_repaired"),
+                counter("fault.crc_unrepaired"));
+    std::printf("        retries %.0f (exhausted %.0f), backend retries %.0f;"
+                " scrub passes %.0f; failslow flagged %.0f, demoted %.0f\n",
+                counter("retry.attempts"), counter("retry.exhausted"),
+                counter("retry.backend.attempts"), counter("scrub.passes"),
+                counter("failslow.flagged"), counter("failslow.demotions"));
+  }
   if (dump_stats) {
     std::string snapshot = stats_format == "csv" ? report.telemetry.ToCsv()
                                                  : report.telemetry.ToJson();

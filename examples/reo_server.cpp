@@ -21,6 +21,9 @@
 #include "common/file_util.h"
 #include "core/data_plane.h"
 #include "core/policy.h"
+#include "fault/failslow.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_spec.h"
 #include "flash/flash_array.h"
 #include "osd/osd_target.h"
 #include "persist/persistence.h"
@@ -61,7 +64,9 @@ void Usage(const char* argv0) {
       "                       class order 0->1->2->3 (default: in-memory)\n"
       "  --fsync-batch N      group-commit fsync batch, records (default 32)\n"
       "  --checkpoint-interval N  journal records between automatic\n"
-      "                       checkpoints (default 4096)\n",
+      "                       checkpoints (default 4096)\n"
+      "  --fault-spec PATH    JSON fault-injection spec (chaos testing; see\n"
+      "                       src/fault/fault_spec.h for the format)\n",
       argv0);
 }
 
@@ -76,6 +81,7 @@ int main(int argc, char** argv) {
   uint32_t scale_shift = 0;
   std::string port_file, stats_out, events_out;
   PersistenceConfig persist_cfg;
+  FaultSpec fault_spec;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -127,6 +133,14 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--checkpoint-interval")) {
       persist_cfg.checkpoint_interval_records =
           std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--fault-spec")) {
+      auto spec = LoadFaultSpecFile(next());
+      if (!spec.ok()) {
+        std::fprintf(stderr, "bad fault spec: %s\n",
+                     spec.status().to_string().c_str());
+        return 2;
+      }
+      fault_spec = std::move(*spec);
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       Usage(argv[0]);
       return 0;
@@ -156,6 +170,24 @@ int main(int argc, char** argv) {
   array.AttachTelemetry(telemetry);
   plane.AttachTelemetry(telemetry);
   target.AttachTelemetry(telemetry);
+  plane.AttachEvents(events);
+
+  // Chaos testing: deterministic fault injection into the device layer.
+  // The data plane's retry + in-place CRC repair is what keeps injected
+  // latent/transient faults invisible to wire clients.
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<FailSlowDetector> failslow;
+  if (!fault_spec.empty()) {
+    injector = std::make_unique<FaultInjector>(fault_spec);
+    failslow = std::make_unique<FailSlowDetector>(
+        static_cast<uint32_t>(num_devices), FailSlowConfig{});
+    array.AttachFaults(injector.get(), failslow.get());
+    injector->AttachTelemetry(telemetry);
+    injector->AttachEvents(events);
+    failslow->AttachTelemetry(telemetry);
+    failslow->AttachEvents(events);
+    plane.ConfigureRetry(plane.retry_policy(), fault_spec.seed);
+  }
 
   // Durable state: open (running crash recovery), replay any recovered
   // objects back through the stack in class order, then checkpoint so the
@@ -164,11 +196,20 @@ int main(int argc, char** argv) {
   if (persist_cfg.enabled()) {
     auto opened = PersistenceManager::Open(persist_cfg);
     if (!opened.ok()) {
+      if (opened.status().code() == ErrorCode::kCorrupted) {
+        // Fail-stop on corrupt durable state: refuse to serve from a state
+        // image we cannot trust, and name the offending file so the
+        // operator can remove or restore it. Distinct exit code for CI.
+        std::fprintf(stderr, "reo_server: corrupt durable state: %s\n",
+                     opened.status().to_string().c_str());
+        return 3;
+      }
       std::fprintf(stderr, "persistence open failed: %s\n",
                    opened.status().to_string().c_str());
       return 1;
     }
     persist = std::move(*opened);
+    if (injector) persist->AttachFaults(injector.get());
     persist->AttachTelemetry(telemetry);
     persist->AttachEvents(events);
     plane.AttachPersistence(persist.get());

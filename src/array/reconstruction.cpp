@@ -132,6 +132,7 @@ Result<ArrayIo> StripeManager::RebuildObject(ObjectId id, SimTime now) {
         if (!payload.ok()) {
           if (payload.status().code() == ErrorCode::kCorrupted) {
             MarkChunkLost(c);  // found rot while moving; next pass repairs
+            ++io.corrupt_chunks;
             continue;
           }
           return payload.status();

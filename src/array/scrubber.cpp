@@ -5,6 +5,10 @@
 // scrubber to find such damage while the stripe's parity can still fix it
 // (paper §I: "from partial data loss to a complete device failure",
 // "silent data corruption").
+//
+// Every detection and repair is accounted twice: in the returned
+// ScrubReport (caller-visible) and in scrub.* metrics + EventLog events
+// (operator-visible), so background repairs never happen silently.
 #include <algorithm>
 
 #include "array/stripe_manager.h"
@@ -14,6 +18,7 @@ namespace reo {
 StripeManager::ScrubReport StripeManager::Scrub(SimTime now) {
   ScrubReport report;
   report.complete = now;
+  Inc(tel_scrub_passes_);
 
   // Pass 1: verify every chunk's CRC; mark corrupt chunks lost so the
   // normal reconstruction machinery can repair them.
@@ -31,6 +36,13 @@ StripeManager::ScrubReport StripeManager::Scrub(SimTime now) {
         if (buf.ok()) continue;
         if (buf.status().code() == ErrorCode::kCorrupted) {
           ++report.corrupt_found;
+          Inc(tel_scrub_corrupt_);
+          Inc(tel_crc_detected_);
+          Emit(ev_, report.complete, EventSeverity::kWarn,
+               "scrub.corrupt_found", "latent corruption found by scrub",
+               {{"object", std::to_string(stripe.owner.oid)},
+                {"device", std::to_string(c.device)},
+                {"slot", std::to_string(c.slot)}});
           // The slot content is garbage: release it and treat the chunk
           // exactly like one lost to a device failure.
           (void)dev.FreeSlot(c.slot);
@@ -41,6 +53,7 @@ StripeManager::ScrubReport StripeManager::Scrub(SimTime now) {
     }
     if (touched) damaged_owners.push_back(stripe.owner);
   }
+  Inc(tel_scrub_scanned_, report.chunks_scanned);
 
   // Pass 2: repair via the reconstruction engine, object by object.
   std::sort(damaged_owners.begin(), damaged_owners.end());
@@ -59,8 +72,18 @@ StripeManager::ScrubReport StripeManager::Scrub(SimTime now) {
     if (rb.ok()) {
       report.chunks_repaired += lost_chunks;
       report.complete = std::max(report.complete, rb->complete);
+      Inc(tel_scrub_repaired_, lost_chunks);
+      Emit(ev_, report.complete, EventSeverity::kInfo, "scrub.repair",
+           "scrub repaired corrupt chunks in place",
+           {{"object", std::to_string(id.oid)},
+            {"chunks", std::to_string(lost_chunks)}});
     } else if (rb.code() == ErrorCode::kUnrecoverable) {
       report.lost.push_back(id);
+      Inc(tel_scrub_lost_);
+      Emit(ev_, report.complete, EventSeverity::kError, "scrub.lost",
+           "corruption beyond redundancy; object must be evicted",
+           {{"object", std::to_string(id.oid)},
+            {"chunks", std::to_string(lost_chunks)}});
     }
   }
   return report;

@@ -53,8 +53,23 @@ Result<ArrayIo> StripeManager::PutObject(ObjectId id,
   if (!HasSpaceFor(logical_bytes, level)) {
     return Status{ErrorCode::kNoSpace, "array full"};
   }
-  if (Contains(id)) {
-    REO_RETURN_IF_ERROR(RemoveObject(id));
+  // Overwrite: keep the old copy intact until the new one is fully
+  // written, so a failed overwrite cannot destroy previously-acked data.
+  // The space check above ran with the old copy still resident, so holding
+  // both transiently is already covered by the admission condition.
+  ObjectEntry old_entry;
+  std::vector<Stripe> old_stripes;
+  bool replacing = false;
+  if (auto oit = objects_.find(id); oit != objects_.end()) {
+    replacing = true;
+    old_entry = std::move(oit->second);
+    objects_.erase(oit);
+    for (StripeId sid : old_entry.stripes) {
+      auto sit = stripes_.find(sid);
+      REO_CHECK(sit != stripes_.end());
+      old_stripes.push_back(std::move(sit->second));
+      stripes_.erase(sit);
+    }
   }
 
   size_t width = healthy.size();
@@ -100,9 +115,20 @@ Result<ArrayIo> StripeManager::PutObject(ObjectId id,
         stripes_.erase(it);
       }
     }
+    if (replacing) {
+      // Restore the untouched old copy: the overwrite never happened.
+      for (auto& s : old_stripes) {
+        StripeId sid = s.id;
+        stripes_.emplace(sid, std::move(s));
+      }
+      objects_[id] = std::move(old_entry);
+    }
     return failure;
   }
 
+  if (replacing) {
+    for (auto& s : old_stripes) FreeStripe(s);
+  }
   objects_[id] = std::move(entry);
   return io;
 }
@@ -272,6 +298,18 @@ Status StripeManager::ReadChunk(const Stripe& stripe, const StripeChunk& chunk,
 void StripeManager::MarkChunkLost(StripeChunk& chunk) {
   (void)array_.device(chunk.device).FreeSlot(chunk.slot);
   chunk.lost = true;
+  // Every MarkChunkLost call is a CRC failure found on a live read path
+  // (device loss goes through OnDeviceFailure instead).
+  Inc(tel_crc_detected_);
+}
+
+void StripeManager::AttachTelemetry(MetricRegistry& registry) {
+  tel_scrub_passes_ = &registry.GetCounter("scrub.passes");
+  tel_scrub_scanned_ = &registry.GetCounter("scrub.chunks_scanned");
+  tel_scrub_corrupt_ = &registry.GetCounter("scrub.corrupt_found");
+  tel_scrub_repaired_ = &registry.GetCounter("scrub.chunks_repaired");
+  tel_scrub_lost_ = &registry.GetCounter("scrub.lost_objects");
+  tel_crc_detected_ = &registry.GetCounter("fault.crc_detected");
 }
 
 Status StripeManager::DecodeStripe(
@@ -294,7 +332,10 @@ Status StripeManager::DecodeStripe(
     span.Cover(io.complete);
     ++io.chunk_reads;
     if (!buf.ok()) {
-      if (buf.status().code() == ErrorCode::kCorrupted) MarkChunkLost(c);
+      if (buf.status().code() == ErrorCode::kCorrupted) {
+        MarkChunkLost(c);
+        ++io.corrupt_chunks;
+      }
       return buf.status();
     }
     return *buf;
@@ -398,6 +439,7 @@ Result<ArrayIo> StripeManager::GetObject(ObjectId id, SimTime now) {
           Status st = ReadChunk(stripe, stripe.data[i], out, now, io);
           if (st.code() == ErrorCode::kCorrupted) {
             MarkChunkLost(stripe.data[i]);
+            ++io.corrupt_chunks;
             retry = true;
             break;
           }

@@ -24,6 +24,8 @@
 #include "ec/rs_code.h"
 #include "flash/flash_array.h"
 #include "array/stripe.h"
+#include "telemetry/metric_registry.h"
+#include "trace/event_log.h"
 #include "trace/tracer.h"
 
 namespace reo {
@@ -62,6 +64,10 @@ struct ArrayIo {
   std::vector<uint8_t> payload;     ///< physical bytes (reads only)
   uint32_t chunk_reads = 0;
   uint32_t chunk_writes = 0;
+  /// Chunks whose CRC failed during this operation (latent sector errors
+  /// found on read). Each was marked lost; the caller should repair in
+  /// place via RebuildObject.
+  uint32_t corrupt_chunks = 0;
 };
 
 /// Array-wide space accounting (logical bytes).
@@ -213,6 +219,14 @@ class StripeManager {
     array_.AttachTracing(tracer);
   }
 
+  /// "scrub.*" counters: every scrub detection and repair is visible in
+  /// metrics, not just in the returned ScrubReport.
+  void AttachTelemetry(MetricRegistry& registry);
+
+  /// Scrub milestones ("scrub.corrupt_found" per detection,
+  /// "scrub.repair" per repaired object) land in this log.
+  void AttachEvents(EventLog& events) { ev_ = &events; }
+
  private:
   struct ObjectEntry {
     uint64_t logical_size = 0;
@@ -264,6 +278,13 @@ class StripeManager {
   uint64_t redundancy_by_level_[4] = {0, 0, 0, 0};
 
   SpanRecorder* trace_recon_ = nullptr;
+  EventLog* ev_ = nullptr;
+  Counter* tel_scrub_passes_ = nullptr;
+  Counter* tel_scrub_scanned_ = nullptr;
+  Counter* tel_scrub_corrupt_ = nullptr;
+  Counter* tel_scrub_repaired_ = nullptr;
+  Counter* tel_scrub_lost_ = nullptr;
+  Counter* tel_crc_detected_ = nullptr;
 };
 
 }  // namespace reo

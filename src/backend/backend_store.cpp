@@ -41,12 +41,25 @@ Result<BackendFetch> BackendStore::Fetch(ObjectId id, SimTime now) {
   if (it == catalog_.end()) return Status{ErrorCode::kNotFound, "not in backend"};
   const Entry& e = it->second;
 
+  if (faults_ && faults_->enabled(FaultSite::kBackendTransient) &&
+      faults_->Roll(FaultSite::kBackendTransient, /*device=*/-1, now).fire) {
+    return Status{ErrorCode::kIoError, "injected transient backend error"};
+  }
+
   // HDD: seek + sequential transfer, serialized on the single spindle.
   SimTime disk_start = std::max(now, disk_busy_until_);
   disk_busy_until_ = disk_start + hdd_.seek_ns +
                      TransferTime(e.logical_bytes, hdd_.transfer_mbps);
   // Then the object crosses the network to the cache server.
   SimTime done = link_.Transfer(disk_busy_until_, e.logical_bytes);
+  if (faults_ && faults_->enabled(FaultSite::kBackendSlow)) {
+    FaultDecision d = faults_->Roll(FaultSite::kBackendSlow, /*device=*/-1, now);
+    if (d.fire) {
+      done = static_cast<SimTime>(static_cast<double>(done - now) *
+                                  d.slow_factor) +
+             now + d.added_latency_ns;
+    }
+  }
 
   BackendFetch f;
   f.complete = done;

@@ -16,6 +16,7 @@
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "backend/network_link.h"
+#include "fault/fault_injector.h"
 #include "trace/tracer.h"
 
 namespace reo {
@@ -76,6 +77,10 @@ class BackendStore {
     trace_ = &tracer.RecorderFor(TraceComponent::kBackend);
   }
 
+  /// Wires fault injection into fetches: backend.transient rolls a
+  /// retryable kIoError per fetch, backend.slow adds latency.
+  void AttachFaults(FaultInjector* injector) { faults_ = injector; }
+
  private:
   struct Entry {
     uint64_t logical_bytes = 0;
@@ -91,6 +96,7 @@ class BackendStore {
   uint64_t flushes_ = 0;
   SimTime disk_busy_until_ = 0;
   SpanRecorder* trace_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace reo

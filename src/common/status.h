@@ -27,6 +27,7 @@ enum class ErrorCode : uint8_t {
   kAlreadyExists,
   kUnavailable,    ///< device offline / recovery in progress
   kInternal,
+  kIoError,        ///< transient I/O error; safe to retry
 };
 
 /// Human-readable name for an ErrorCode.
@@ -41,6 +42,7 @@ constexpr std::string_view to_string(ErrorCode c) {
     case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
     case ErrorCode::kUnavailable: return "UNAVAILABLE";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kIoError: return "IO_ERROR";
   }
   return "UNKNOWN";
 }

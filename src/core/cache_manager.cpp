@@ -66,6 +66,9 @@ void CacheManager::AttachTelemetry(MetricRegistry& registry) {
   tel_.dirty_lost = &registry.GetCounter("cache.dirty_lost");
   tel_.uncacheable = &registry.GetCounter("cache.uncacheable");
   tel_.verify_failures = &registry.GetCounter("cache.verify_failures");
+  tel_.backend_retry_attempts = &registry.GetCounter("retry.backend.attempts");
+  tel_.backend_retry_exhausted = &registry.GetCounter("retry.backend.exhausted");
+  tel_.failslow_demotions = &registry.GetCounter("failslow.demotions");
   tel_.hit_latency_us = &registry.GetHistogram("cache.latency.hit_us");
   tel_.miss_latency_us = &registry.GetHistogram("cache.latency.miss_us");
   tel_.degraded_latency_us = &registry.GetHistogram("cache.latency.degraded_us");
@@ -151,7 +154,7 @@ RequestResult CacheManager::Get(ObjectId id, uint64_t logical_size, SimTime now)
     Inc(tel_.class_misses[static_cast<int>(DataClass::kColdClean)]);
     Inc(tel_.uncacheable);
     trace.set_op(TraceOp::kGetUncacheable);
-    auto fetch = backend_.Fetch(id, now);
+    auto fetch = FetchWithRetry(id, now);
     res.sense = fetch.ok() ? SenseCode::kOk : SenseCode::kFail;
     if (fetch.ok()) {
       res.latency = fetch->complete - now;
@@ -262,7 +265,7 @@ RequestResult CacheManager::Get(ObjectId id, uint64_t logical_size, SimTime now)
     Inc(tel_.class_misses[static_cast<int>(miss_cls)]);
   }
   trace.set_op(TraceOp::kGetMiss);
-  auto fetch = backend_.Fetch(id, now);
+  auto fetch = FetchWithRetry(id, now);
   if (!fetch.ok()) {
     res.sense = SenseCode::kFail;
     trace.set_flags(kSpanError);
@@ -501,7 +504,51 @@ void CacheManager::FlushObject(ObjectId id, Entry& e, SimTime now) {
   (void)SendClassification(id, cls, now);
 }
 
+Result<BackendFetch> CacheManager::FetchWithRetry(ObjectId id, SimTime now) {
+  // Fetches are idempotent reads of the authoritative copy: a transient
+  // (kIoError) failure is always safe to retry after a jittered backoff.
+  const RetryPolicy& rp = config_.backend_retry;
+  SimTime t = now;
+  auto fetch = backend_.Fetch(id, t);
+  for (uint32_t attempt = 1;
+       !fetch.ok() && IsRetryable(fetch.status()) && attempt < rp.max_attempts;
+       ++attempt) {
+    t += RetryBackoff(rp, attempt - 1, backend_retry_rng_);
+    Inc(tel_.backend_retry_attempts);
+    fetch = backend_.Fetch(id, t);
+  }
+  if (!fetch.ok() && IsRetryable(fetch.status())) {
+    Inc(tel_.backend_retry_exhausted);
+    Emit(ev_, t, EventSeverity::kWarn, "retry.backend_exhausted",
+         "transient backend errors exceeded the retry budget",
+         {{"object", std::to_string(id.oid)},
+          {"attempts", std::to_string(rp.max_attempts)}});
+  }
+  return fetch;
+}
+
+void CacheManager::PollFailSlow(SimTime now) {
+  if (failslow_ == nullptr) return;
+  for (FaultDeviceIndex d : failslow_->TakeFlagged()) {
+    if (!config_.failslow_demote) continue;  // detection/events only
+    Inc(tel_.failslow_demotions);
+    Emit(ev_, now, EventSeverity::kWarn, "device.failslow_demoted",
+         "fail-slow device proactively demoted; spare swapped in",
+         {{"device", std::to_string(d)}});
+    // Treat the limping device as failed: the usual differentiated
+    // recovery rebuilds its data onto the healthy set, and a fresh spare
+    // takes its array slot. Resetting the detector gives the replacement
+    // device a clean latency history.
+    OnDeviceFailure(static_cast<DeviceIndex>(d), now);
+    OnSpareInserted(static_cast<DeviceIndex>(d), now);
+    failslow_->Reset(d);
+  }
+}
+
 void CacheManager::AdvanceBackground(SimTime now) {
+  // React to fail-slow detections before scheduling other background work
+  // (a demotion enqueues recovery that the budget below starts draining).
+  PollFailSlow(now);
   // Flusher: drain eligible dirty objects while the (virtual) flusher is
   // idle. The queue is in write order, so ready times are monotone.
   while (!flush_queue_.empty() && flusher_busy_until_ <= now &&

@@ -21,7 +21,10 @@
 #include <unordered_map>
 
 #include "backend/backend_store.h"
+#include "common/rng.h"
 #include "common/sim_clock.h"
+#include "fault/failslow.h"
+#include "fault/retry.h"
 #include "core/classifier.h"
 #include "core/data_plane.h"
 #include "core/lru.h"
@@ -80,6 +83,13 @@ struct CacheManagerConfig {
   /// protected (used by the failure benches' probe analysis). Writes
   /// (dirty data) are always absorbed — write-back safety never pauses.
   bool admit_while_degraded = true;
+  /// Bounded retry (with jittered backoff) for transient backend fetch
+  /// errors. Fetches are idempotent reads, so retrying is always safe.
+  RetryPolicy backend_retry;
+  /// When a FailSlowDetector flags a device, proactively demote it: treat
+  /// it as failed, swap in a spare at the same index, and run the normal
+  /// differentiated recovery. Off by default (detection/events only).
+  bool failslow_demote = false;
 };
 
 /// Outcome of one client request against the cache.
@@ -198,6 +208,12 @@ class CacheManager {
   /// resumes with a warm threshold. Null (the default) is a no-op.
   void AttachPersistence(PersistenceManager* persist) { persist_ = persist; }
 
+  /// Polls the detector during background advancement; with
+  /// `failslow_demote` set, flagged devices are demoted (failed + spare
+  /// swapped in) so a limping device cannot drag down the whole array.
+  /// The detector must outlive the manager.
+  void AttachFaultDetector(FailSlowDetector* detector) { failslow_ = detector; }
+
  private:
   struct Entry {
     uint64_t logical_size = 0;
@@ -212,6 +228,12 @@ class CacheManager {
 
   /// Sends a #SETID# control write and applies the class locally.
   SenseCode SendClassification(ObjectId id, DataClass cls, SimTime now);
+
+  /// Backend fetch with bounded retry on transient (kIoError) failures.
+  Result<BackendFetch> FetchWithRetry(ObjectId id, SimTime now);
+
+  /// Drains the fail-slow detector; demotes flagged devices when enabled.
+  void PollFailSlow(SimTime now);
 
   /// Admits a fetched/written object. Returns false if it cannot fit even
   /// after evicting everything evictable.
@@ -240,7 +262,9 @@ class CacheManager {
   ReoDataPlane& plane_;
   BackendStore& backend_;
   PersistenceManager* persist_ = nullptr;
+  FailSlowDetector* failslow_ = nullptr;
   CacheManagerConfig config_;
+  Pcg32 backend_retry_rng_{0x5eed, 0xbac0};
 
   std::unordered_map<ObjectId, Entry, ObjectIdHash> entries_;
   LruList lru_;
@@ -272,6 +296,9 @@ class CacheManager {
     Counter* dirty_lost = nullptr;
     Counter* uncacheable = nullptr;
     Counter* verify_failures = nullptr;
+    Counter* backend_retry_attempts = nullptr;
+    Counter* backend_retry_exhausted = nullptr;
+    Counter* failslow_demotions = nullptr;
     Histogram* hit_latency_us = nullptr;
     Histogram* miss_latency_us = nullptr;
     Histogram* degraded_latency_us = nullptr;

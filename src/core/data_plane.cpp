@@ -39,6 +39,12 @@ void ReoDataPlane::AttachTelemetry(MetricRegistry& registry) {
   tel_user_bytes_ = &registry.GetGauge("dataplane.user_bytes");
   registry.GetGauge("dataplane.reserve_bytes")
       .Set(static_cast<double>(reserve_bytes_));
+  tel_retry_attempts_ = &registry.GetCounter("retry.attempts");
+  tel_retry_successes_ = &registry.GetCounter("retry.successes");
+  tel_retry_exhausted_ = &registry.GetCounter("retry.exhausted");
+  tel_crc_repairs_ = &registry.GetCounter("fault.crc_repairs");
+  tel_crc_unrepaired_ = &registry.GetCounter("fault.crc_unrepaired");
+  stripes_.AttachTelemetry(registry);
 }
 
 void ReoDataPlane::AttachTracing(Tracer& tracer) {
@@ -87,8 +93,26 @@ Result<DataPlaneIo> ReoDataPlane::WriteObject(ObjectId id,
     ++reserve_rejections_;
     Inc(tel_reserve_rejections_);
   }
-  auto io = stripes_.PutObject(id, payload, logical_bytes, level, now);
+  // PutObject rolls back fully on failure, so retrying a transient write
+  // error is safe: nothing of the failed attempt remains.
+  SimTime t = now;
+  auto io = stripes_.PutObject(id, payload, logical_bytes, level, t);
+  for (uint32_t attempt = 1;
+       !io.ok() && IsRetryable(io.status()) && attempt < retry_.max_attempts;
+       ++attempt) {
+    t += RetryBackoff(retry_, attempt - 1, retry_rng_);
+    Inc(tel_retry_attempts_);
+    io = stripes_.PutObject(id, payload, logical_bytes, level, t);
+    if (io.ok()) Inc(tel_retry_successes_);
+  }
   if (!io.ok()) {
+    if (IsRetryable(io.status())) {
+      Inc(tel_retry_exhausted_);
+      Emit(ev_, t, EventSeverity::kWarn, "retry.exhausted",
+           "transient write errors exceeded the retry budget",
+           {{"object", std::to_string(id.oid)},
+            {"attempts", std::to_string(retry_.max_attempts)}});
+    }
     span.set_flags(kSpanError);
     return io.status();
   }
@@ -115,10 +139,51 @@ Result<DataPlaneIo> ReoDataPlane::WriteObject(ObjectId id,
 
 Result<DataPlaneIo> ReoDataPlane::ReadObject(ObjectId id, SimTime now) {
   TraceSpan span(trace_, TraceOp::kDataRead, now, id.oid);
-  auto io = stripes_.GetObject(id, now);
+  // Bounded retry for transient device errors. Chunks that failed with
+  // kIoError were NOT marked lost, so the retry re-reads the same slots.
+  SimTime t = now;
+  auto io = stripes_.GetObject(id, t);
+  for (uint32_t attempt = 1;
+       !io.ok() && IsRetryable(io.status()) && attempt < retry_.max_attempts;
+       ++attempt) {
+    t += RetryBackoff(retry_, attempt - 1, retry_rng_);
+    Inc(tel_retry_attempts_);
+    io = stripes_.GetObject(id, t);
+    if (io.ok()) Inc(tel_retry_successes_);
+  }
   if (!io.ok()) {
+    if (IsRetryable(io.status())) {
+      Inc(tel_retry_exhausted_);
+      Emit(ev_, t, EventSeverity::kWarn, "retry.exhausted",
+           "transient read errors exceeded the retry budget",
+           {{"object", std::to_string(id.oid)},
+            {"attempts", std::to_string(retry_.max_attempts)}});
+    }
     span.set_flags(kSpanError);
     return io.status();
+  }
+  if (io->corrupt_chunks > 0) {
+    // Latent sector errors surfaced during this read; the degraded-read
+    // machinery already decoded good data from the surviving redundancy.
+    // Repair in place now — rewrite the bad slots — so the next read (and
+    // the redundancy margin) is whole again.
+    auto rb = stripes_.RebuildObject(id, io->complete);
+    if (rb.ok()) {
+      io->complete = std::max(io->complete, rb->complete);
+      io->chunk_reads += rb->chunk_reads;
+      io->chunk_writes += rb->chunk_writes;
+      Inc(tel_crc_repairs_, io->corrupt_chunks);
+      Emit(ev_, io->complete, EventSeverity::kInfo, "fault.crc_repair",
+           "corrupt chunks repaired in place after degraded read",
+           {{"object", std::to_string(id.oid)},
+            {"chunks", std::to_string(io->corrupt_chunks)}});
+    } else {
+      Inc(tel_crc_unrepaired_);
+      Emit(ev_, io->complete, EventSeverity::kWarn, "fault.crc_repair_failed",
+           rb.status().to_string(),
+           {{"object", std::to_string(id.oid)},
+            {"chunks", std::to_string(io->corrupt_chunks)}});
+    }
   }
   Inc(tel_reads_);
   if (io->degraded) {

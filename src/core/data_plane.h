@@ -10,9 +10,12 @@
 #include <cstdint>
 
 #include "array/stripe_manager.h"
+#include "common/rng.h"
 #include "core/policy.h"
+#include "fault/retry.h"
 #include "osd/osd_target.h"
 #include "telemetry/metric_registry.h"
+#include "trace/event_log.h"
 #include "trace/tracer.h"
 
 namespace reo {
@@ -68,6 +71,21 @@ class ReoDataPlane final : public DataPlane {
   /// configuration. The manager must outlive the plane.
   void AttachPersistence(PersistenceManager* persist) { persist_ = persist; }
 
+  /// Bounded retry with jittered backoff for transient (kIoError) stripe
+  /// reads/writes. The seed keeps simulated backoff jitter reproducible.
+  void ConfigureRetry(const RetryPolicy& policy, uint64_t seed) {
+    retry_ = policy;
+    retry_rng_ = Pcg32(seed, /*stream=*/0x7e7);
+  }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Partial-failure milestones (retry.exhausted, fault.crc_repair) land
+  /// in this log.
+  void AttachEvents(EventLog& events) {
+    ev_ = &events;
+    stripes_.AttachEvents(events);
+  }
+
  private:
   StripeManager& stripes_;
   RedundancyPolicy policy_;
@@ -85,8 +103,16 @@ class ReoDataPlane final : public DataPlane {
   Counter* tel_reserve_rejections_ = nullptr;
   Gauge* tel_redundancy_bytes_ = nullptr;
   Gauge* tel_user_bytes_ = nullptr;
+  Counter* tel_retry_attempts_ = nullptr;
+  Counter* tel_retry_successes_ = nullptr;
+  Counter* tel_retry_exhausted_ = nullptr;
+  Counter* tel_crc_repairs_ = nullptr;
+  Counter* tel_crc_unrepaired_ = nullptr;
 
   SpanRecorder* trace_ = nullptr;
+  EventLog* ev_ = nullptr;
+  RetryPolicy retry_;
+  Pcg32 retry_rng_{0x5eed, 0x7e7};
 };
 
 }  // namespace reo

@@ -1,0 +1,78 @@
+#include "fault/fault_injector.h"
+
+#include <string>
+
+namespace reo {
+
+FaultInjector::FaultInjector(FaultSpec spec, size_t history_cap)
+    : spec_(std::move(spec)), history_cap_(history_cap) {
+  for (size_t i = 0; i < kFaultSiteCount; ++i) {
+    rng_[i] = Pcg32(spec_.seed, /*stream=*/i + 1);
+  }
+  for (const auto& rule : spec_.rules) {
+    site_enabled_[Index(rule.site)] = true;
+  }
+  burst_left_.assign(spec_.rules.size(), 0);
+  triggers_.assign(spec_.rules.size(), 0);
+}
+
+uint64_t FaultInjector::injected_total() const {
+  uint64_t total = 0;
+  for (uint64_t n : injected_) total += n;
+  return total;
+}
+
+FaultDecision FaultInjector::Roll(FaultSite site, int32_t device,
+                                  SimTime now) {
+  FaultDecision out;
+  size_t si = Index(site);
+  if (!site_enabled_[si]) return out;
+  uint64_t op = ops_[si]++;
+  for (size_t ri = 0; ri < spec_.rules.size(); ++ri) {
+    const FaultRule& rule = spec_.rules[ri];
+    if (rule.site != site) continue;
+    if (rule.device >= 0 && rule.device != device) continue;
+    if (op < rule.window_start_op || op >= rule.window_end_op) continue;
+    bool fire = false;
+    if (burst_left_[ri] > 0) {
+      --burst_left_[ri];
+      fire = true;
+    } else if (rule.max_triggers != 0 && triggers_[ri] >= rule.max_triggers) {
+      // exhausted; keep drawing nothing so other rules stay independent
+    } else if (rule.probability >= 1.0 ||
+               rng_[si].NextDouble() < rule.probability) {
+      fire = true;
+      ++triggers_[ri];
+      burst_left_[ri] = rule.burst - 1;
+    }
+    if (!fire) continue;
+    out.fire = true;
+    out.slow_factor *= rule.slow_factor;
+    out.added_latency_ns += rule.added_latency_ns;
+  }
+  if (out.fire) {
+    ++injected_[si];
+    if (history_.size() < history_cap_) {
+      history_.push_back(InjectionRecord{site, op, device});
+    }
+    Inc(tel_total_);
+    Inc(tel_site_[si]);
+    Emit(ev_, now, EventSeverity::kDebug, "fault.injected",
+         std::string(to_string(site)),
+         {{"site", std::string(to_string(site))},
+          {"op", std::to_string(op)},
+          {"device", std::to_string(device)}});
+  }
+  return out;
+}
+
+void FaultInjector::AttachTelemetry(MetricRegistry& registry) {
+  tel_total_ = &registry.GetCounter("fault.injected");
+  for (size_t i = 0; i < kFaultSiteCount; ++i) {
+    if (!site_enabled_[i]) continue;
+    tel_site_[i] = &registry.GetCounter(
+        "fault." + std::string(to_string(static_cast<FaultSite>(i))));
+  }
+}
+
+}  // namespace reo

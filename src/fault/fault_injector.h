@@ -1,0 +1,90 @@
+// Central seeded fault injector. Every instrumented layer holds a pointer
+// to one shared FaultInjector and calls Roll(site, device) once per
+// operation; the decision says whether a fault fires and with what shape
+// (error, slow factor, added latency). Rolls draw from one Pcg32 stream per
+// site — (seed, site index) — so the fault sequence at a site depends only
+// on that site's operation count, never on interleaving with other sites.
+//
+// The injector keeps a bounded history of fired injections; the
+// seeded-determinism test compares histories across runs byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/fault_spec.h"
+#include "telemetry/metric_registry.h"
+#include "trace/event_log.h"
+
+namespace reo {
+
+/// Outcome of one Roll. `fire` covers error-type sites; slow-type sites
+/// report their shaping through `slow_factor` / `added_latency_ns`.
+struct FaultDecision {
+  bool fire = false;
+  double slow_factor = 1.0;
+  uint64_t added_latency_ns = 0;
+};
+
+/// One fired injection, recorded in order. op_index is the per-site
+/// operation count at firing time (0-based).
+struct InjectionRecord {
+  FaultSite site;
+  uint64_t op_index;
+  int32_t device;
+
+  friend bool operator==(const InjectionRecord&,
+                         const InjectionRecord&) = default;
+};
+
+class FaultInjector {
+ public:
+  /// History is bounded; older records beyond the cap are dropped (the
+  /// determinism test compares prefixes well under the cap).
+  explicit FaultInjector(FaultSpec spec, size_t history_cap = 65536);
+
+  /// Cheap gate: true if any rule targets `site`. Callers on hot paths may
+  /// skip Roll entirely when false — enabled() never changes after
+  /// construction, so skipping does not perturb the RNG streams.
+  bool enabled(FaultSite site) const { return site_enabled_[Index(site)]; }
+
+  /// Rolls the dice for one operation at `site` on `device` (-1 when the
+  /// site has no device dimension). Advances the site's op count whenever
+  /// any rule targets the site, matched or not, so device-filtered rules
+  /// stay reproducible. `now` only timestamps the debug event.
+  FaultDecision Roll(FaultSite site, int32_t device = -1, SimTime now = 0);
+
+  const FaultSpec& spec() const { return spec_; }
+  const std::vector<InjectionRecord>& history() const { return history_; }
+  uint64_t injected(FaultSite site) const { return injected_[Index(site)]; }
+  uint64_t injected_total() const;
+  uint64_t ops(FaultSite site) const { return ops_[Index(site)]; }
+
+  /// "fault.injected" total + "fault.<site>" per-site counters.
+  void AttachTelemetry(MetricRegistry& registry);
+  /// kDebug "fault.injected" event per firing (bounded by the EventLog).
+  void AttachEvents(EventLog& events) { ev_ = &events; }
+
+ private:
+  static size_t Index(FaultSite site) { return static_cast<size_t>(site); }
+
+  FaultSpec spec_;
+  size_t history_cap_;
+  std::vector<InjectionRecord> history_;
+  // Per-site state, indexed by FaultSite.
+  Pcg32 rng_[kFaultSiteCount];
+  uint64_t ops_[kFaultSiteCount] = {};
+  uint64_t injected_[kFaultSiteCount] = {};
+  bool site_enabled_[kFaultSiteCount] = {};
+  Counter* tel_site_[kFaultSiteCount] = {};
+  // Per-rule state, parallel to spec_.rules.
+  std::vector<uint64_t> burst_left_;
+  std::vector<uint64_t> triggers_;
+
+  Counter* tel_total_ = nullptr;
+  EventLog* ev_ = nullptr;
+};
+
+}  // namespace reo

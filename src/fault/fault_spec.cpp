@@ -1,0 +1,253 @@
+#include "fault/fault_spec.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/file_util.h"
+
+namespace reo {
+
+Result<FaultSite> ParseFaultSite(std::string_view name) {
+  for (size_t i = 0; i < kFaultSiteCount; ++i) {
+    FaultSite site = static_cast<FaultSite>(i);
+    if (name == to_string(site)) return site;
+  }
+  return Status{ErrorCode::kInvalidArgument,
+                "unknown fault site: " + std::string(name)};
+}
+
+bool FaultSpec::Targets(FaultSite site) const {
+  for (const auto& r : rules) {
+    if (r.site == site) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Minimal recursive-descent parser for the JSON subset fault specs use.
+// Values are doubles, strings, bools, arrays, objects; no escapes beyond
+// \" \\ \/ \n \t, no unicode, no nesting deeper than the spec needs.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<FaultSpec> Parse() {
+    FaultSpec spec;
+    REO_RETURN_IF_ERROR(Expect('{'));
+    bool first = true;
+    while (true) {
+      SkipWs();
+      if (Peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) REO_RETURN_IF_ERROR(Expect(','));
+      first = false;
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      REO_RETURN_IF_ERROR(Expect(':'));
+      if (*key == "seed") {
+        auto v = ParseNumber();
+        if (!v.ok()) return v.status();
+        spec.seed = static_cast<uint64_t>(*v);
+      } else if (*key == "rules") {
+        REO_RETURN_IF_ERROR(ParseRules(spec.rules));
+      } else {
+        return Error("unknown top-level key: " + *key);
+      }
+    }
+    SkipWs();
+    if (pos_ != text_.size()) return Error("trailing characters after spec");
+    return spec;
+  }
+
+ private:
+  Status ParseRules(std::vector<FaultRule>& out) {
+    REO_RETURN_IF_ERROR(Expect('['));
+    bool first = true;
+    while (true) {
+      SkipWs();
+      if (Peek() == ']') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (!first) REO_RETURN_IF_ERROR(Expect(','));
+      first = false;
+      FaultRule rule;
+      REO_RETURN_IF_ERROR(ParseRule(rule));
+      out.push_back(rule);
+    }
+  }
+
+  Status ParseRule(FaultRule& rule) {
+    REO_RETURN_IF_ERROR(Expect('{'));
+    bool first = true;
+    bool have_site = false;
+    while (true) {
+      SkipWs();
+      if (Peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) REO_RETURN_IF_ERROR(Expect(','));
+      first = false;
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      REO_RETURN_IF_ERROR(Expect(':'));
+      if (*key == "site") {
+        auto name = ParseString();
+        if (!name.ok()) return name.status();
+        auto site = ParseFaultSite(*name);
+        if (!site.ok()) return site.status();
+        rule.site = *site;
+        have_site = true;
+      } else if (*key == "window") {
+        REO_RETURN_IF_ERROR(Expect('['));
+        auto lo = ParseNumber();
+        if (!lo.ok()) return lo.status();
+        REO_RETURN_IF_ERROR(Expect(','));
+        auto hi = ParseNumber();
+        if (!hi.ok()) return hi.status();
+        REO_RETURN_IF_ERROR(Expect(']'));
+        rule.window_start_op = static_cast<uint64_t>(*lo);
+        rule.window_end_op = static_cast<uint64_t>(*hi);
+        if (rule.window_end_op <= rule.window_start_op) {
+          return Error("window end must be greater than start");
+        }
+      } else {
+        auto v = ParseNumber();
+        if (!v.ok()) return v.status();
+        if (*key == "probability") {
+          if (*v < 0.0 || *v > 1.0) return Error("probability outside [0,1]");
+          rule.probability = *v;
+        } else if (*key == "burst") {
+          if (*v < 1.0) return Error("burst must be >= 1");
+          rule.burst = static_cast<uint32_t>(*v);
+        } else if (*key == "device") {
+          rule.device = static_cast<int32_t>(*v);
+        } else if (*key == "slow_factor") {
+          if (*v < 1.0) return Error("slow_factor must be >= 1");
+          rule.slow_factor = *v;
+        } else if (*key == "added_latency_us") {
+          rule.added_latency_ns = static_cast<uint64_t>(*v * 1000.0);
+        } else if (*key == "added_latency_ns") {
+          rule.added_latency_ns = static_cast<uint64_t>(*v);
+        } else if (*key == "max_triggers") {
+          rule.max_triggers = static_cast<uint64_t>(*v);
+        } else {
+          return Error("unknown rule key: " + *key);
+        }
+      }
+    }
+    if (!have_site) return Error("rule missing \"site\"");
+    // A slow-site rule with no explicit probability should always fire
+    // inside its window: "device 2 is fail-slow" means every op, not none.
+    bool slow_site = rule.site == FaultSite::kFlashFailSlow ||
+                     rule.site == FaultSite::kBackendSlow;
+    if (slow_site && rule.probability == 0.0) rule.probability = 1.0;
+    return Status::Ok();
+  }
+
+  Result<std::string> ParseString() {
+    REO_RETURN_IF_ERROR(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          default: return Error(std::string("unsupported escape \\") + e);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<double> ParseNumber() {
+    SkipWs();
+    // Accept true/false for forward compatibility with boolean knobs.
+    if (text_.substr(pos_).starts_with("true")) {
+      pos_ += 4;
+      return 1.0;
+    }
+    if (text_.substr(pos_).starts_with("false")) {
+      pos_ += 5;
+      return 0.0;
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a number");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(v)) {
+      return Error("malformed number: " + token);
+    }
+    return v;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  Status Expect(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+
+  Status Error(const std::string& what) const {
+    char where[32];
+    std::snprintf(where, sizeof where, " at offset %zu", pos_);
+    return Status{ErrorCode::kInvalidArgument, what + where};
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<FaultSpec> ParseFaultSpec(std::string_view json) {
+  return JsonParser(json).Parse();
+}
+
+Result<FaultSpec> LoadFaultSpecFile(const std::string& path) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  auto spec = ParseFaultSpec(*contents);
+  if (!spec.ok()) {
+    return Status{spec.status().code(),
+                  path + ": " + std::string(spec.status().message())};
+  }
+  return spec;
+}
+
+}  // namespace reo

@@ -1,0 +1,41 @@
+// Bounded retry with jittered exponential backoff, shared by the data
+// plane (transient flash errors), the cache manager (transient backend
+// fetches), and the socket initiator (reconnect-retry). Jitter draws from
+// a caller-owned Pcg32 so simulated retries stay reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace reo {
+
+struct RetryPolicy {
+  uint32_t max_attempts = 3;            ///< total tries, including the first
+  SimTime backoff_ns = 200 * kNsPerUs;  ///< delay before the first retry
+  double backoff_multiplier = 2.0;      ///< growth per subsequent retry
+  double jitter_fraction = 0.5;         ///< uniform +/- fraction of the delay
+};
+
+/// Backoff before retry number `retry` (0-based: the delay between the
+/// first failure and the second attempt is retry 0).
+inline SimTime RetryBackoff(const RetryPolicy& policy, uint32_t retry,
+                            Pcg32& rng) {
+  double base = static_cast<double>(policy.backoff_ns) *
+                std::pow(policy.backoff_multiplier, retry);
+  double jitter =
+      1.0 + policy.jitter_fraction * (2.0 * rng.NextDouble() - 1.0);
+  double delay = base * jitter;
+  return delay > 0.0 ? static_cast<SimTime>(delay) : SimTime{0};
+}
+
+/// The only error class retries may chase. Everything else is either
+/// permanent (corruption, missing object) or needs a different response.
+inline bool IsRetryable(const Status& status) {
+  return status.code() == ErrorCode::kIoError;
+}
+
+}  // namespace reo

@@ -60,6 +60,13 @@ void FlashArray::AttachTracing(Tracer& tracer) {
   }
 }
 
+void FlashArray::AttachFaults(FaultInjector* injector,
+                              FailSlowDetector* detector) {
+  for (DeviceIndex i = 0; i < devices_.size(); ++i) {
+    devices_[i]->AttachFaults(injector, detector, i);
+  }
+}
+
 uint64_t FlashArray::total_capacity_bytes() const {
   uint64_t sum = 0;
   for (const auto& d : devices_) sum += d->config().capacity_bytes;

@@ -50,6 +50,9 @@ class FlashArray {
   /// Resolves a span track per device position ("flash.dev<i>").
   void AttachTracing(Tracer& tracer);
 
+  /// Wires fault injection into every device (position-indexed).
+  void AttachFaults(FaultInjector* injector, FailSlowDetector* detector);
+
  private:
   std::vector<std::unique_ptr<FlashDevice>> devices_;
   Gauge* tel_healthy_ = nullptr;

@@ -50,6 +50,14 @@ void FlashDevice::AttachTracing(Tracer& tracer, uint8_t array_index) {
   trace_ = &tracer.RecorderFor(TraceComponent::kFlashDevice, array_index);
 }
 
+void FlashDevice::AttachFaults(FaultInjector* injector,
+                               FailSlowDetector* detector,
+                               DeviceIndex array_index) {
+  faults_ = injector;
+  failslow_ = detector;
+  fault_index_ = array_index;
+}
+
 Status FlashDevice::FtlWriteSlot(Slot& s) {
   if (s.page_count == 0) {
     // First write: allocate a contiguous lpn range (reusing a freed range
@@ -126,8 +134,25 @@ Status FlashDevice::WriteSlot(SlotId slot, std::span<const uint8_t> payload) {
     return {ErrorCode::kNotFound, "no such slot"};
   }
   Slot& s = slots_[slot];
+  if (faults_ && faults_->enabled(FaultSite::kFlashWriteTransient) &&
+      faults_
+          ->Roll(FaultSite::kFlashWriteTransient,
+                 static_cast<int32_t>(fault_index_))
+          .fire) {
+    // Before any mutation, so the caller's rollback sees the old contents.
+    return {ErrorCode::kIoError, "injected transient write error"};
+  }
   s.payload.assign(payload.begin(), payload.end());
   s.crc = Crc32c(payload);
+  if (faults_ && faults_->enabled(FaultSite::kFlashLatent) &&
+      faults_
+          ->Roll(FaultSite::kFlashLatent, static_cast<int32_t>(fault_index_))
+          .fire &&
+      !s.payload.empty()) {
+    // Latent sector error: damage the stored bytes but not the CRC, so the
+    // corruption stays silent until the slot is read or scrubbed.
+    s.payload[0] ^= 0xFF;
+  }
   ++wear_.io_writes;
   Inc(tel_writes_);
   if (ftl_) {
@@ -162,6 +187,13 @@ Result<std::span<const uint8_t>> FlashDevice::ReadSlot(SlotId slot) {
     return Status{ErrorCode::kNotFound, "no such slot"};
   }
   const Slot& s = slots_[slot];
+  if (faults_ && faults_->enabled(FaultSite::kFlashReadTransient) &&
+      faults_
+          ->Roll(FaultSite::kFlashReadTransient,
+                 static_cast<int32_t>(fault_index_))
+          .fire) {
+    return Status{ErrorCode::kIoError, "injected transient read error"};
+  }
   if (Crc32c(s.payload) != s.crc) {
     return Status{ErrorCode::kCorrupted, "slot CRC mismatch"};
   }
@@ -181,7 +213,18 @@ SimTime FlashDevice::ServiceTime(uint64_t logical_bytes, bool is_write) const {
 
 SimTime FlashDevice::SubmitIo(SimTime start, uint64_t logical_bytes, bool is_write) {
   SimTime begin = std::max(start, busy_until_);
-  busy_until_ = begin + ServiceTime(logical_bytes, is_write);
+  SimTime service = ServiceTime(logical_bytes, is_write);
+  if (faults_ && faults_->enabled(FaultSite::kFlashFailSlow)) {
+    FaultDecision d = faults_->Roll(FaultSite::kFlashFailSlow,
+                                    static_cast<int32_t>(fault_index_), start);
+    if (d.fire) {
+      service = static_cast<SimTime>(static_cast<double>(service) *
+                                     d.slow_factor) +
+                d.added_latency_ns;
+    }
+  }
+  busy_until_ = begin + service;
+  if (failslow_) failslow_->Observe(fault_index_, service, busy_until_);
   if (trace_) {
     // Span covers queueing-adjusted service only, so same-track spans on a
     // busy device abut instead of overlapping.

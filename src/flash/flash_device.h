@@ -20,6 +20,8 @@
 
 #include "common/sim_clock.h"
 #include "common/status.h"
+#include "fault/failslow.h"
+#include "fault/fault_injector.h"
 #include "flash/ftl.h"
 #include "telemetry/metric_registry.h"
 #include "trace/tracer.h"
@@ -146,6 +148,14 @@ class FlashDevice {
   /// Fail/Replace so a spare keeps recording on the same track.
   void AttachTracing(Tracer& tracer, uint8_t array_index);
 
+  /// Wires fault injection into this device's slot I/O. `injector` rolls
+  /// flash.read_transient / flash.write_transient / flash.latent /
+  /// flash.failslow per op; `detector` (optional) observes every IO's
+  /// service time for fail-slow detection. Both pointers are
+  /// position-lifetime (survive Fail/Replace), like telemetry.
+  void AttachFaults(FaultInjector* injector, FailSlowDetector* detector,
+                    DeviceIndex array_index);
+
  private:
   struct Slot {
     bool allocated = false;
@@ -190,6 +200,11 @@ class FlashDevice {
   // Tracing (null when un-attached): SubmitIo records one leaf span per IO
   // on this device's track, [queue-adjusted begin, completion].
   SpanRecorder* trace_ = nullptr;
+
+  // Fault injection (null when un-attached).
+  FaultInjector* faults_ = nullptr;
+  FailSlowDetector* failslow_ = nullptr;
+  DeviceIndex fault_index_ = 0;
 };
 
 }  // namespace reo

@@ -173,7 +173,12 @@ Status PersistenceManager::Recover() {
   auto raw = ReadFileToString(CheckpointPath());
   if (raw.ok()) {
     auto img = DecodeCheckpoint(*raw);
-    if (!img.ok()) return img.status();
+    if (!img.ok()) {
+      // Name the file: the operator's next move is to inspect or move it.
+      return Status{img.status().code(),
+                    CheckpointPath() + ": " +
+                        std::string(img.status().message())};
+    }
     replay_stats_.checkpoint_loaded = true;
     replay_stats_.checkpoint_objects = img->objects.size();
     next_lsn_ = img->next_lsn;
@@ -332,6 +337,11 @@ Status PersistenceManager::Journal(const WalRecord& rec) {
 }
 
 Status PersistenceManager::SyncNow() {
+  if (faults_ && faults_->enabled(FaultSite::kPersistFsync) &&
+      faults_->Roll(FaultSite::kPersistFsync).fire) {
+    // The batch stays pending: the next sync retries the whole window.
+    return {ErrorCode::kIoError, "injected fsync failure"};
+  }
   REO_RETURN_IF_ERROR(data_log_.Sync());  // data before the journal that
   REO_RETURN_IF_ERROR(journal_.Sync());   // points at it
   unsynced_records_ = 0;
@@ -360,6 +370,12 @@ Status PersistenceManager::CommitWrite(ObjectId id, uint8_t class_id,
                                        std::span<const uint8_t> payload,
                                        SimTime now) {
   if (replaying_) return Status::Ok();
+  if (faults_ && faults_->enabled(FaultSite::kPersistWrite) &&
+      faults_->Roll(FaultSite::kPersistWrite, /*device=*/-1, now).fire) {
+    ++commit_errors_;
+    MirrorMetrics();
+    return {ErrorCode::kIoError, "injected short write"};
+  }
   const bool dirty = class_id == 1;
   const uint64_t lsn = next_lsn_++;
   auto loc = data_log_.Append(id, class_id, dirty, logical_size, lsn, payload);

@@ -31,6 +31,7 @@
 
 #include "common/object_id.h"
 #include "common/sim_clock.h"
+#include "fault/fault_injector.h"
 #include "persist/data_log.h"
 #include "persist/journal.h"
 
@@ -154,6 +155,11 @@ class PersistenceManager {
   void AttachTelemetry(MetricRegistry& registry);
   void AttachEvents(EventLog& events) { events_ = &events; }
 
+  /// Wires fault injection into the commit path: persist.write fails a
+  /// commit before it touches the data log (short write), persist.fsync
+  /// fails the next sync. Both count as commit errors.
+  void AttachFaults(FaultInjector* injector) { faults_ = injector; }
+
  private:
   explicit PersistenceManager(PersistenceConfig config);
 
@@ -205,6 +211,7 @@ class PersistenceManager {
   uint64_t commit_errors_mirrored_ = 0;
 
   EventLog* events_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace reo

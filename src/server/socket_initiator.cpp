@@ -1,9 +1,12 @@
 #include "server/socket_initiator.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -16,6 +19,10 @@ SocketInitiator::~SocketInitiator() { Close(); }
 
 SocketInitiator::SocketInitiator(SocketInitiator&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
+      config_(other.config_),
+      retry_rng_(other.retry_rng_),
+      host_(std::move(other.host_)),
+      port_(other.port_),
       decoder_(std::move(other.decoder_)),
       stats_(other.stats_),
       tel_commands_(other.tel_commands_),
@@ -23,12 +30,18 @@ SocketInitiator::SocketInitiator(SocketInitiator&& other) noexcept
       tel_bytes_received_(other.tel_bytes_received_),
       tel_decode_errors_(other.tel_decode_errors_),
       tel_crc_errors_(other.tel_crc_errors_),
-      tel_frame_errors_(other.tel_frame_errors_) {}
+      tel_frame_errors_(other.tel_frame_errors_),
+      tel_timeouts_(other.tel_timeouts_),
+      tel_reconnects_(other.tel_reconnects_) {}
 
 SocketInitiator& SocketInitiator::operator=(SocketInitiator&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = std::exchange(other.fd_, -1);
+    config_ = other.config_;
+    retry_rng_ = other.retry_rng_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
     decoder_ = std::move(other.decoder_);
     stats_ = other.stats_;
     tel_commands_ = other.tel_commands_;
@@ -37,6 +50,8 @@ SocketInitiator& SocketInitiator::operator=(SocketInitiator&& other) noexcept {
     tel_decode_errors_ = other.tel_decode_errors_;
     tel_crc_errors_ = other.tel_crc_errors_;
     tel_frame_errors_ = other.tel_frame_errors_;
+    tel_timeouts_ = other.tel_timeouts_;
+    tel_reconnects_ = other.tel_reconnects_;
   }
   return *this;
 }
@@ -55,6 +70,8 @@ void SocketInitiator::AttachTelemetry(MetricRegistry& registry) {
   tel_decode_errors_ = &registry.GetCounter("initiator.decode_errors");
   tel_crc_errors_ = &registry.GetCounter("initiator.crc_errors");
   tel_frame_errors_ = &registry.GetCounter("initiator.frame_errors");
+  tel_timeouts_ = &registry.GetCounter("initiator.timeouts");
+  tel_reconnects_ = &registry.GetCounter("initiator.reconnects");
 }
 
 Status SocketInitiator::Connect(const std::string& host, uint16_t port) {
@@ -72,7 +89,41 @@ Status SocketInitiator::Connect(const std::string& host, uint16_t port) {
     Close();
     return Status{ErrorCode::kInvalidArgument, "bad host " + host};
   }
-  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (config_.connect_timeout_ms > 0) {
+    // Bounded connect: non-blocking connect, poll for writability, then
+    // restore blocking mode for the data path.
+    int flags = fcntl(fd_, F_GETFL, 0);
+    (void)fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rc = connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      int pr = poll(&pfd, 1, static_cast<int>(config_.connect_timeout_ms));
+      if (pr == 0) {
+        ++stats_.timeouts;
+        Inc(tel_timeouts_);
+        Close();
+        return Status{ErrorCode::kIoError, "connect timed out"};
+      }
+      int err = pr < 0 ? errno : 0;
+      if (pr > 0) {
+        socklen_t len = sizeof(err);
+        (void)getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+      }
+      if (err != 0) {
+        Status st{ErrorCode::kUnavailable,
+                  std::string("connect: ") + std::strerror(err)};
+        Close();
+        return st;
+      }
+    } else if (rc != 0) {
+      Status st{ErrorCode::kUnavailable,
+                std::string("connect: ") + std::strerror(errno)};
+      Close();
+      return st;
+    }
+    (void)fcntl(fd_, F_SETFL, flags);
+  } else if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+             0) {
     Status st{ErrorCode::kUnavailable,
               std::string("connect: ") + std::strerror(errno)};
     Close();
@@ -80,6 +131,14 @@ Status SocketInitiator::Connect(const std::string& host, uint16_t port) {
   }
   int one = 1;
   setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (config_.receive_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = config_.receive_timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(config_.receive_timeout_ms % 1000) * 1000;
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  host_ = host;
+  port_ = port;
   decoder_ = FrameDecoder();
   return Status::Ok();
 }
@@ -138,6 +197,14 @@ Result<OsdResponse> SocketInitiator::Receive() {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_RCVTIMEO deadline expired: the session state is unknown (a
+      // response may still be in flight), so drop the connection.
+      ++stats_.timeouts;
+      Inc(tel_timeouts_);
+      Close();
+      return Status{ErrorCode::kIoError, "receive timed out"};
+    }
     Close();
     return Status{ErrorCode::kUnavailable,
                   n == 0 ? std::string("server closed the connection")
@@ -154,12 +221,40 @@ Result<OsdResponse> SocketInitiator::Receive() {
   return resp;
 }
 
+namespace {
+
+/// Safe to resend blindly: re-executing on the target changes nothing.
+bool IdempotentRead(OsdOp op) {
+  return op == OsdOp::kRead || op == OsdOp::kGetAttr || op == OsdOp::kList ||
+         op == OsdOp::kListCollection;
+}
+
+}  // namespace
+
 OsdResponse SocketInitiator::Roundtrip(const OsdCommand& command) {
-  Status sent = Send(command);
-  if (sent.ok()) {
-    auto resp = Receive();
-    if (resp.ok()) return std::move(*resp);
+  auto attempt = [&]() -> Result<OsdResponse> {
+    REO_RETURN_IF_ERROR(Send(command));
+    return Receive();
+  };
+  auto resp = attempt();
+  if (!resp.ok() && config_.max_retries > 0 && IdempotentRead(command.op) &&
+      !host_.empty()) {
+    // The connection died between request and response. For idempotent
+    // reads, reconnect (jittered exponential backoff) and resend; a write
+    // may have been applied before the cut, so it is never replayed here.
+    for (uint32_t r = 0; r < config_.max_retries && !resp.ok(); ++r) {
+      double jitter = 0.5 + retry_rng_.NextDouble();  // [0.5, 1.5)
+      int sleep_ms = static_cast<int>(
+          static_cast<double>(config_.retry_backoff_ms) * jitter *
+          static_cast<double>(1u << r));
+      if (sleep_ms > 0) (void)poll(nullptr, 0, sleep_ms);
+      if (!Connect(host_, port_).ok()) continue;
+      ++stats_.reconnects;
+      Inc(tel_reconnects_);
+      resp = attempt();
+    }
   }
+  if (resp.ok()) return std::move(*resp);
   OsdResponse err;
   err.sense = SenseCode::kFail;
   return err;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/rng.h"
 #include "osd/osd_target.h"
 #include "osd/transport.h"
 #include "server/frame.h"
@@ -24,13 +25,35 @@ namespace reo {
 struct SocketInitiatorStats : TransportStats {
   uint64_t frames_sent = 0;
   uint64_t frames_received = 0;
-  uint64_t crc_errors = 0;    ///< response frames failing CRC32C
-  uint64_t frame_errors = 0;  ///< lost framing (bad magic / oversized)
+  uint64_t crc_errors = 0;      ///< response frames failing CRC32C
+  uint64_t frame_errors = 0;    ///< lost framing (bad magic / oversized)
+  uint64_t timeouts = 0;        ///< connect/receive deadline expiries
+  uint64_t reconnects = 0;      ///< sessions re-established by Roundtrip
+};
+
+/// Partial-failure posture of one initiator session. The defaults keep the
+/// historical behavior (no receive deadline, no automatic reconnect) except
+/// that connect() no longer blocks forever on an unresponsive host.
+struct SocketInitiatorConfig {
+  /// Give up on connect() after this long. 0 = block indefinitely.
+  uint32_t connect_timeout_ms = 5000;
+  /// Give up on a response after this long (SO_RCVTIMEO). 0 = wait forever.
+  uint32_t receive_timeout_ms = 0;
+  /// Transparent reconnect+resend attempts in Roundtrip, applied only to
+  /// idempotent reads (kRead/kGetAttr/kList*): a write that died mid-flight
+  /// may or may not have been applied, so it is never replayed blindly.
+  uint32_t max_retries = 0;
+  /// Base backoff between reconnect attempts (real sleep, jittered ±50%).
+  uint32_t retry_backoff_ms = 50;
+  /// Jitter seed, so concurrent workers don't reconnect in lockstep.
+  uint64_t seed = 1;
 };
 
 class SocketInitiator {
  public:
   SocketInitiator() = default;
+  explicit SocketInitiator(const SocketInitiatorConfig& config)
+      : config_(config), retry_rng_(config.seed, /*stream=*/0x50c) {}
   ~SocketInitiator();
 
   SocketInitiator(const SocketInitiator&) = delete;
@@ -45,7 +68,8 @@ class SocketInitiator {
 
   /// Sends one command and waits for its response. On any transport
   /// failure returns a response with sense kFail (matching OsdTransport's
-  /// contract); the session is closed.
+  /// contract); the session is closed. With `max_retries` configured,
+  /// idempotent reads transparently reconnect and resend first.
   OsdResponse Roundtrip(const OsdCommand& command);
 
   /// Pipelining: ships one command without waiting.
@@ -62,6 +86,10 @@ class SocketInitiator {
   Status SendBytes(const uint8_t* data, size_t len);
 
   int fd_ = -1;
+  SocketInitiatorConfig config_;
+  Pcg32 retry_rng_{1, 0x50c};
+  std::string host_;    ///< remembered for Roundtrip reconnects
+  uint16_t port_ = 0;
   FrameDecoder decoder_;
   SocketInitiatorStats stats_;
 
@@ -72,6 +100,8 @@ class SocketInitiator {
   Counter* tel_decode_errors_ = nullptr;
   Counter* tel_crc_errors_ = nullptr;
   Counter* tel_frame_errors_ = nullptr;
+  Counter* tel_timeouts_ = nullptr;
+  Counter* tel_reconnects_ = nullptr;
 };
 
 }  // namespace reo

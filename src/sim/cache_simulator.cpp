@@ -42,10 +42,29 @@ CacheSimulator::CacheSimulator(const Trace& trace, SimulationConfig config)
     plane_->AttachPersistence(persist_.get());
   }
 
+  if (!config_.faults.empty()) {
+    // Deterministic fault injection: per-site seeded streams, so the same
+    // spec + seed reproduces the exact same fault sequence (DESIGN.md
+    // "Fault model & partial-failure handling").
+    injector_ = std::make_unique<FaultInjector>(config_.faults);
+    failslow_ = std::make_unique<FailSlowDetector>(
+        static_cast<uint32_t>(config_.num_devices), config_.failslow);
+    array_->AttachFaults(injector_.get(), failslow_.get());
+    backend_->AttachFaults(injector_.get());
+    if (persist_) persist_->AttachFaults(injector_.get());
+    injector_->AttachTelemetry(telemetry_);
+    failslow_->AttachTelemetry(telemetry_);
+    // Seed the retry backoff jitter from the fault seed so the whole
+    // failure/recovery interleaving is reproducible.
+    plane_->ConfigureRetry(plane_->retry_policy(), config_.faults.seed);
+  }
+
   CacheManagerConfig cmc = config_.cache;
   cmc.verify_hits = config_.verify_hits;
+  cmc.failslow_demote = config_.failslow_demote;
   cache_ = std::make_unique<CacheManager>(*target_, *plane_, *backend_, cmc);
   if (persist_) cache_->AttachPersistence(persist_.get());
+  if (failslow_) cache_->AttachFaultDetector(failslow_.get());
 
   if (config_.wire_transport) {
     transport_ = std::make_unique<OsdTransport>(*target_, config_.net);
@@ -68,6 +87,11 @@ CacheSimulator::CacheSimulator(const Trace& trace, SimulationConfig config)
     if (transport_) transport_->AttachTracing(tracer_);
     sim_ev_ = &tracer_.events();
     if (persist_) persist_->AttachEvents(tracer_.events());
+    // Partial-failure milestones (retry exhaustion, CRC repairs, scrub
+    // findings, fail-slow flags) land in the same event log.
+    plane_->AttachEvents(tracer_.events());
+    if (injector_) injector_->AttachEvents(tracer_.events());
+    if (failslow_) failslow_->AttachEvents(tracer_.events());
   }
 
   // Register the catalog with the backend store.
@@ -157,6 +181,15 @@ RunReport CacheSimulator::Run() {
     SimTime observed = server_free_ - arrival;  // includes queueing
     clock_.AdvanceTo(server_free_);
     metrics.Record(r.hit, r.is_write, r.bytes, observed, clock_.now());
+
+    // Periodic scrubbing: find latent corruption while redundancy can
+    // still repair it (the scrub itself charges device time).
+    if (config_.scrub_interval_requests > 0 &&
+        (i + 1) % config_.scrub_interval_requests == 0) {
+      auto scrub = cache_->RunScrub(clock_.now());
+      server_free_ = std::max(server_free_, scrub.complete);
+      clock_.AdvanceTo(server_free_);
+    }
   }
   metrics.Finish(clock_.now());
 

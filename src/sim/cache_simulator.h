@@ -13,6 +13,9 @@
 
 #include "backend/backend_store.h"
 #include "core/cache_manager.h"
+#include "fault/failslow.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_spec.h"
 #include "persist/persistence.h"
 #include "sim/metrics.h"
 #include "telemetry/metric_registry.h"
@@ -87,6 +90,17 @@ struct SimulationConfig {
   /// The default (empty data_dir) is the null backend: no files are
   /// touched and the run is byte-identical to the in-memory simulator.
   PersistenceConfig persistence;
+
+  // Fault injection (DESIGN.md "Fault model & partial-failure handling").
+  /// Probabilistic fault rules; the default (no rules) wires nothing and
+  /// keeps the run byte-identical to a fault-free simulator.
+  FaultSpec faults;
+  /// Fail-slow detection thresholds (only used when `faults` is non-empty).
+  FailSlowConfig failslow;
+  /// Demote fail-slow devices (fail + spare swap + recovery) when flagged.
+  bool failslow_demote = false;
+  /// When > 0, run a full scrub pass every N measured requests.
+  uint64_t scrub_interval_requests = 0;
 };
 
 /// Everything a bench/test needs from one run.
@@ -134,6 +148,10 @@ class CacheSimulator {
   const Tracer& tracer() const { return tracer_; }
   /// Durable-state manager; null unless `persistence.data_dir` was set.
   PersistenceManager* persistence() { return persist_.get(); }
+  /// Fault injector; null unless `faults` had rules.
+  FaultInjector* fault_injector() { return injector_.get(); }
+  /// Fail-slow detector; null unless `faults` had rules.
+  FailSlowDetector* failslow_detector() { return failslow_.get(); }
 
  private:
   void ReplayUnmeasured();
@@ -151,6 +169,8 @@ class CacheSimulator {
   std::unique_ptr<OsdTransport> transport_;  ///< only when wire_transport
   std::unique_ptr<BackendStore> backend_;
   std::unique_ptr<PersistenceManager> persist_;  ///< only when data_dir set
+  std::unique_ptr<FaultInjector> injector_;      ///< only when faults set
+  std::unique_ptr<FailSlowDetector> failslow_;   ///< only when faults set
   std::unique_ptr<CacheManager> cache_;
   /// Event sink for the injection script ("sim.*"); null when tracing off.
   EventLog* sim_ev_ = nullptr;

@@ -41,6 +41,7 @@
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/zipf.h"
+#include "fault/fault_spec.h"
 #include "osd/control_protocol.h"
 #include "server/socket_initiator.h"
 #include "telemetry/metric_registry.h"
@@ -68,7 +69,24 @@ struct Options {
   std::string kill_pid_file;   ///< where the server's pid lives
   std::string ack_manifest;    ///< write acknowledged ranks here
   std::string verify_manifest; ///< verify-only mode: read ranks from here
+
+  /// Chaos mode: the server is running with `reo_server --fault-spec` on
+  /// the same spec file. The loadgen turns on client-side partial-failure
+  /// tolerance (receive deadlines, reconnect-retry, bounded op retries)
+  /// and finishes with a drain-verify pass proving that no acknowledged
+  /// write was lost (exit 4) or corrupted (exit 3) despite the injection.
+  bool chaos = false;
 };
+
+/// Client-side tolerance posture for chaos runs.
+SocketInitiatorConfig ChaosInitiatorConfig(const Options& opt, uint64_t salt) {
+  SocketInitiatorConfig cfg;
+  cfg.receive_timeout_ms = 15000;
+  cfg.max_retries = 4;
+  cfg.retry_backoff_ms = 20;
+  cfg.seed = opt.seed + salt;
+  return cfg;
+}
 
 /// Acknowledged-write bookkeeping shared by the worker threads.
 std::atomic<uint64_t> g_acked_writes{0};
@@ -134,7 +152,9 @@ OsdCommand MakeWrite(uint32_t rank, uint64_t bytes) {
 
 void Worker(const Options& opt, const ZipfSampler& zipf, size_t index,
             WorkerResult* out) {
-  SocketInitiator client;
+  SocketInitiator client(opt.chaos
+                             ? ChaosInitiatorConfig(opt, 0x100 + index)
+                             : SocketInitiatorConfig{});
   Status st = client.Connect(opt.host, opt.port);
   if (!st.ok()) {
     out->fatal = st;
@@ -157,6 +177,12 @@ void Worker(const Options& opt, const ZipfSampler& zipf, size_t index,
                     std::chrono::steady_clock::now() - start)
                     .count();
     if (!client.connected()) {
+      // In chaos mode a dropped session is a tolerable fault: re-establish
+      // and keep going (the failed op already counted as a sense error).
+      if (opt.chaos && client.Connect(opt.host, opt.port).ok()) {
+        ++out->sense_errors;
+        continue;
+      }
       // In kill mode the server vanishing is the point, not a failure.
       if (!g_killed.load()) {
         out->fatal = Status{ErrorCode::kUnavailable, "connection lost mid-run"};
@@ -189,16 +215,70 @@ void Worker(const Options& opt, const ZipfSampler& zipf, size_t index,
   out->wire = client.stats();
 }
 
+/// One command with bounded application-level retries (chaos mode only).
+/// Loadgen write payloads are content-stable per rank, so replaying any of
+/// these commands is safe.
+OsdResponse RoundtripWithRetry(const Options& opt, SocketInitiator& client,
+                               const OsdCommand& cmd, int attempts) {
+  OsdResponse resp = client.Roundtrip(cmd);
+  for (int r = 1; !resp.ok() && opt.chaos && r < attempts; ++r) {
+    if (!client.connected() && !client.Connect(opt.host, opt.port).ok()) break;
+    resp = client.Roundtrip(cmd);
+  }
+  return resp;
+}
+
+/// Reads back every acknowledged write after the chaos run and proves the
+/// reliability contract: nothing acked may be missing or wrong, no matter
+/// what the fault spec injected underneath.
+int ChaosDrainVerify(const Options& opt, const std::set<uint32_t>& acked) {
+  SocketInitiator client(ChaosInitiatorConfig(opt, 0xd7a1));
+  Status st = client.Connect(opt.host, opt.port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "chaos drain-verify connect failed: %s\n",
+                 st.to_string().c_str());
+    return 1;
+  }
+  uint64_t missing = 0, mismatched = 0;
+  for (uint32_t rank : acked) {
+    OsdCommand read;
+    read.op = OsdOp::kRead;
+    read.id = IdForRank(rank);
+    OsdResponse resp = RoundtripWithRetry(opt, client, read, 6);
+    if (!resp.ok()) {
+      ++missing;
+      std::fprintf(stderr, "rank %u: acked write unreadable under chaos"
+                   " (sense %s)\n", rank,
+                   std::string(to_string(resp.sense)).c_str());
+      continue;
+    }
+    std::vector<uint8_t> want = PayloadFor(rank, opt.object_bytes);
+    if (resp.data.size() < want.size() ||
+        !std::equal(want.begin(), want.end(), resp.data.begin())) {
+      ++mismatched;
+      std::fprintf(stderr, "rank %u: payload corrupt under chaos\n", rank);
+    }
+  }
+  std::printf("chaos drain-verify: %zu acked objects, %llu missing,"
+              " %llu corrupt\n", acked.size(),
+              static_cast<unsigned long long>(missing),
+              static_cast<unsigned long long>(mismatched));
+  if (mismatched > 0) return 3;
+  if (missing > 0) return 4;
+  return 0;
+}
+
 /// Assigns `class_id` to the object via the #SETID# control channel, the
 /// same path the cache manager's classifier uses.
-Status Classify(SocketInitiator& client, uint32_t rank, uint8_t class_id) {
+Status Classify(const Options& opt, SocketInitiator& client, uint32_t rank,
+                uint8_t class_id) {
   OsdCommand ctl;
   ctl.op = OsdOp::kWrite;
   ctl.id = kControlObject;
   ctl.data = EncodeControlMessage(
       SetIdCommand{.target = IdForRank(rank), .class_id = class_id});
   ctl.logical_size = ctl.data.size();
-  if (!client.Roundtrip(ctl).ok()) {
+  if (!RoundtripWithRetry(opt, client, ctl, 4).ok()) {
     return Status{ErrorCode::kInternal,
                   "SETID failed for rank " + std::to_string(rank)};
   }
@@ -208,7 +288,8 @@ Status Classify(SocketInitiator& client, uint32_t rank, uint8_t class_id) {
 /// Writes every object once so the measured phase reads warm data.
 /// Populate writes count as acknowledged too: the server committed them.
 Status Populate(const Options& opt, std::vector<uint32_t>* acked_ranks) {
-  SocketInitiator client;
+  SocketInitiator client(opt.chaos ? ChaosInitiatorConfig(opt, 0x90b)
+                                   : SocketInitiatorConfig{});
   REO_RETURN_IF_ERROR(client.Connect(opt.host, opt.port));
 
   // FORMAT also creates the first user partition (exofs convention).
@@ -224,15 +305,16 @@ Status Populate(const Options& opt, std::vector<uint32_t>* acked_ranks) {
     create.op = OsdOp::kCreate;
     create.id = IdForRank(rank);
     create.logical_size = opt.object_bytes;
-    if (!client.Roundtrip(create).ok()) {
+    if (!RoundtripWithRetry(opt, client, create, 4).ok()) {
       return Status{ErrorCode::kInternal,
                     "CREATE failed for rank " + std::to_string(rank)};
     }
     if (opt.write_class >= 0) {
       REO_RETURN_IF_ERROR(
-          Classify(client, rank, static_cast<uint8_t>(opt.write_class)));
+          Classify(opt, client, rank, static_cast<uint8_t>(opt.write_class)));
     }
-    OsdResponse wr = client.Roundtrip(MakeWrite(rank, opt.object_bytes));
+    OsdResponse wr =
+        RoundtripWithRetry(opt, client, MakeWrite(rank, opt.object_bytes), 4);
     if (!wr.ok()) {
       return Status{ErrorCode::kInternal,
                     "populate WRITE failed for rank " + std::to_string(rank) +
@@ -323,7 +405,13 @@ void Usage(const char* argv0) {
       "  --kill-pid-file PATH file holding the server pid (for --kill-after)\n"
       "  --ack-manifest PATH  record acknowledged write ranks, one per line\n"
       "  --verify-manifest PATH  verify-only mode: read each listed rank\n"
-      "                       back and compare contents (exit 4 on loss)\n",
+      "                       back and compare contents (exit 4 on loss)\n"
+      "chaos testing:\n"
+      "  --chaos-spec PATH    the fault spec the server is running with\n"
+      "                       (reo_server --fault-spec). Turns on client\n"
+      "                       tolerance (timeouts, reconnect-retry) and a\n"
+      "                       final drain-verify of every acked write:\n"
+      "                       exit 3 on corruption, 4 on acked-write loss\n",
       argv0);
 }
 
@@ -355,6 +443,21 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--kill-pid-file")) opt.kill_pid_file = next();
     else if (!std::strcmp(argv[i], "--ack-manifest")) opt.ack_manifest = next();
     else if (!std::strcmp(argv[i], "--verify-manifest")) opt.verify_manifest = next();
+    else if (!std::strcmp(argv[i], "--chaos-spec")) {
+      // Validate the spec (same parser the server uses) so a typo fails
+      // here rather than silently running a chaos test with no chaos.
+      auto spec = LoadFaultSpecFile(next());
+      if (!spec.ok()) {
+        std::fprintf(stderr, "bad chaos spec: %s\n",
+                     spec.status().to_string().c_str());
+        return 2;
+      }
+      if (spec->empty()) {
+        std::fprintf(stderr, "chaos spec has no rules\n");
+        return 2;
+      }
+      opt.chaos = true;
+    }
     else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       Usage(argv[0]);
       return 0;
@@ -510,5 +613,12 @@ int main(int argc, char** argv) {
     return 2;  // wire corruption: the CI smoke gate
   }
   if (verify_errors.value() > 0) return 3;
+  if (opt.chaos) {
+    std::set<uint32_t> acked(populate_acks.begin(), populate_acks.end());
+    for (const WorkerResult& r : results) {
+      acked.insert(r.acked_ranks.begin(), r.acked_ranks.end());
+    }
+    return ChaosDrainVerify(opt, acked);
+  }
   return 0;
 }
