@@ -34,6 +34,44 @@ void BM_GfMulAcc(benchmark::State& state) {
 }
 BENCHMARK(BM_GfMulAcc)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
 
+// Pinned to the portable reference kernel so the SIMD speedup in
+// BM_GfMulAcc has an in-tree denominator.
+void BM_GfMulAccScalar(benchmark::State& state) {
+  size_t len = static_cast<size_t>(state.range(0));
+  auto bufs = RandomChunks(2, len);
+  for (auto _ : state) {
+    reo::gf256::MulAccScalar(bufs[0], bufs[1], 0x57);
+    benchmark::DoNotOptimize(bufs[0].data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+}
+BENCHMARK(BM_GfMulAccScalar)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_GfMulBuf(benchmark::State& state) {
+  size_t len = static_cast<size_t>(state.range(0));
+  auto bufs = RandomChunks(2, len);
+  for (auto _ : state) {
+    reo::gf256::MulBuf(bufs[0], bufs[1], 0x57);
+    benchmark::DoNotOptimize(bufs[0].data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+}
+BENCHMARK(BM_GfMulBuf)->Arg(1024)->Arg(64 * 1024);
+
+void BM_GfMulBufScalar(benchmark::State& state) {
+  size_t len = static_cast<size_t>(state.range(0));
+  auto bufs = RandomChunks(2, len);
+  for (auto _ : state) {
+    reo::gf256::MulBufScalar(bufs[0], bufs[1], 0x57);
+    benchmark::DoNotOptimize(bufs[0].data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+}
+BENCHMARK(BM_GfMulBufScalar)->Arg(1024)->Arg(64 * 1024);
+
 void BM_RsEncode(benchmark::State& state) {
   size_t m = static_cast<size_t>(state.range(0));
   size_t k = static_cast<size_t>(state.range(1));

@@ -76,4 +76,16 @@ uint32_t Crc32c(std::span<const uint8_t> data, uint32_t seed) {
   return ~Crc32cSoftware(data, crc);
 }
 
+uint32_t Crc32cPortable(std::span<const uint8_t> data, uint32_t seed) {
+  return ~Crc32cSoftware(data, ~seed);
+}
+
+bool Crc32cUsesHardware() {
+#if defined(__x86_64__) || defined(__i386__)
+  return HasSse42();
+#else
+  return false;
+#endif
+}
+
 }  // namespace reo

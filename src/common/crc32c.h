@@ -11,4 +11,11 @@ namespace reo {
 /// Computes CRC32C over `data`, continuing from `seed` (0 for a fresh CRC).
 uint32_t Crc32c(std::span<const uint8_t> data, uint32_t seed = 0);
 
+/// Table-driven portable path, always available. Exposed so the differential
+/// test can pin the SSE4.2 hardware path against it; callers use Crc32c.
+uint32_t Crc32cPortable(std::span<const uint8_t> data, uint32_t seed = 0);
+
+/// True when Crc32c dispatches to the SSE4.2 instruction on this CPU.
+bool Crc32cUsesHardware();
+
 }  // namespace reo

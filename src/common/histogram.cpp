@@ -1,7 +1,9 @@
 #include "common/histogram.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 
 namespace reo {
@@ -33,11 +35,62 @@ void StatAccumulator::Reset() { *this = StatAccumulator{}; }
 
 Histogram::Histogram() : buckets_(kBuckets, 0) {}
 
-int Histogram::BucketFor(double v) {
+int Histogram::BucketForReference(double v) {
   if (v <= 1.0) return 0;
   // 8 buckets per factor of 2 (~9 % resolution), covering up to ~2^31.
   int b = static_cast<int>(std::log2(v) * 8.0) + 1;
   return std::clamp(b, 0, kBuckets - 1);
+}
+
+namespace {
+
+// t[b] = smallest double whose reference bucket is >= b. Computed once by
+// binary search over positive-double bit patterns (ordered the same as the
+// values) against the reference formula, so the razor-edge rounding of
+// log2(v)*8 at each boundary is captured exactly rather than re-derived.
+struct BucketCrossovers {
+  double t[Histogram::kBuckets];
+};
+
+const BucketCrossovers& Crossovers() {
+  static const BucketCrossovers table = [] {
+    BucketCrossovers c{};
+    c.t[0] = 0.0;
+    for (int b = 1; b < Histogram::kBuckets; ++b) {
+      uint64_t lo = std::bit_cast<uint64_t>(1.0);
+      // 2^33 buckets far past the clamp, so Ref(hi) >= b for every b.
+      uint64_t hi = std::bit_cast<uint64_t>(std::exp2(33.0));
+      while (lo < hi) {
+        uint64_t mid = lo + (hi - lo) / 2;
+        if (Histogram::BucketForReference(std::bit_cast<double>(mid)) >= b) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      c.t[b] = std::bit_cast<double>(lo);
+    }
+    return c;
+  }();
+  return table;
+}
+
+}  // namespace
+
+int Histogram::BucketFor(double v) {
+  if (v <= 1.0) return 0;
+  // v > 1 is a normal double, so its biased exponent gives floor-ish log2:
+  // the bucket lies in [8e+1, 8e+9] (2^e maps exactly to 8e+1 because
+  // log2(2^e)*8 is exact; the top slot exists because log2 of a value just
+  // under 2^(e+1) rounds up to exactly e+1). At most 8 threshold compares.
+  uint64_t bits = std::bit_cast<uint64_t>(v);
+  int e = static_cast<int>((bits >> 52) & 0x7FF) - 1023;
+  int b = 8 * e + 1;
+  if (b >= kBuckets - 1) return kBuckets - 1;
+  const double* t = Crossovers().t;
+  int limit = std::min(b + 8, kBuckets - 1);
+  while (b < limit && v >= t[b + 1]) ++b;
+  return b;
 }
 
 double Histogram::BucketLow(int b) {

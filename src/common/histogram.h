@@ -52,9 +52,18 @@ class Histogram {
   /// One-line summary: count, mean, p50, p99, max.
   std::string Summary() const;
 
- private:
   static constexpr int kBuckets = 256;
+
+  /// Bucket index for v: exponent bit-scan plus an exact-crossover threshold
+  /// table, no libm call per sample. Agrees with BucketForReference for
+  /// every double (the equivalence test pins this).
   static int BucketFor(double v);
+
+  /// The original log2-per-sample formulation, kept as the semantic
+  /// definition of the bucketing and the oracle for the equivalence test.
+  static int BucketForReference(double v);
+
+ private:
   static double BucketLow(int b);
   static double BucketHigh(int b);
 

@@ -26,10 +26,24 @@ uint8_t Inv(uint8_t a);
 /// a^e (e >= 0).
 uint8_t Pow(uint8_t a, uint32_t e);
 
-/// dst[i] ^= c * src[i] for all i. The stripe-encoding kernel.
+/// dst[i] ^= c * src[i] for all i. The stripe-encoding kernel. Dispatches
+/// to an SSSE3 pshufb split-nibble kernel at runtime when the CPU has it
+/// (mirroring the CRC32C SSE4.2 dispatch); byte-identical to the scalar
+/// path either way.
 void MulAcc(std::span<uint8_t> dst, std::span<const uint8_t> src, uint8_t c);
 
 /// dst[i] = c * src[i] for all i.
 void MulBuf(std::span<uint8_t> dst, std::span<const uint8_t> src, uint8_t c);
+
+/// Portable table-per-coefficient reference kernels. Exposed so the
+/// differential tests and micro-benches can pin the SIMD path against
+/// them; production code calls MulAcc/MulBuf and gets the dispatch.
+void MulAccScalar(std::span<uint8_t> dst, std::span<const uint8_t> src,
+                  uint8_t c);
+void MulBufScalar(std::span<uint8_t> dst, std::span<const uint8_t> src,
+                  uint8_t c);
+
+/// True when the runtime dispatch selects the SIMD kernels on this CPU.
+bool HasSimdKernels();
 
 }  // namespace reo::gf256

@@ -133,6 +133,23 @@ std::vector<uint8_t> EncodeResponse(const OsdResponse& resp) {
   return w.Take();
 }
 
+EncodedResponseParts EncodeResponseParts(OsdResponse&& resp) {
+  EncodedResponseParts out;
+  Writer head;
+  head.U32(kResponseMagic);
+  head.U32(static_cast<uint32_t>(resp.sense));
+  head.U64(resp.complete);
+  head.U8(resp.degraded ? 1 : 0);
+  head.U64(resp.data.size());  // Bytes() length prefix; the bytes ride in body
+  out.head = head.Take();
+  out.body = std::move(resp.data);
+  Writer tail;
+  tail.Bytes(resp.attr_value);
+  tail.U64Vec(resp.list);
+  out.tail = tail.Take();
+  return out;
+}
+
 Result<OsdResponse> DecodeResponse(std::span<const uint8_t> wire) {
   Reader r(wire);
   uint32_t magic = 0, sense = 0;

@@ -28,6 +28,18 @@ Result<OsdCommand> DecodeCommand(std::span<const uint8_t> wire);
 std::vector<uint8_t> EncodeResponse(const OsdResponse& response);
 Result<OsdResponse> DecodeResponse(std::span<const uint8_t> wire);
 
+/// Scatter-gather encoding of a response: head‖body‖tail is byte-identical
+/// to EncodeResponse(response), but the bulk `data` payload is *moved*
+/// into `body` instead of copied behind its length prefix. The socket
+/// serving path ships the three buffers with one writev, so a 64 KiB read
+/// response costs zero payload copies between cache and kernel.
+struct EncodedResponseParts {
+  std::vector<uint8_t> head;  ///< magic..degraded + data length prefix
+  std::vector<uint8_t> body;  ///< the response's data buffer, moved
+  std::vector<uint8_t> tail;  ///< attr_value + list encodings
+};
+EncodedResponseParts EncodeResponseParts(OsdResponse&& response);
+
 /// Wire-level counters.
 struct TransportStats {
   uint64_t commands = 0;

@@ -42,24 +42,33 @@ Status WalJournal::OpenActive() {
 
 Status WalJournal::Append(std::span<const uint8_t> body) {
   if (fd_ < 0) return Status(ErrorCode::kUnavailable, "journal closed");
-  std::vector<uint8_t> frame = FrameWalRecord(body);
+  size_t before = pending_.size();
+  AppendWalFrame(pending_, body);
+  unsynced_ = true;
+  ++stats_.records;
+  stats_.bytes += pending_.size() - before;
+  return Status::Ok();
+}
+
+Status WalJournal::FlushPending() {
+  if (pending_.empty()) return Status::Ok();
   size_t done = 0;
-  while (done < frame.size()) {
-    ssize_t n = ::write(fd_, frame.data() + done, frame.size() - done);
+  while (done < pending_.size()) {
+    ssize_t n = ::write(fd_, pending_.data() + done, pending_.size() - done);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Errno("append " + FilePath(dir_, active_seq_));
     }
     done += static_cast<size_t>(n);
   }
-  unsynced_ = true;
-  ++stats_.records;
-  stats_.bytes += frame.size();
+  ++stats_.batch_writes;
+  pending_.clear();
   return Status::Ok();
 }
 
 Status WalJournal::Sync() {
   if (!unsynced_ || fd_ < 0) return Status::Ok();
+  REO_RETURN_IF_ERROR(FlushPending());
   if (::fsync(fd_) != 0) return Errno("fsync " + FilePath(dir_, active_seq_));
   unsynced_ = false;
   ++stats_.fsyncs;
@@ -80,6 +89,7 @@ Status WalJournal::Rotate(uint32_t new_seq) {
 }
 
 void WalJournal::Reset(uint32_t new_seq) {
+  pending_.clear();  // FORMAT: records bound for the wiped file are dropped
   Close();
   for (uint32_t seq = 1; seq <= active_seq_; ++seq) {
     ::unlink(FilePath(dir_, seq).c_str());
@@ -138,6 +148,9 @@ Status WalJournal::ReplayFile(
 
 void WalJournal::Close() {
   if (fd_ >= 0) {
+    // Best-effort: unsynced records carry no durability promise, but keep
+    // the historical "visible after close" behavior for clean shutdowns.
+    (void)FlushPending();
     ::close(fd_);
     fd_ = -1;
   }

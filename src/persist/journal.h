@@ -18,6 +18,8 @@ struct JournalStats {
   uint64_t records = 0;
   uint64_t bytes = 0;
   uint64_t fsyncs = 0;
+  uint64_t batch_writes = 0;  ///< write() syscalls; records/batch_writes =
+                              ///< group-commit batching factor
   uint64_t torn_tail_truncations = 0;
 };
 
@@ -33,10 +35,14 @@ class WalJournal {
   /// appends. Appends land after any records the file already holds.
   Status Open(const std::string& dir, uint32_t seq);
 
-  /// Frames and appends one record body (buffered until Sync()).
+  /// Frames one record body into the in-memory batch. Nothing reaches the
+  /// file until Sync() (or Close) flushes the whole batch as one
+  /// contiguous write — the group-commit fast path issues a single
+  /// write+fsync pair per batch regardless of how many records it holds.
   Status Append(std::span<const uint8_t> body);
 
-  /// fsyncs the active file (no-op when nothing is unsynced).
+  /// Flushes the pending batch as one write, then fsyncs the active file
+  /// (no-op when nothing is unsynced).
   Status Sync();
 
   /// Starts a fresh journal file with sequence `new_seq` and unlinks every
@@ -59,12 +65,14 @@ class WalJournal {
 
  private:
   Status OpenActive();
+  Status FlushPending();
   void Close();
 
   std::string dir_;
   uint32_t active_seq_ = 1;
   int fd_ = -1;
   bool unsynced_ = false;
+  std::vector<uint8_t> pending_;  ///< framed records awaiting one write
   JournalStats stats_;
 };
 

@@ -145,18 +145,31 @@ Result<WalRecord> DecodeWalBody(std::span<const uint8_t> body) {
   return rec;
 }
 
-std::vector<uint8_t> FrameWalRecord(std::span<const uint8_t> body) {
+void AppendWalFrame(std::vector<uint8_t>& out, std::span<const uint8_t> body) {
   // [magic u32][crc u32][len u32][body]; the CRC covers len + body so a
   // corrupted length can never masquerade as a valid record.
-  ByteWriter w;
-  w.U32(kWalRecordMagic);
   uint32_t len = static_cast<uint32_t>(body.size());
   uint32_t crc = Crc32c(std::span(reinterpret_cast<const uint8_t*>(&len), 4));
   crc = Crc32c(body, crc);
-  w.U32(crc);
-  w.U32(len);
-  w.Bytes(body);
-  return w.Take();
+  size_t base = out.size();
+  out.resize(base + 12 + body.size());
+  uint8_t* p = out.data() + base;
+  auto put32 = [](uint8_t* dst, uint32_t v) {
+    dst[0] = static_cast<uint8_t>(v);
+    dst[1] = static_cast<uint8_t>(v >> 8);
+    dst[2] = static_cast<uint8_t>(v >> 16);
+    dst[3] = static_cast<uint8_t>(v >> 24);
+  };
+  put32(p, kWalRecordMagic);
+  put32(p + 4, crc);
+  put32(p + 8, len);
+  if (!body.empty()) std::memcpy(p + 12, body.data(), body.size());
+}
+
+std::vector<uint8_t> FrameWalRecord(std::span<const uint8_t> body) {
+  std::vector<uint8_t> out;
+  AppendWalFrame(out, body);
+  return out;
 }
 
 namespace {

@@ -175,6 +175,11 @@ Result<WalRecord> DecodeWalBody(std::span<const uint8_t> body);
 /// Wraps a body with [magic][crc][len] framing, ready to append.
 std::vector<uint8_t> FrameWalRecord(std::span<const uint8_t> body);
 
+/// Frames `body` directly onto the end of `out` — the group-commit path:
+/// the journal batches many framed records into one contiguous buffer and
+/// issues a single write per fsync batch. FrameWalRecord wraps this.
+void AppendWalFrame(std::vector<uint8_t>& out, std::span<const uint8_t> body);
+
 /// Outcome of pulling one framed record off a journal byte stream.
 struct WalFrameScan {
   enum class State : uint8_t {

@@ -15,18 +15,22 @@ size_t InputCap(const ConnectionConfig& c) {
   return FramedSize(c.max_frame_payload) + 64 * 1024;
 }
 
+/// iovec entries gathered per sendmsg (16 frames' worth of spans).
+constexpr size_t kWriteIovBatch = 48;
+
 }  // namespace
 
 Connection::Connection(int fd, uint64_t id, EventLoop& loop,
                        ConnectionHost& host, ConnectionConfig config,
-                       std::string peer)
+                       std::string peer, FrameMetaPool& pool)
     : fd_(fd),
       id_(id),
       loop_(loop),
       host_(host),
       config_(config),
       peer_(std::move(peer)),
-      decoder_(config.max_frame_payload) {
+      decoder_(config.max_frame_payload),
+      out_(pool) {
   interest_ = EPOLLIN;
   Status st = loop_.Add(fd_, interest_, [this](uint32_t ev) { OnReady(ev); });
   if (!st.ok()) {
@@ -136,18 +140,19 @@ bool Connection::DoRead() {
 }
 
 bool Connection::ProcessFrames() {
-  std::vector<uint8_t> payload;
+  std::span<const uint8_t> payload;
   for (;;) {
     bool input_exhausted = true;
     if (pending_write_bytes() < config_.write_high_watermark) {
-      FrameStatus st = decoder_.Next(&payload);
+      FrameStatus st = decoder_.NextView(&payload);
       if (st == FrameStatus::kFrame) {
         ++frames_handled_;
         ArmIdleTimer();
-        std::vector<uint8_t> response =
-            host_.OnFrame(*this, std::move(payload));
+        FramePayload response = host_.OnFrame(*this, payload);
         if (!response.empty()) {
-          AppendFrame(out_, response);
+          // The handler's buffer is shipped as-is: the queue frames it
+          // with a pooled header/trailer block, no payload copy.
+          out_.Push(std::move(response));
           if (pending_write_bytes() > config_.write_hard_limit) {
             Fail("write queue overflow");
             return false;
@@ -180,22 +185,24 @@ bool Connection::ProcessFrames() {
 }
 
 bool Connection::DoWrite() {
-  while (out_consumed_ < out_.size()) {
-    ssize_t n = send(fd_, out_.data() + out_consumed_,
-                     out_.size() - out_consumed_, MSG_NOSIGNAL);
+  while (!out_.empty()) {
+    // Scatter-gather flush: header/payload/trailer spans go to the socket
+    // in place (one syscall per batch, no flat staging copy).
+    struct iovec iov[kWriteIovBatch];
+    size_t n_iov = out_.Gather(iov, kWriteIovBatch);
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = n_iov;
+    ssize_t n = sendmsg(fd_, &msg, MSG_NOSIGNAL);
     if (n > 0) {
       host_.OnBytes(0, static_cast<uint64_t>(n));
-      out_consumed_ += static_cast<size_t>(n);
+      out_.Consume(static_cast<size_t>(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
     Fail("write error");
     return false;
-  }
-  if (out_consumed_ == out_.size()) {
-    out_.clear();
-    out_consumed_ = 0;
   }
   return true;
 }

@@ -11,12 +11,14 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "server/event_loop.h"
 #include "server/frame.h"
+#include "server/frame_queue.h"
 
 namespace reo {
 
@@ -29,9 +31,12 @@ class ConnectionHost {
   virtual ~ConnectionHost() = default;
 
   /// A complete, CRC-verified frame arrived; returns the response payload
-  /// to ship back (empty = no response).
-  virtual std::vector<uint8_t> OnFrame(Connection& conn,
-                                       std::vector<uint8_t> payload) = 0;
+  /// to ship back as scatter-gather parts (all-empty = no response).
+  /// `payload` views the connection's reassembly buffer in place (no copy)
+  /// and is only valid for the duration of the call — decode it, don't
+  /// retain it.
+  virtual FramePayload OnFrame(Connection& conn,
+                               std::span<const uint8_t> payload) = 0;
 
   /// The stream produced a corrupt frame (CRC mismatch) or lost framing
   /// (bad magic / oversized length). The connection closes right after;
@@ -60,8 +65,10 @@ struct ConnectionConfig {
 class Connection {
  public:
   /// Takes ownership of `fd` (nonblocking). Registers with `loop`.
+  /// `pool` recycles frame-metadata blocks across the host's connections;
+  /// it must outlive the connection.
   Connection(int fd, uint64_t id, EventLoop& loop, ConnectionHost& host,
-             ConnectionConfig config, std::string peer);
+             ConnectionConfig config, std::string peer, FrameMetaPool& pool);
   ~Connection();
 
   Connection(const Connection&) = delete;
@@ -72,7 +79,7 @@ class Connection {
   int fd() const { return fd_; }
 
   /// Bytes of response data accepted but not yet written to the socket.
-  size_t pending_write_bytes() const { return out_.size() - out_consumed_; }
+  size_t pending_write_bytes() const { return out_.pending_bytes(); }
 
   /// Frames decoded and dispatched on this connection.
   uint64_t frames_handled() const { return frames_handled_; }
@@ -109,8 +116,7 @@ class Connection {
   std::string peer_;
 
   FrameDecoder decoder_;
-  std::vector<uint8_t> out_;
-  size_t out_consumed_ = 0;
+  FrameQueue out_;  ///< framed responses: pooled metadata + moved payloads
   uint32_t interest_ = 0;
   bool draining_ = false;
   bool closing_ = false;

@@ -5,8 +5,8 @@
 namespace reo {
 namespace {
 
-void PutU32(std::vector<uint8_t>& out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+void PutU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
 }
 
 uint32_t ReadU32(const uint8_t* p) {
@@ -17,12 +17,31 @@ uint32_t ReadU32(const uint8_t* p) {
 
 }  // namespace
 
-void AppendFrame(std::vector<uint8_t>& out, std::span<const uint8_t> payload) {
-  out.reserve(out.size() + FramedSize(payload.size()));
+void EncodeFrameHeader(uint8_t out[kFrameHeaderBytes], size_t payload_bytes) {
   PutU32(out, kFrameMagic);
-  PutU32(out, static_cast<uint32_t>(payload.size()));
-  out.insert(out.end(), payload.begin(), payload.end());
-  PutU32(out, Crc32c(payload));
+  PutU32(out + 4, static_cast<uint32_t>(payload_bytes));
+}
+
+void EncodeFrameTrailer(uint8_t out[kFrameTrailerBytes],
+                        std::span<const uint8_t> payload) {
+  EncodeFrameTrailerFromCrc(out, Crc32c(payload));
+}
+
+void EncodeFrameTrailerFromCrc(uint8_t out[kFrameTrailerBytes], uint32_t crc) {
+  PutU32(out, crc);
+}
+
+void AppendFrame(std::vector<uint8_t>& out, std::span<const uint8_t> payload) {
+  // No per-call reserve: an exact reserve() here pins capacity to the
+  // current size and forces a reallocation (and full copy) on every
+  // append, turning batched encodes quadratic. Geometric growth keeps a
+  // batch of N frames at O(log N) reallocations.
+  size_t base = out.size();
+  out.resize(base + FramedSize(payload.size()));
+  uint8_t* p = out.data() + base;
+  EncodeFrameHeader(p, payload.size());
+  std::copy(payload.begin(), payload.end(), p + kFrameHeaderBytes);
+  EncodeFrameTrailer(p + kFrameHeaderBytes + payload.size(), payload);
 }
 
 std::vector<uint8_t> EncodeFrame(std::span<const uint8_t> payload) {
@@ -42,7 +61,7 @@ void FrameDecoder::Feed(std::span<const uint8_t> bytes) {
   buf_.insert(buf_.end(), bytes.begin(), bytes.end());
 }
 
-FrameStatus FrameDecoder::Next(std::vector<uint8_t>* out) {
+FrameStatus FrameDecoder::NextView(std::span<const uint8_t>* out) {
   if (poisoned_) return FrameStatus::kBadMagic;
   size_t avail = buf_.size() - consumed_;
   if (avail < kFrameHeaderBytes) return FrameStatus::kNeedMore;
@@ -62,8 +81,15 @@ FrameStatus FrameDecoder::Next(std::vector<uint8_t>* out) {
   uint32_t want = ReadU32(payload + length);
   consumed_ += FramedSize(length);
   if (Crc32c({payload, length}) != want) return FrameStatus::kCrcMismatch;
-  out->assign(payload, payload + length);
+  *out = {payload, length};
   return FrameStatus::kFrame;
+}
+
+FrameStatus FrameDecoder::Next(std::vector<uint8_t>* out) {
+  std::span<const uint8_t> view;
+  FrameStatus st = NextView(&view);
+  if (st == FrameStatus::kFrame) out->assign(view.begin(), view.end());
+  return st;
 }
 
 }  // namespace reo

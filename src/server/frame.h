@@ -45,6 +45,19 @@ void AppendFrame(std::vector<uint8_t>& out, std::span<const uint8_t> payload);
 /// Convenience single-frame encode.
 std::vector<uint8_t> EncodeFrame(std::span<const uint8_t> payload);
 
+/// Writes the 8-byte frame header (magic + length) into `out`. For
+/// scatter-gather senders that ship the payload from its own buffer.
+void EncodeFrameHeader(uint8_t out[kFrameHeaderBytes], size_t payload_bytes);
+
+/// Writes the 4-byte CRC32C trailer for `payload` into `out`.
+void EncodeFrameTrailer(uint8_t out[kFrameTrailerBytes],
+                        std::span<const uint8_t> payload);
+
+/// Writes a trailer from an already-computed payload CRC. For senders that
+/// build the CRC incrementally over scattered payload parts via seeded
+/// continuation: Crc32c(tail, Crc32c(head)) == Crc32c(head‖tail).
+void EncodeFrameTrailerFromCrc(uint8_t out[kFrameTrailerBytes], uint32_t crc);
+
 /// Outcome of one FrameDecoder::Next() attempt.
 enum class FrameStatus : uint8_t {
   kFrame,        ///< *out holds the next payload
@@ -71,6 +84,11 @@ class FrameDecoder {
   /// decides whether the connection survives). kBadMagic / kOversized are
   /// sticky.
   FrameStatus Next(std::vector<uint8_t>* out);
+
+  /// Zero-copy variant: on kFrame, `*out` views the payload in place
+  /// inside the reassembly buffer. The view is invalidated by the next
+  /// Feed() or Next()/NextView() call — decode or copy it before then.
+  FrameStatus NextView(std::span<const uint8_t>* out);
 
   /// Bytes buffered but not yet consumed by complete frames.
   size_t buffered() const { return buf_.size() - consumed_; }

@@ -187,7 +187,8 @@ void OsdServer::OnAcceptReady() {
     ConnectionHost& host = *this;  // conversion is private outside members
     connections_.emplace(
         id, std::make_unique<Connection>(fd, id, loop_, host,
-                                         config_.connection, PeerName(addr)));
+                                         config_.connection, PeerName(addr),
+                                         frame_pool_));
     ++stats_.accepted;
     Inc(tel_accepted_);
     Set(tel_active_, static_cast<double>(connections_.size()));
@@ -197,8 +198,8 @@ void OsdServer::OnAcceptReady() {
   }
 }
 
-std::vector<uint8_t> OsdServer::OnFrame(Connection& conn,
-                                        std::vector<uint8_t> payload) {
+FramePayload OsdServer::OnFrame(Connection& conn,
+                                std::span<const uint8_t> payload) {
   ++stats_.requests;
   Inc(tel_requests_);
   auto decoded = DecodeCommand(payload);
@@ -213,7 +214,9 @@ std::vector<uint8_t> OsdServer::OnFrame(Connection& conn,
     OsdResponse err;
     err.sense = SenseCode::kFail;
     ++stats_.responses;
-    return EncodeResponse(err);
+    EncodedResponseParts p = EncodeResponseParts(std::move(err));
+    return FramePayload{std::move(p.head), std::move(p.body),
+                        std::move(p.tail)};
   }
   // Device time starts when the command lands at the target, as with the
   // simulated link; the server stamps its own monotonic clock.
@@ -227,7 +230,10 @@ std::vector<uint8_t> OsdServer::OnFrame(Connection& conn,
     default: Observe(tel_lat_other_, service_us); break;
   }
   ++stats_.responses;
-  return EncodeResponse(resp);
+  // The bulk data buffer is moved through EncodeResponseParts into the
+  // frame queue's body span — no payload copy between cache and kernel.
+  EncodedResponseParts p = EncodeResponseParts(std::move(resp));
+  return FramePayload{std::move(p.head), std::move(p.body), std::move(p.tail)};
 }
 
 void OsdServer::OnCorruptFrame(Connection& conn, FrameStatus status) {

@@ -90,8 +90,8 @@ class OsdServer final : private ConnectionHost {
 
  private:
   // ConnectionHost:
-  std::vector<uint8_t> OnFrame(Connection& conn,
-                               std::vector<uint8_t> payload) override;
+  FramePayload OnFrame(Connection& conn,
+                       std::span<const uint8_t> payload) override;
   void OnCorruptFrame(Connection& conn, FrameStatus status) override;
   void OnBytes(uint64_t bytes_in, uint64_t bytes_out) override;
   void OnClose(Connection& conn, std::string_view reason) override;
@@ -105,6 +105,7 @@ class OsdServer final : private ConnectionHost {
   OsdTarget& target_;
   OsdServerConfig config_;
   EventLoop loop_;
+  FrameMetaPool frame_pool_;  ///< response frame metadata, shared by all conns
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::map<uint64_t, std::unique_ptr<Connection>> connections_;

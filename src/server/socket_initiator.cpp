@@ -7,6 +7,7 @@
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -143,10 +144,36 @@ Status SocketInitiator::Connect(const std::string& host, uint16_t port) {
   return Status::Ok();
 }
 
-Status SocketInitiator::SendBytes(const uint8_t* data, size_t len) {
+Status SocketInitiator::SendFramed(std::span<const uint8_t> payload) {
+  uint8_t header[kFrameHeaderBytes];
+  uint8_t trailer[kFrameTrailerBytes];
+  EncodeFrameHeader(header, payload.size());
+  EncodeFrameTrailer(trailer, payload);
+  iovec iov[3] = {
+      {header, sizeof(header)},
+      {const_cast<uint8_t*>(payload.data()), payload.size()},
+      {trailer, sizeof(trailer)},
+  };
+  size_t total = FramedSize(payload.size());
   size_t off = 0;
-  while (off < len) {
-    ssize_t n = send(fd_, data + off, len - off, MSG_NOSIGNAL);
+  size_t first = 0;
+  while (off < total) {
+    // Advance the iovec window past fully sent entries; resume mid-entry
+    // after a partial send.
+    size_t skip = off;
+    while (skip >= iov[first].iov_len) {
+      skip -= iov[first].iov_len;
+      ++first;
+    }
+    iovec window[3];
+    size_t n_iov = 0;
+    for (size_t i = first; i < 3; ++i, ++n_iov) window[n_iov] = iov[i];
+    window[0].iov_base = static_cast<uint8_t*>(window[0].iov_base) + skip;
+    window[0].iov_len -= skip;
+    msghdr msg{};
+    msg.msg_iov = window;
+    msg.msg_iovlen = n_iov;
+    ssize_t n = sendmsg(fd_, &msg, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<size_t>(n);
       continue;
@@ -155,8 +182,8 @@ Status SocketInitiator::SendBytes(const uint8_t* data, size_t len) {
     return Status{ErrorCode::kUnavailable,
                   std::string("send: ") + std::strerror(errno)};
   }
-  stats_.bytes_sent += len;
-  Inc(tel_bytes_sent_, len);
+  stats_.bytes_sent += total;
+  Inc(tel_bytes_sent_, total);
   return Status::Ok();
 }
 
@@ -164,17 +191,18 @@ Status SocketInitiator::Send(const OsdCommand& command) {
   if (fd_ < 0) return Status{ErrorCode::kUnavailable, "not connected"};
   ++stats_.commands;
   Inc(tel_commands_);
-  std::vector<uint8_t> frame = EncodeFrame(EncodeCommand(command));
-  REO_RETURN_IF_ERROR(SendBytes(frame.data(), frame.size()));
+  REO_RETURN_IF_ERROR(SendFramed(EncodeCommand(command)));
   ++stats_.frames_sent;
   return Status::Ok();
 }
 
 Result<OsdResponse> SocketInitiator::Receive() {
   if (fd_ < 0) return Status{ErrorCode::kUnavailable, "not connected"};
-  std::vector<uint8_t> payload;
+  std::span<const uint8_t> payload;
   for (;;) {
-    FrameStatus st = decoder_.Next(&payload);
+    // The view stays valid until the next Feed(); the response is decoded
+    // from it in place below, before any further read.
+    FrameStatus st = decoder_.NextView(&payload);
     if (st == FrameStatus::kFrame) break;
     if (st == FrameStatus::kCrcMismatch) {
       ++stats_.crc_errors;

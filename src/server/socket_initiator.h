@@ -83,7 +83,10 @@ class SocketInitiator {
   void AttachTelemetry(MetricRegistry& registry);
 
  private:
-  Status SendBytes(const uint8_t* data, size_t len);
+  /// One gathered sendmsg of header + payload + CRC trailer: the frame
+  /// goes out of the encode buffer in place, never copied into a staging
+  /// vector.
+  Status SendFramed(std::span<const uint8_t> payload);
 
   int fd_ = -1;
   SocketInitiatorConfig config_;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <set>
 #include <thread>
 
@@ -117,6 +118,40 @@ TEST(Crc32cTest, DetectsSingleBitFlip) {
   }
 }
 
+// Differential: the dispatched path (SSE4.2 on capable CPUs) must agree with
+// the table-driven portable path over every alignment of the 8/4/1-byte
+// hardware tail handling — unaligned starts, odd lengths 0..64, and
+// multi-chunk seeded continuation.
+TEST(Crc32cTest, DispatchedMatchesPortable) {
+  Pcg32 rng(11);
+  std::vector<uint8_t> backing(64 + 13);
+  for (auto& b : backing) b = static_cast<uint8_t>(rng.Next());
+  for (size_t off = 0; off < 13; ++off) {
+    for (size_t len = 0; len + off <= backing.size() && len <= 64; ++len) {
+      std::span<const uint8_t> data(backing.data() + off, len);
+      ASSERT_EQ(Crc32c(data), Crc32cPortable(data))
+          << "off=" << off << " len=" << len;
+    }
+  }
+}
+
+TEST(Crc32cTest, SeededContinuationMatchesWholeBuffer) {
+  Pcg32 rng(12);
+  std::vector<uint8_t> buf(1024);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.Next());
+  uint32_t whole = Crc32c(buf);
+  // Split at awkward points: the seeded continuation must match computing the
+  // whole buffer in one call, on both paths.
+  for (size_t split : {size_t{1}, size_t{7}, size_t{63}, size_t{512},
+                       size_t{1023}}) {
+    std::span<const uint8_t> head(buf.data(), split);
+    std::span<const uint8_t> tail(buf.data() + split, buf.size() - split);
+    EXPECT_EQ(Crc32c(tail, Crc32c(head)), whole) << "split=" << split;
+    EXPECT_EQ(Crc32cPortable(tail, Crc32cPortable(head)), whole)
+        << "split=" << split;
+  }
+}
+
 // --- Pcg32 ------------------------------------------------------------------
 
 TEST(Pcg32Test, Deterministic) {
@@ -213,6 +248,62 @@ TEST(StatAccumulatorTest, Merge) {
   EXPECT_EQ(a.count(), 3u);
   EXPECT_DOUBLE_EQ(a.mean(), 3.0);
   EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+// The bit-scan bucketing must agree with the original log2 formulation for
+// every double. Exhaustive over the sensitive inputs: the exact nominal
+// boundary of every bucket and its neighbouring representable doubles,
+// every exact power of two in range, the sub-1.0 floor, and the overflow
+// clamp; plus a broad random sweep.
+TEST(HistogramTest, BucketForMatchesReferenceAtAllBoundaries) {
+  for (int b = 0; b < Histogram::kBuckets + 8; ++b) {
+    double edge = std::exp2(static_cast<double>(b) / 8.0);
+    double probes[] = {
+        std::nextafter(edge, 0.0), edge,
+        std::nextafter(edge, std::numeric_limits<double>::infinity())};
+    for (double v : probes) {
+      ASSERT_EQ(Histogram::BucketFor(v), Histogram::BucketForReference(v))
+          << "bucket edge " << b << " v=" << std::hexfloat << v;
+    }
+  }
+}
+
+TEST(HistogramTest, BucketForMatchesReferenceAtPowersOfTwo) {
+  for (int e = 0; e <= 40; ++e) {
+    double p = std::exp2(static_cast<double>(e));
+    for (double v :
+         {std::nextafter(p, 0.0), p,
+          std::nextafter(p, std::numeric_limits<double>::infinity())}) {
+      ASSERT_EQ(Histogram::BucketFor(v), Histogram::BucketForReference(v))
+          << "2^" << e << " v=" << std::hexfloat << v;
+    }
+  }
+}
+
+TEST(HistogramTest, BucketForMatchesReferenceBelowOneAndAtClamp) {
+  for (double v : {0.0, 1e-300, 0.25, 0.999999, 1.0}) {
+    EXPECT_EQ(Histogram::BucketFor(v), 0);
+    EXPECT_EQ(Histogram::BucketForReference(v), 0);
+  }
+  // Values past bucket 255's lower edge all clamp into the overflow bucket.
+  for (double v : {std::exp2(254.0 / 8.0), std::exp2(32.0), std::exp2(40.0),
+                   1e30, std::numeric_limits<double>::max()}) {
+    ASSERT_EQ(Histogram::BucketFor(v), Histogram::BucketForReference(v))
+        << std::hexfloat << v;
+  }
+  EXPECT_EQ(Histogram::BucketFor(1e30), Histogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, BucketForMatchesReferenceRandomSweep) {
+  Pcg32 rng(13);
+  for (int i = 0; i < 200000; ++i) {
+    // Log-uniform over [2^-2, 2^38): exercises every octave the histogram
+    // covers plus the clamp region.
+    double e = -2.0 + 40.0 * rng.NextDouble();
+    double v = std::exp2(e) * (0.5 + rng.NextDouble());
+    ASSERT_EQ(Histogram::BucketFor(v), Histogram::BucketForReference(v))
+        << std::hexfloat << v;
+  }
 }
 
 TEST(HistogramTest, MeanExact) {

@@ -120,6 +120,40 @@ TEST(Gf256Test, MulBufMatchesScalar) {
   }
 }
 
+// Differential: the dispatched kernels (SSSE3 pshufb on capable CPUs) must be
+// byte-identical to the scalar reference for every coefficient, across
+// unaligned starts, odd lengths spanning the 16-byte vector width, and the
+// sub-cutover sizes that stay scalar.
+TEST(Gf256Test, DispatchedKernelsMatchScalarExhaustively) {
+  Pcg32 rng(7);
+  constexpr size_t kMax = 4096 + 19;
+  std::vector<uint8_t> backing_src(kMax + 16), backing_dst(kMax + 16);
+  for (auto& v : backing_src) v = static_cast<uint8_t>(rng.Next());
+  for (auto& v : backing_dst) v = static_cast<uint8_t>(rng.Next());
+  const size_t lens[] = {0, 1, 15, 16, 17, 31, 32, 33, 47, 63, 64, 100, 4096};
+  const size_t offsets[] = {0, 1, 7, 13};
+  for (int c = 0; c < 256; ++c) {
+    for (size_t len : lens) {
+      for (size_t off : offsets) {
+        std::span<const uint8_t> src(backing_src.data() + off, len);
+        std::vector<uint8_t> scalar_acc(backing_dst.begin() + off,
+                                        backing_dst.begin() + off + len);
+        std::vector<uint8_t> simd_acc = scalar_acc;
+        gf256::MulAccScalar(scalar_acc, src, static_cast<uint8_t>(c));
+        gf256::MulAcc(simd_acc, src, static_cast<uint8_t>(c));
+        ASSERT_EQ(simd_acc, scalar_acc)
+            << "MulAcc c=" << c << " len=" << len << " off=" << off;
+
+        std::vector<uint8_t> scalar_buf(len, 0xAA), simd_buf(len, 0x55);
+        gf256::MulBufScalar(scalar_buf, src, static_cast<uint8_t>(c));
+        gf256::MulBuf(simd_buf, src, static_cast<uint8_t>(c));
+        ASSERT_EQ(simd_buf, scalar_buf)
+            << "MulBuf c=" << c << " len=" << len << " off=" << off;
+      }
+    }
+  }
+}
+
 // --- Matrix -------------------------------------------------------------------
 
 TEST(GfMatrixTest, IdentityMultiply) {

@@ -1,0 +1,73 @@
+// Pins the reo_loadgen exit-code precedence (tools/loadgen_exit.h). The CI
+// smoke jobs branch on these codes, so every cell of the policy matrix is
+// asserted — in particular that a fatal worker fails the run even in kill
+// mode (the regression: kill-mode success used to be checked first, so a
+// run whose workers never connected exited 0 and CI passed on a dead
+// worker).
+#include <gtest/gtest.h>
+
+#include "loadgen_exit.h"
+
+namespace reo::loadgen {
+namespace {
+
+RunOutcome Clean() { return RunOutcome{}; }
+
+TEST(LoadgenExitTest, CleanRunIsZero) { EXPECT_EQ(ExitCode(Clean()), 0); }
+
+TEST(LoadgenExitTest, FatalWorkerIsOne) {
+  RunOutcome o = Clean();
+  o.worker_fatal = true;
+  EXPECT_EQ(ExitCode(o), 1);
+}
+
+TEST(LoadgenExitTest, FatalWorkerBeatsKillModeSuccess) {
+  // The regression this policy exists for: a worker that died fatally
+  // (e.g. could never connect) must fail the run even when the SIGKILL
+  // was delivered.
+  RunOutcome o = Clean();
+  o.kill_mode = true;
+  o.killed = true;
+  o.worker_fatal = true;
+  EXPECT_EQ(ExitCode(o), 1);
+}
+
+TEST(LoadgenExitTest, KillDeliveredIsZeroDespiteWireNoise) {
+  // After the SIGKILL, torn responses and dropped connections are
+  // expected; the wire/verify gates must not apply.
+  RunOutcome o = Clean();
+  o.kill_mode = true;
+  o.killed = true;
+  o.wire_errors = 7;
+  o.verify_errors = 3;
+  EXPECT_EQ(ExitCode(o), 0);
+}
+
+TEST(LoadgenExitTest, KillNeverDeliveredIsOne) {
+  RunOutcome o = Clean();
+  o.kill_mode = true;
+  o.killed = false;
+  EXPECT_EQ(ExitCode(o), 1);
+}
+
+TEST(LoadgenExitTest, WireCorruptionIsTwo) {
+  RunOutcome o = Clean();
+  o.wire_errors = 1;
+  EXPECT_EQ(ExitCode(o), 2);
+}
+
+TEST(LoadgenExitTest, WireCorruptionOutranksVerifyErrors) {
+  RunOutcome o = Clean();
+  o.wire_errors = 1;
+  o.verify_errors = 5;
+  EXPECT_EQ(ExitCode(o), 2);
+}
+
+TEST(LoadgenExitTest, VerifyErrorsAreThree) {
+  RunOutcome o = Clean();
+  o.verify_errors = 1;
+  EXPECT_EQ(ExitCode(o), 3);
+}
+
+}  // namespace
+}  // namespace reo::loadgen

@@ -16,8 +16,11 @@
 
 #include "osd/osd_target.h"
 #include "osd/transport.h"
+#include <sys/uio.h>
+
 #include "server/event_loop.h"
 #include "server/frame.h"
+#include "server/frame_queue.h"
 #include "server/osd_server.h"
 #include "server/socket_initiator.h"
 #include "telemetry/metric_registry.h"
@@ -553,6 +556,123 @@ TEST(FrameCodecTest, CrcMismatchIsPerFrameNotSticky) {
   EXPECT_EQ(decoder.Next(&out), FrameStatus::kCrcMismatch);
   ASSERT_EQ(decoder.Next(&out), FrameStatus::kFrame);
   EXPECT_EQ(out, good);
+}
+
+// Regression for the per-call exact reserve() in AppendFrame: it capped
+// capacity at exactly the bytes needed, so every append in a batch
+// reallocated and copied the whole buffer (quadratic). With geometric
+// growth, N appends may only change capacity O(log N) times.
+TEST(FrameCodecTest, BatchAppendReallocatesLogarithmically) {
+  constexpr int kFrames = 1000;
+  std::vector<uint8_t> payload(100, 0xCD);
+  std::vector<uint8_t> wire;
+  int capacity_changes = 0;
+  size_t cap = wire.capacity();
+  for (int i = 0; i < kFrames; ++i) {
+    AppendFrame(wire, payload);
+    if (wire.capacity() != cap) {
+      cap = wire.capacity();
+      ++capacity_changes;
+    }
+  }
+  // log2(1000 * 112B) ≈ 17; leave slack for implementation growth factors.
+  EXPECT_LE(capacity_changes, 40) << "quadratic append is back";
+  // And the bytes are still a valid frame stream.
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  std::vector<uint8_t> out;
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_EQ(decoder.Next(&out), FrameStatus::kFrame);
+    ASSERT_EQ(out, payload);
+  }
+}
+
+// --- FrameQueue --------------------------------------------------------------
+
+namespace {
+
+// Flattens whatever Gather currently exposes, honoring a byte budget, the
+// way DoWrite's sendmsg would consume it.
+std::vector<uint8_t> DrainQueue(FrameQueue& q, size_t chunk) {
+  std::vector<uint8_t> all;
+  while (!q.empty()) {
+    struct iovec iov[4];
+    size_t n_iov = q.Gather(iov, 4);
+    if (n_iov == 0) break;
+    size_t took = 0;
+    for (size_t i = 0; i < n_iov && took < chunk; ++i) {
+      size_t n = std::min(chunk - took, iov[i].iov_len);
+      const uint8_t* p = static_cast<const uint8_t*>(iov[i].iov_base);
+      all.insert(all.end(), p, p + n);
+      took += n;
+    }
+    q.Consume(took);
+  }
+  return all;
+}
+
+}  // namespace
+
+TEST(FrameQueueTest, GatheredBytesMatchEncodeFrame) {
+  FrameMetaPool pool;
+  FrameQueue q(pool);
+  std::vector<uint8_t> expect;
+  for (uint8_t i = 0; i < 7; ++i) {
+    std::vector<uint8_t> payload(i * 13 + 1, i);
+    AppendFrame(expect, payload);
+    q.Push(std::move(payload));
+  }
+  EXPECT_EQ(q.pending_bytes(), expect.size());
+  // Drain in awkward 5-byte slices so Consume repeatedly stops mid-header,
+  // mid-payload, and mid-trailer.
+  std::vector<uint8_t> got = DrainQueue(q, 5);
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(q.pending_bytes(), 0u);
+}
+
+TEST(FrameQueueTest, MultiPartPushMatchesFlatFrame) {
+  // A head/body/tail push must put the exact bytes of
+  // EncodeFrame(head‖body‖tail) on the wire — including the CRC trailer,
+  // which is built by seeded continuation across the parts.
+  FrameMetaPool pool;
+  FrameQueue q(pool);
+  std::vector<uint8_t> expect;
+  struct Case {
+    size_t head, body, tail;
+  };
+  // Cover empty parts in every position (the 5-span gather skips them).
+  const Case cases[] = {{21, 1000, 11}, {0, 64, 0}, {8, 0, 8},
+                        {0, 0, 5},      {3, 0, 0},  {0, 17, 9}};
+  uint8_t fill = 1;
+  for (const Case& c : cases) {
+    FramePayload p;
+    p.head.assign(c.head, fill++);
+    p.body.assign(c.body, fill++);
+    p.tail.assign(c.tail, fill++);
+    std::vector<uint8_t> flat = p.head;
+    flat.insert(flat.end(), p.body.begin(), p.body.end());
+    flat.insert(flat.end(), p.tail.begin(), p.tail.end());
+    AppendFrame(expect, flat);
+    EXPECT_EQ(p.size(), flat.size());
+    q.Push(std::move(p));
+  }
+  EXPECT_EQ(q.pending_bytes(), expect.size());
+  // Awkward 7-byte slices stop mid-part and across part boundaries.
+  EXPECT_EQ(DrainQueue(q, 7), expect);
+  EXPECT_EQ(q.pending_bytes(), 0u);
+}
+
+TEST(FrameQueueTest, MetaBlocksAreRecycled) {
+  FrameMetaPool pool;
+  FrameQueue q(pool);
+  for (int round = 0; round < 10; ++round) {
+    q.Push(std::vector<uint8_t>(64, 0xAB));
+    DrainQueue(q, 1 << 20);
+  }
+  // One live frame at a time: the pool should have allocated once and
+  // served every later Push from the free list.
+  EXPECT_EQ(pool.allocated(), 1u);
+  EXPECT_EQ(pool.reused(), 9u);
 }
 
 // --- Timer wheel unit tests --------------------------------------------------

@@ -63,6 +63,42 @@ TEST(TransportWireTest, ResponseRoundTrip) {
   EXPECT_EQ(back->list, r.list);
 }
 
+TEST(TransportWireTest, ResponsePartsConcatenateToFlatEncoding) {
+  // The scatter-gather encoder must be byte-identical to EncodeResponse:
+  // head‖body‖tail == flat wire, with the data buffer moved into body.
+  OsdResponse r;
+  r.sense = SenseCode::kRedundancyFull;
+  r.complete = 42424242;
+  r.degraded = true;
+  r.data.resize(1000);
+  for (size_t i = 0; i < r.data.size(); ++i) {
+    r.data[i] = static_cast<uint8_t>(i * 37 + 5);
+  }
+  r.attr_value = {1, 2, 3};
+  r.list = {0x10000, 0x10004, 0x20000};
+  auto flat = EncodeResponse(r);
+
+  OsdResponse moved = r;  // keep r intact for the flat encode comparison
+  auto parts = EncodeResponseParts(std::move(moved));
+  EXPECT_EQ(parts.body, r.data);  // moved, not re-encoded
+
+  std::vector<uint8_t> joined = parts.head;
+  joined.insert(joined.end(), parts.body.begin(), parts.body.end());
+  joined.insert(joined.end(), parts.tail.begin(), parts.tail.end());
+  EXPECT_EQ(joined, flat);
+
+  // And empty optional fields still concatenate correctly.
+  OsdResponse bare;
+  auto bare_flat = EncodeResponse(bare);
+  auto bare_parts = EncodeResponseParts(std::move(bare));
+  std::vector<uint8_t> bare_joined = bare_parts.head;
+  bare_joined.insert(bare_joined.end(), bare_parts.body.begin(),
+                     bare_parts.body.end());
+  bare_joined.insert(bare_joined.end(), bare_parts.tail.begin(),
+                     bare_parts.tail.end());
+  EXPECT_EQ(bare_joined, bare_flat);
+}
+
 TEST(TransportWireTest, NegativeSenseSurvivesWire) {
   OsdResponse r;
   r.sense = SenseCode::kFail;  // -1

@@ -1,0 +1,138 @@
+// bench_validate: checks that a BENCH_serve.json report (as written by
+// reo_loadgen --bench-out or openloop_latency --bench-out) is well-formed
+// JSON, carries the expected schema tag, and has every required field with
+// a sane value. Dependency-free (same pattern as trace_validate); used by
+// the CI bench-smoke job. Exits non-zero with a message on any problem.
+//
+//   bench_validate BENCH_serve.json [--min-ops N] [--min-throughput F]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/file_util.h"
+#include "telemetry/bench_json.h"
+#include "trace/json_lint.h"
+
+using namespace reo;
+
+namespace {
+
+/// Finds `"key":` at any nesting level and parses the number after it.
+/// The schema is flat and its keys are unique, so this is exact for
+/// well-formed reports (well-formedness is established by LintJson first).
+bool FindNumber(const std::string& text, const char* key, double* out) {
+  std::string needle = std::string("\"") + key + "\":";
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* p = text.c_str() + pos + needle.size();
+  char* end = nullptr;
+  double v = std::strtod(p, &end);
+  if (end == p) return false;
+  *out = v;
+  return true;
+}
+
+bool HasStringField(const std::string& text, const char* key) {
+  std::string needle = std::string("\"") + key + "\": \"";
+  return text.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  double min_ops = 1;
+  double min_throughput = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--min-ops")) {
+      min_ops = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--min-throughput")) {
+      min_throughput = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      std::printf("usage: %s FILE [--min-ops N] [--min-throughput F]\n",
+                  argv[0]);
+      return 0;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s FILE [--min-ops N] [--min-throughput F]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path,
+                 contents.status().to_string().c_str());
+    return 1;
+  }
+  JsonLintResult lint = LintJson(*contents);
+  if (!lint.ok) {
+    std::fprintf(stderr, "%s: invalid JSON at byte %zu: %s\n", path,
+                 lint.error_offset, lint.error.c_str());
+    return 1;
+  }
+  const std::string& text = *contents;
+  std::string schema_tag =
+      std::string("\"schema\": \"") + kBenchServeSchema + "\"";
+  if (text.find(schema_tag) == std::string::npos) {
+    std::fprintf(stderr, "%s: missing schema tag %s\n", path,
+                 kBenchServeSchema);
+    return 1;
+  }
+  for (const char* key : {"bench", "workload"}) {
+    if (!HasStringField(text, key)) {
+      std::fprintf(stderr, "%s: missing string field \"%s\"\n", path, key);
+      return 1;
+    }
+  }
+  struct Field {
+    const char* key;
+    double min;  ///< inclusive lower bound for a sane report
+  };
+  const Field required[] = {
+      {"ops", min_ops},
+      {"wall_seconds", 0.0},
+      {"cpu_seconds", 0.0},
+      {"throughput_ops_per_sec", min_throughput},
+      {"p50", 0.0},
+      {"p99", 0.0},
+      {"p999", 0.0},
+      {"bytes_per_op", 0.0},
+      {"allocs_per_op", -1.0},  // -1 = legitimately unmeasured
+  };
+  for (const Field& f : required) {
+    double v = 0;
+    if (!FindNumber(text, f.key, &v)) {
+      std::fprintf(stderr, "%s: missing numeric field \"%s\"\n", path, f.key);
+      return 1;
+    }
+    if (v < f.min) {
+      std::fprintf(stderr, "%s: field \"%s\" = %g below minimum %g\n", path,
+                   f.key, v, f.min);
+      return 1;
+    }
+  }
+  double p50 = 0, p99 = 0;
+  (void)FindNumber(text, "p50", &p50);
+  (void)FindNumber(text, "p99", &p99);
+  if (p99 < p50) {
+    std::fprintf(stderr, "%s: p99 (%g) < p50 (%g)\n", path, p99, p50);
+    return 1;
+  }
+  std::printf("%s: valid %s report\n", path, kBenchServeSchema);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Exit-code policy for reo_loadgen, factored out as a pure function so the
+// precedence is unit-testable. The CI smoke jobs treat the process exit
+// code as the verdict, so the ordering here is load-bearing:
+//
+//   1  a worker died with a fatal status (connect failure, connection lost
+//      outside kill mode) — even in kill mode. Historically kill-mode
+//      success was checked first, so a run whose workers never connected
+//      could still exit 0 and CI would silently pass on a dead worker.
+//   1  kill mode where the SIGKILL was never delivered.
+//   0  kill mode with the kill delivered: dropped connections and torn
+//      responses after the SIGKILL are expected, so the wire/verify gates
+//      below do not apply.
+//   2  wire corruption (CRC / framing / decode errors).
+//   3  read-payload verification mismatches.
+//   0  clean run (chaos drain-verify, when enabled, runs after this and
+//      has its own codes).
+#pragma once
+
+#include <cstdint>
+
+namespace reo::loadgen {
+
+struct RunOutcome {
+  bool worker_fatal = false;  ///< any worker finished with a fatal status
+  bool kill_mode = false;     ///< --kill-after was requested
+  bool killed = false;        ///< the SIGKILL was actually delivered
+  uint64_t wire_errors = 0;   ///< crc + frame + decode errors
+  uint64_t verify_errors = 0;
+};
+
+inline int ExitCode(const RunOutcome& o) {
+  if (o.worker_fatal) return 1;
+  if (o.kill_mode) return o.killed ? 0 : 1;
+  if (o.wire_errors > 0) return 2;
+  if (o.verify_errors > 0) return 3;
+  return 0;
+}
+
+}  // namespace reo::loadgen

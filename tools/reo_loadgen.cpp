@@ -23,6 +23,7 @@
 //   # the correct contents (exit 4 on any loss):
 //   reo_loadgen --port N --verify-manifest acks.txt
 #include <signal.h>
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <atomic>
@@ -31,6 +32,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <new>
 #include <set>
 #include <sstream>
 #include <string>
@@ -42,13 +44,63 @@
 #include "common/rng.h"
 #include "common/zipf.h"
 #include "fault/fault_spec.h"
+#include "loadgen_exit.h"
 #include "osd/control_protocol.h"
 #include "server/socket_initiator.h"
+#include "telemetry/bench_json.h"
 #include "telemetry/metric_registry.h"
+
+// --- Allocation counting ----------------------------------------------------
+//
+// The bench report's allocations/op comes from a global operator new
+// counter: every heap allocation in this binary (workers, framing, the
+// initiator) bumps it. Relaxed atomics keep the overhead to one uncontended
+// RMW per allocation — noise next to malloc itself.
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& nt) noexcept {
+  return ::operator new(size, nt);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 using namespace reo;
 
 namespace {
+
+/// user+system CPU seconds consumed by this process so far.
+double ProcessCpuSeconds() {
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) +
+           static_cast<double>(t.tv_usec) / 1e6;
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+}
 
 struct Options {
   std::string host = "127.0.0.1";
@@ -62,6 +114,7 @@ struct Options {
   uint64_t seed = 42;
   bool verify = true;
   std::string stats_out;
+  std::string bench_out;  ///< write BENCH_serve.json here (see bench_json.h)
 
   // Crash-testing modes.
   int write_class = -1;        ///< classify every object via #SETID# (-1: off)
@@ -150,8 +203,27 @@ OsdCommand MakeWrite(uint32_t rank, uint64_t bytes) {
   return c;
 }
 
-void Worker(const Options& opt, const ZipfSampler& zipf, size_t index,
-            WorkerResult* out) {
+/// Per-rank payload cache for the timed run. PayloadFor is deterministic
+/// but costs a PCG call per byte — regenerating 64 KiB per read-verify
+/// (and per write) burned more client CPU than the whole wire round trip,
+/// so the harness was largely measuring itself. Built once before the
+/// clock starts; shared read-only across workers.
+class PayloadCache {
+ public:
+  PayloadCache(uint32_t objects, uint64_t bytes) {
+    payloads_.reserve(objects);
+    for (uint32_t rank = 0; rank < objects; ++rank) {
+      payloads_.push_back(PayloadFor(rank, bytes));
+    }
+  }
+  std::span<const uint8_t> Of(uint32_t rank) const { return payloads_[rank]; }
+
+ private:
+  std::vector<std::vector<uint8_t>> payloads_;
+};
+
+void Worker(const Options& opt, const ZipfSampler& zipf,
+            const PayloadCache& payloads, size_t index, WorkerResult* out) {
   SocketInitiator client(opt.chaos
                              ? ChaosInitiatorConfig(opt, 0x100 + index)
                              : SocketInitiatorConfig{});
@@ -166,7 +238,11 @@ void Worker(const Options& opt, const ZipfSampler& zipf, size_t index,
     bool is_write = rng.NextDouble() < opt.write_ratio;
     OsdCommand cmd;
     if (is_write) {
-      cmd = MakeWrite(rank, opt.object_bytes);
+      std::span<const uint8_t> p = payloads.Of(rank);
+      cmd.op = OsdOp::kWrite;
+      cmd.id = IdForRank(rank);
+      cmd.logical_size = p.size();
+      cmd.data.assign(p.begin(), p.end());
     } else {
       cmd.op = OsdOp::kRead;
       cmd.id = IdForRank(rank);
@@ -204,8 +280,9 @@ void Worker(const Options& opt, const ZipfSampler& zipf, size_t index,
       if (!g_killed.load()) ++out->sense_errors;
     } else if (!is_write && opt.verify) {
       // The server may return chunk-padded payloads; the logical-size
-      // prefix must match exactly.
-      std::vector<uint8_t> want = PayloadFor(rank, opt.object_bytes);
+      // prefix must match exactly. Compare against the cache — no
+      // allocation or regeneration on the timed path.
+      std::span<const uint8_t> want = payloads.Of(rank);
       if (resp.data.size() < want.size() ||
           !std::equal(want.begin(), want.end(), resp.data.begin())) {
         ++out->verify_errors;
@@ -399,6 +476,7 @@ void Usage(const char* argv0) {
       "  --seed N             RNG seed (default 42)\n"
       "  --no-verify          skip read-payload content verification\n"
       "  --stats-out PATH     write the telemetry snapshot JSON\n"
+      "  --bench-out PATH     write the BENCH_serve.json bench report\n"
       "crash testing:\n"
       "  --write-class C      classify objects into class C via #SETID#\n"
       "  --kill-after N       SIGKILL the server after N acked burst writes\n"
@@ -438,6 +516,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--seed")) opt.seed = std::strtoull(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--no-verify")) opt.verify = false;
     else if (!std::strcmp(argv[i], "--stats-out")) opt.stats_out = next();
+    else if (!std::strcmp(argv[i], "--bench-out")) opt.bench_out = next();
     else if (!std::strcmp(argv[i], "--write-class")) opt.write_class = std::atoi(next());
     else if (!std::strcmp(argv[i], "--kill-after")) opt.kill_after = std::strtoull(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--kill-pid-file")) opt.kill_pid_file = next();
@@ -492,20 +571,26 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
 
   ZipfSampler zipf(opt.objects, opt.zipf_skew);
+  PayloadCache payloads(opt.objects, opt.object_bytes);
   std::vector<WorkerResult> results(opt.connections);
+  uint64_t allocs_before = g_allocations.load(std::memory_order_relaxed);
+  double cpu_before = ProcessCpuSeconds();
   auto bench_start = std::chrono::steady_clock::now();
   {
     std::vector<std::thread> threads;
     threads.reserve(opt.connections);
     for (size_t i = 0; i < opt.connections; ++i) {
-      threads.emplace_back(Worker, std::cref(opt), std::cref(zipf), i,
-                           &results[i]);
+      threads.emplace_back(Worker, std::cref(opt), std::cref(zipf),
+                           std::cref(payloads), i, &results[i]);
     }
     for (auto& t : threads) t.join();
   }
   double elapsed_sec = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - bench_start)
                            .count();
+  double cpu_sec = ProcessCpuSeconds() - cpu_before;
+  uint64_t allocs =
+      g_allocations.load(std::memory_order_relaxed) - allocs_before;
 
   // Merge the per-thread results into one registry; everything reported
   // below is read back out of its snapshot.
@@ -563,6 +648,48 @@ int main(int argc, char** argv) {
                 " (mean %.0f, max %.0f)\n",
                 lat->p50, lat->p99, lat->p999, lat->mean, lat->max);
   }
+  std::printf("cost: %.2f s CPU, %.1f allocations/op\n", cpu_sec,
+              total_ops > 0
+                  ? static_cast<double>(allocs) / static_cast<double>(total_ops)
+                  : 0.0);
+  if (!opt.bench_out.empty()) {
+    BenchServeReport report;
+    report.bench = "reo_loadgen";
+    char wl[160];
+    std::snprintf(wl, sizeof(wl),
+                  "%zuconn x %llureq, %u obj x %lluKiB, %.0f%% writes, "
+                  "zipf %.2f",
+                  opt.connections,
+                  static_cast<unsigned long long>(opt.requests), opt.objects,
+                  static_cast<unsigned long long>(opt.object_bytes >> 10),
+                  opt.write_ratio * 100, opt.zipf_skew);
+    report.workload = wl;
+    report.ops = total_ops;
+    report.wall_seconds = elapsed_sec;
+    report.cpu_seconds = cpu_sec;
+    report.throughput_ops_per_sec = ops_s ? ops_s->value : 0.0;
+    if (lat != nullptr) {
+      report.p50_us = lat->p50;
+      report.p99_us = lat->p99;
+      report.p999_us = lat->p999;
+    }
+    uint64_t wire_bytes = bytes_sent.value() + bytes_received.value();
+    report.bytes_per_op =
+        total_ops > 0
+            ? static_cast<double>(wire_bytes) / static_cast<double>(total_ops)
+            : 0.0;
+    report.allocs_per_op =
+        total_ops > 0
+            ? static_cast<double>(allocs) / static_cast<double>(total_ops)
+            : 0.0;
+    Status wf = WriteBenchServeJson(opt.bench_out, report);
+    if (!wf.ok()) {
+      std::fprintf(stderr, "bench report write failed: %s\n",
+                   wf.to_string().c_str());
+      return 1;
+    }
+    std::printf("bench report -> %s\n", opt.bench_out.c_str());
+  }
   std::printf("errors: %llu sense, %llu verify, wire %llu crc / %llu frame"
               " / %llu decode\n",
               static_cast<unsigned long long>(sense_errors.value()),
@@ -596,23 +723,25 @@ int main(int argc, char** argv) {
     std::printf("ack manifest (%zu ranks) -> %s\n", acked.size(),
                 opt.ack_manifest.c_str());
   }
-  if (opt.kill_after > 0) {
-    // Kill mode succeeds iff the kill was delivered; dropped connections
-    // and truncated responses after the SIGKILL are expected, so the
-    // wire-corruption gates below do not apply.
-    if (!g_killed.load()) {
-      std::fprintf(stderr, "kill mode: server was never killed"
-                   " (fewer than %llu writes acked?)\n",
-                   static_cast<unsigned long long>(opt.kill_after));
-      return 1;
-    }
-    return 0;
+  // Verdict precedence lives in loadgen_exit.h so it is unit-tested; in
+  // particular a fatal worker fails the run even in kill mode (previously
+  // kill-mode success was checked first and masked dead workers).
+  loadgen::RunOutcome outcome;
+  outcome.worker_fatal = fatal != 0;
+  outcome.kill_mode = opt.kill_after > 0;
+  outcome.killed = g_killed.load();
+  outcome.wire_errors =
+      crc_errors.value() + frame_errors.value() + decode_errors.value();
+  outcome.verify_errors = verify_errors.value();
+  int code = loadgen::ExitCode(outcome);
+  if (outcome.kill_mode && !outcome.killed) {
+    std::fprintf(stderr, "kill mode: server was never killed"
+                 " (fewer than %llu writes acked?)\n",
+                 static_cast<unsigned long long>(opt.kill_after));
   }
-  if (fatal) return 1;
-  if (crc_errors.value() + frame_errors.value() + decode_errors.value() > 0) {
-    return 2;  // wire corruption: the CI smoke gate
-  }
-  if (verify_errors.value() > 0) return 3;
+  if (code != 0) return code;
+  // Kill mode ends here: the server is gone, there is nothing to drain.
+  if (outcome.kill_mode) return 0;
   if (opt.chaos) {
     std::set<uint32_t> acked(populate_acks.begin(), populate_acks.end());
     for (const WorkerResult& r : results) {
