@@ -30,7 +30,9 @@
 #include "persist/restore.h"
 #include "server/osd_server.h"
 #include "telemetry/metric_registry.h"
+#include "telemetry/time_series.h"
 #include "trace/event_log.h"
+#include "trace/tracer.h"
 
 using namespace reo;
 
@@ -59,6 +61,13 @@ void Usage(const char* argv0) {
       "  --idle-timeout-ms N  close idle connections (default 60000)\n"
       "  --stats-out PATH     write the telemetry snapshot JSON on exit\n"
       "  --events-out PATH    write the event log text on exit\n"
+      "  --telemetry on|off   metric registration + time series + in-band\n"
+      "                       STATS/SERIES admin data (default on; off\n"
+      "                       leaves only HEALTH/EVENTS answering)\n"
+      "  --trace-sample N     trace 1 in N requests into the per-stage\n"
+      "                       latency histograms; 0 disables (default 64)\n"
+      "  --series-window-ms N time-series window width (default 1000)\n"
+      "  --series-windows N   closed windows retained (default 300)\n"
       "  --data-dir PATH      durable cache state: data log + journal +\n"
       "                       checkpoints under PATH; restart recovers in\n"
       "                       class order 0->1->2->3 (default: in-memory)\n"
@@ -82,6 +91,10 @@ int main(int argc, char** argv) {
   std::string port_file, stats_out, events_out;
   PersistenceConfig persist_cfg;
   FaultSpec fault_spec;
+  bool telemetry_on = true;
+  uint64_t trace_sample = 64;
+  uint64_t series_window_ms = 1000;
+  size_t series_windows = 300;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -126,6 +139,22 @@ int main(int argc, char** argv) {
       stats_out = next();
     } else if (!std::strcmp(argv[i], "--events-out")) {
       events_out = next();
+    } else if (!std::strcmp(argv[i], "--telemetry")) {
+      std::string v = next();
+      if (v == "on") telemetry_on = true;
+      else if (v == "off") telemetry_on = false;
+      else {
+        std::fprintf(stderr, "--telemetry wants on|off, got %s\n", v.c_str());
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--trace-sample")) {
+      trace_sample = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--series-window-ms")) {
+      series_window_ms = std::strtoull(next(), nullptr, 10);
+      if (series_window_ms == 0) series_window_ms = 1;
+    } else if (!std::strcmp(argv[i], "--series-windows")) {
+      series_windows = std::strtoull(next(), nullptr, 10);
+      if (series_windows == 0) series_windows = 1;
     } else if (!std::strcmp(argv[i], "--data-dir")) {
       persist_cfg.data_dir = next();
     } else if (!std::strcmp(argv[i], "--fsync-batch")) {
@@ -167,10 +196,24 @@ int main(int argc, char** argv) {
 
   MetricRegistry telemetry;
   EventLog events;
-  array.AttachTelemetry(telemetry);
-  plane.AttachTelemetry(telemetry);
-  target.AttachTelemetry(telemetry);
+  if (telemetry_on) {
+    array.AttachTelemetry(telemetry);
+    plane.AttachTelemetry(telemetry);
+    target.AttachTelemetry(telemetry);
+  }
   plane.AttachEvents(events);
+
+  // Per-stage latency attribution: sampled request traces feed
+  // stage.<component>.span_us histograms. --trace-sample 0 turns it off.
+  Tracer tracer(TracerConfig{.sample_every = trace_sample});
+  bool tracing_on = telemetry_on && trace_sample > 0;
+  if (tracing_on) {
+    tracer.AttachStageMetrics(telemetry);
+    array.AttachTracing(tracer);
+    stripes.AttachTracing(tracer);
+    plane.AttachTracing(tracer);
+    target.AttachTracing(tracer);
+  }
 
   // Chaos testing: deterministic fault injection into the device layer.
   // The data plane's retry + in-place CRC repair is what keeps injected
@@ -246,8 +289,18 @@ int main(int argc, char** argv) {
   }
 
   OsdServer server(target, server_cfg);
-  server.AttachTelemetry(telemetry);
   server.AttachEvents(events);
+  // Live observability: per-window time series over the serving metrics,
+  // plus the in-band STATS/SERIES admin plane. HEALTH and EVENTS answer
+  // even with --telemetry off (dispatch does not depend on AttachAdmin).
+  TimeSeriesRing series(TimeSeriesConfig{
+      .window_ns = series_window_ms * 1'000'000, .capacity = series_windows});
+  if (telemetry_on) {
+    server.AttachTelemetry(telemetry);
+    TrackServingDefaults(telemetry, series, num_devices);
+    server.AttachAdmin(&telemetry, &series);
+  }
+  if (tracing_on) server.AttachTracing(tracer);
   Status st = server.Listen();
   if (!st.ok()) {
     std::fprintf(stderr, "listen failed: %s\n", st.to_string().c_str());

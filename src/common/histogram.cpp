@@ -117,6 +117,33 @@ void Histogram::Merge(const Histogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
+void Histogram::MergeBuckets(const uint64_t counts[], uint64_t total,
+                             double sum, double max) {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)] += counts[i];
+  }
+  total_ += total;
+  sum_ += sum;
+  max_ = std::max(max_, max);
+}
+
+Histogram Histogram::DeltaSince(const Histogram& prev) const {
+  Histogram delta;
+  uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    uint64_t now = buckets_[static_cast<size_t>(i)];
+    uint64_t before = prev.buckets_[static_cast<size_t>(i)];
+    // Clamp per bucket: a reset between snapshots must not wrap.
+    uint64_t d = now > before ? now - before : 0;
+    delta.buckets_[static_cast<size_t>(i)] = d;
+    total += d;
+  }
+  delta.total_ = total;
+  delta.sum_ = sum_ > prev.sum_ ? sum_ - prev.sum_ : 0.0;
+  delta.max_ = max_;  // cumulative (see header)
+  return delta;
+}
+
 void Histogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   total_ = 0;

@@ -40,6 +40,21 @@ class Histogram {
   void Merge(const Histogram& other);
   void Reset();
 
+  /// Bulk-merge primitive for external aggregators (the telemetry plane's
+  /// sharded histograms accumulate into atomic per-domain bucket arrays and
+  /// fold them into a plain Histogram at snapshot time): adds `counts`
+  /// (length kBuckets) to the buckets plus the raw moments in one call.
+  void MergeBuckets(const uint64_t counts[/*kBuckets*/], uint64_t total,
+                    double sum, double max);
+
+  /// Windowed-delta view: the samples added to `*this` since `prev` was
+  /// captured, assuming `prev` is an earlier snapshot of the same stream
+  /// (bucketwise monotone). Bucket counts and sum subtract; `max` cannot be
+  /// un-merged from a cumulative stream, so the delta carries the
+  /// cumulative max (documented approximation — per-window percentiles
+  /// interpolate inside log buckets and clamp at it).
+  Histogram DeltaSince(const Histogram& prev) const;
+
   uint64_t count() const { return total_; }
   double mean() const;
   double sum() const { return sum_; }
@@ -53,6 +68,9 @@ class Histogram {
   std::string Summary() const;
 
   static constexpr int kBuckets = 256;
+
+  /// Samples recorded in bucket `b` (external aggregators walk the layout).
+  uint64_t bucket_count(int b) const { return buckets_[static_cast<size_t>(b)]; }
 
   /// Bucket index for v: exponent bit-scan plus an exact-crossover threshold
   /// table, no libm call per sample. Agrees with BucketForReference for

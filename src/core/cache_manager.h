@@ -299,10 +299,10 @@ class CacheManager {
     Counter* backend_retry_attempts = nullptr;
     Counter* backend_retry_exhausted = nullptr;
     Counter* failslow_demotions = nullptr;
-    Histogram* hit_latency_us = nullptr;
-    Histogram* miss_latency_us = nullptr;
-    Histogram* degraded_latency_us = nullptr;
-    Histogram* write_latency_us = nullptr;
+    ShardedHistogram* hit_latency_us = nullptr;
+    ShardedHistogram* miss_latency_us = nullptr;
+    ShardedHistogram* degraded_latency_us = nullptr;
+    ShardedHistogram* write_latency_us = nullptr;
     Gauge* resident_bytes = nullptr;
     Gauge* resident_objects = nullptr;
     Gauge* h_hot = nullptr;

@@ -71,7 +71,7 @@ class RecoveryScheduler {
   // [class 0-3][0 = background, 1 = on-demand].
   Counter* tel_enqueues_ = nullptr;
   Counter* tel_rebuilds_[4][2] = {};
-  Histogram* tel_latency_[2] = {};
+  ShardedHistogram* tel_latency_[2] = {};
   Gauge* tel_depth_ = nullptr;
   Gauge* tel_pending_bytes_ = nullptr;
 };

@@ -16,6 +16,7 @@ OsdTarget::OsdTarget(DataPlane& data_plane) : data_plane_(data_plane) {}
 void OsdTarget::AttachTelemetry(MetricRegistry& registry) {
   tel_commands_ = &registry.GetCounter("osd.commands");
   tel_reads_ = &registry.GetCounter("osd.reads");
+  tel_read_misses_ = &registry.GetCounter("osd.read_misses");
   tel_writes_ = &registry.GetCounter("osd.writes");
   tel_control_ = &registry.GetCounter("osd.control_messages");
   tel_degraded_ = &registry.GetCounter("osd.degraded_reads");
@@ -223,7 +224,13 @@ OsdResponse OsdTarget::HandleWrite(const OsdCommand& cmd) {
 OsdResponse OsdTarget::HandleRead(const OsdCommand& cmd) {
   ++stats_.reads;
   Inc(tel_reads_);
-  if (!store_.Exists(cmd.id)) return MakeError(SenseCode::kFail);
+  if (!store_.Exists(cmd.id)) {
+    // A miss at the target is the serving path's hit-ratio signal (the
+    // standalone server has no cache manager in front of it).
+    ++stats_.read_misses;
+    Inc(tel_read_misses_);
+    return MakeError(SenseCode::kFail);
+  }
   auto rec = store_.Find(cmd.id);
   auto io = data_plane_.ReadObject(cmd.id, cmd.now);
   if (!io.ok()) return MakeError(SenseFromStatus(io.status()));

@@ -124,6 +124,7 @@ struct OsdResponse {
 struct OsdTargetStats {
   uint64_t commands = 0;
   uint64_t reads = 0;
+  uint64_t read_misses = 0;  ///< reads for oids the object index lacks
   uint64_t writes = 0;
   uint64_t control_messages = 0;
   uint64_t degraded_reads = 0;
@@ -166,6 +167,7 @@ class OsdTarget {
   // Telemetry (null when un-attached).
   Counter* tel_commands_ = nullptr;
   Counter* tel_reads_ = nullptr;
+  Counter* tel_read_misses_ = nullptr;
   Counter* tel_writes_ = nullptr;
   Counter* tel_control_ = nullptr;
   Counter* tel_degraded_ = nullptr;

@@ -1,0 +1,93 @@
+#include "server/admin_protocol.h"
+
+namespace reo {
+namespace {
+
+constexpr size_t kRequestBytes = 4 + 1 + 4 + 1;
+
+uint32_t ReadU32(std::span<const uint8_t> b, size_t pos) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(b[pos + static_cast<size_t>(i)]) << (8 * i);
+  }
+  return v;
+}
+
+void PushU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PushU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace
+
+bool IsAdminFrame(std::span<const uint8_t> payload) {
+  return payload.size() >= 4 && ReadU32(payload, 0) == kAdminCommandMagic;
+}
+
+std::vector<uint8_t> EncodeAdminCommand(const AdminCommand& cmd) {
+  std::vector<uint8_t> out;
+  out.reserve(kRequestBytes);
+  PushU32(out, kAdminCommandMagic);
+  out.push_back(static_cast<uint8_t>(cmd.op));
+  PushU32(out, cmd.arg);
+  out.push_back(0);  // reserved
+  return out;
+}
+
+Result<AdminCommand> DecodeAdminCommand(std::span<const uint8_t> wire) {
+  if (wire.size() != kRequestBytes) {
+    return Status{ErrorCode::kCorrupted, "admin request: wrong length"};
+  }
+  if (ReadU32(wire, 0) != kAdminCommandMagic) {
+    return Status{ErrorCode::kCorrupted, "admin request: bad magic"};
+  }
+  AdminCommand cmd;
+  uint8_t op = wire[4];
+  if (op > static_cast<uint8_t>(AdminOp::kHealth)) {
+    return Status{ErrorCode::kCorrupted, "admin request: unknown op"};
+  }
+  cmd.op = static_cast<AdminOp>(op);
+  cmd.arg = ReadU32(wire, 5);
+  if (wire[9] != 0) {
+    return Status{ErrorCode::kCorrupted, "admin request: reserved byte set"};
+  }
+  return cmd;
+}
+
+std::vector<uint8_t> EncodeAdminResponse(const AdminResponse& resp) {
+  std::vector<uint8_t> out;
+  out.reserve(4 + 1 + 8 + resp.json.size());
+  PushU32(out, kAdminResponseMagic);
+  out.push_back(resp.status);
+  PushU64(out, resp.json.size());
+  out.insert(out.end(), resp.json.begin(), resp.json.end());
+  return out;
+}
+
+Result<AdminResponse> DecodeAdminResponse(std::span<const uint8_t> wire) {
+  if (wire.size() < 4 + 1 + 8) {
+    return Status{ErrorCode::kCorrupted, "admin response: truncated header"};
+  }
+  if (ReadU32(wire, 0) != kAdminResponseMagic) {
+    return Status{ErrorCode::kCorrupted, "admin response: bad magic"};
+  }
+  AdminResponse resp;
+  resp.status = wire[4];
+  uint64_t len = 0;
+  for (int i = 0; i < 8; ++i) {
+    len |= static_cast<uint64_t>(wire[5 + static_cast<size_t>(i)]) << (8 * i);
+  }
+  // Compare against bytes actually present (a hostile 64-bit length must
+  // not wrap any pos+len arithmetic).
+  if (len != wire.size() - (4 + 1 + 8)) {
+    return Status{ErrorCode::kCorrupted, "admin response: wrong json length"};
+  }
+  resp.json.assign(reinterpret_cast<const char*>(wire.data()) + 13,
+                   static_cast<size_t>(len));
+  return resp;
+}
+
+}  // namespace reo

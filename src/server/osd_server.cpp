@@ -13,6 +13,8 @@
 #include <cstring>
 
 #include "osd/transport.h"
+#include "server/admin_protocol.h"
+#include "telemetry/json_util.h"
 
 namespace reo {
 namespace {
@@ -85,14 +87,22 @@ void OsdServer::AttachTelemetry(MetricRegistry& registry) {
   tel_frame_errors_ = &registry.GetCounter("server.frame_errors");
   tel_crc_errors_ = &registry.GetCounter("server.crc_errors");
   tel_decode_errors_ = &registry.GetCounter("server.decode_errors");
+  tel_admin_requests_ = &registry.GetCounter("server.admin.requests");
+  tel_admin_errors_ = &registry.GetCounter("server.admin.errors");
   tel_active_ = &registry.GetGauge("server.connections.active");
   tel_lat_read_ = &registry.GetHistogram("server.latency.read_us");
   tel_lat_write_ = &registry.GetHistogram("server.latency.write_us");
   tel_lat_other_ = &registry.GetHistogram("server.latency.other_us");
 }
 
+void OsdServer::AttachAdmin(MetricRegistry* registry, TimeSeriesRing* series) {
+  admin_registry_ = registry;
+  series_ = series;
+}
+
 void OsdServer::Run() {
   REO_CHECK(listen_fd_ >= 0);  // Listen() first
+  started_ns_ = NowNs();
   Status st = loop_.Add(listen_fd_, EPOLLIN, [this](uint32_t) {
     OnAcceptReady();
   });
@@ -100,7 +110,22 @@ void OsdServer::Run() {
   // Latch drain requests (RequestDrain may fire from a signal handler:
   // it only sets the flag and wakes the loop) via a cheap poll timer.
   loop_.AddTimer(20, [this] { PollDrain(); });
+  if (series_ != nullptr) {
+    series_->Advance(started_ns_);  // pin the ring's epoch to serving start
+    RollSeries();
+  }
   loop_.Run();
+}
+
+void OsdServer::RollSeries() {
+  // Re-armed one-shot, like PollDrain: close due windows at the ring's
+  // own cadence so SERIES answers stay fresh even with no pollers.
+  uint64_t ms = series_->window_ns() / 1'000'000;
+  if (ms == 0) ms = 1;
+  loop_.AddTimer(ms, [this] {
+    series_->Advance(NowNs());
+    if (!loop_.stopped()) RollSeries();
+  });
 }
 
 void OsdServer::PollDrain() {
@@ -200,6 +225,10 @@ void OsdServer::OnAcceptReady() {
 
 FramePayload OsdServer::OnFrame(Connection& conn,
                                 std::span<const uint8_t> payload) {
+  // Admin frames ride the same framed transport but are not data
+  // requests: dispatch them before the request counters so STATS polling
+  // never skews server.requests or the derived per-op ratios.
+  if (IsAdminFrame(payload)) return HandleAdminFrame(conn, payload);
   ++stats_.requests;
   Inc(tel_requests_);
   auto decoded = DecodeCommand(payload);
@@ -222,8 +251,17 @@ FramePayload OsdServer::OnFrame(Connection& conn,
   // simulated link; the server stamps its own monotonic clock.
   SimTime start = NowNs();
   decoded->now = start;
+  TraceOp root_op = decoded->op == OsdOp::kRead    ? TraceOp::kGet
+                    : decoded->op == OsdOp::kWrite ? TraceOp::kPut
+                                                   : TraceOp::kOsdCommand;
+  // Root span and latency histogram share the same two clock stamps, so
+  // stage.transport sums equal server.latency sums under sample_every=1.
+  RequestTrace root(tracer_, trace_root_, root_op, start, decoded->id.oid);
   OsdResponse resp = target_.Execute(*decoded);
-  double service_us = static_cast<double>(NowNs() - start) / 1e3;
+  SimTime end = NowNs();
+  root.set_end(end);
+  root.Finish();
+  double service_us = static_cast<double>(end - start) / 1e3;
   switch (decoded->op) {
     case OsdOp::kRead: Observe(tel_lat_read_, service_us); break;
     case OsdOp::kWrite: Observe(tel_lat_write_, service_us); break;
@@ -234,6 +272,84 @@ FramePayload OsdServer::OnFrame(Connection& conn,
   // frame queue's body span — no payload copy between cache and kernel.
   EncodedResponseParts p = EncodeResponseParts(std::move(resp));
   return FramePayload{std::move(p.head), std::move(p.body), std::move(p.tail)};
+}
+
+std::string OsdServer::HealthJson() const {
+  const char* status =
+      draining_ ? "draining"
+      : (stats_.crc_errors + stats_.frame_errors + stats_.decode_errors > 0)
+          ? "degraded"
+          : "ok";
+  std::string out = "{\"schema\":\"reo.health.v1\",\"status\":\"";
+  out += status;
+  out += "\",\"uptime_ms\":";
+  out += JsonNum(started_ns_ ? static_cast<double>(NowNs() - started_ns_) / 1e6
+                             : 0.0);
+  out += ",\"port\":" + std::to_string(port_);
+  out += ",\"connections\":" + std::to_string(connections_.size());
+  out += ",\"accepted\":" + std::to_string(stats_.accepted);
+  out += ",\"requests\":" + std::to_string(stats_.requests);
+  out += ",\"responses\":" + std::to_string(stats_.responses);
+  out += ",\"crc_errors\":" + std::to_string(stats_.crc_errors);
+  out += ",\"frame_errors\":" + std::to_string(stats_.frame_errors);
+  out += ",\"decode_errors\":" + std::to_string(stats_.decode_errors);
+  out += ",\"admin_requests\":" + std::to_string(stats_.admin_requests);
+  out += ",\"admin_errors\":" + std::to_string(stats_.admin_errors);
+  out += "}";
+  return out;
+}
+
+FramePayload OsdServer::HandleAdminFrame(Connection& conn,
+                                         std::span<const uint8_t> payload) {
+  ++stats_.admin_requests;
+  Inc(tel_admin_requests_);
+  AdminResponse out;
+  auto cmd = DecodeAdminCommand(payload);
+  if (!cmd.ok()) {
+    out.status = 1;
+    out.json = "{\"error\":" +
+               JsonString(std::string(cmd.status().message())) + "}";
+    Emit(events_, NowNs(), EventSeverity::kWarn, "server.admin_error",
+         "malformed admin request",
+         {{"peer", conn.peer()},
+          {"error", std::string(cmd.status().message())}});
+  } else {
+    switch (cmd->op) {
+      case AdminOp::kStats:
+        if (admin_registry_ != nullptr) {
+          out.json = admin_registry_->Snapshot().ToJson();
+        } else {
+          out.status = 1;
+          out.json = "{\"error\":\"no metric registry attached\"}";
+        }
+        break;
+      case AdminOp::kSeries:
+        if (series_ != nullptr) {
+          // Close any windows that came due since the last roll so the
+          // answer is current as of this frame.
+          series_->Advance(NowNs());
+          out.json = series_->ToJson(cmd->arg);
+        } else {
+          out.status = 1;
+          out.json = "{\"error\":\"no time-series ring attached\"}";
+        }
+        break;
+      case AdminOp::kEvents:
+        out.json = events_ != nullptr
+                       ? events_->ToJson(cmd->arg)
+                       : "{\"schema\":\"reo.events.v1\",\"dropped\":0,"
+                         "\"events\":[]}";
+        break;
+      case AdminOp::kHealth:
+        out.json = HealthJson();
+        break;
+    }
+  }
+  if (out.status != 0) {
+    ++stats_.admin_errors;
+    Inc(tel_admin_errors_);
+  }
+  return FramePayload{EncodeAdminResponse(out), {}, {}};
 }
 
 void OsdServer::OnCorruptFrame(Connection& conn, FrameStatus status) {

@@ -25,7 +25,9 @@
 #include "server/connection.h"
 #include "server/event_loop.h"
 #include "telemetry/metric_registry.h"
+#include "telemetry/time_series.h"
 #include "trace/event_log.h"
+#include "trace/tracer.h"
 
 namespace reo {
 
@@ -57,6 +59,8 @@ struct OsdServerStats {
   uint64_t frame_errors = 0;   ///< lost framing: bad magic / oversized length
   uint64_t crc_errors = 0;     ///< frame CRC32C mismatches
   uint64_t decode_errors = 0;  ///< framed payloads DecodeCommand rejected
+  uint64_t admin_requests = 0; ///< in-band ADMIN frames served
+  uint64_t admin_errors = 0;   ///< malformed / unservable ADMIN frames
 };
 
 class OsdServer final : private ConnectionHost {
@@ -88,6 +92,23 @@ class OsdServer final : private ConnectionHost {
   /// wire corruption at warn, drain milestones at info.
   void AttachEvents(EventLog& events) { events_ = &events; }
 
+  /// Enables the in-band ADMIN commands (STATS / SERIES / EVENTS /
+  /// HEALTH) on every connection: an admin frame is answered inline on
+  /// the loop (snapshot + JSON encode, microseconds — never blocking the
+  /// data path on IO). Either pointer may be null; the matching op then
+  /// answers with an error status. With `series` attached, Run() rolls
+  /// its windows on a loop timer at the ring's own window interval.
+  void AttachAdmin(MetricRegistry* registry, TimeSeriesRing* series);
+
+  /// Opens a sampled root span (the transport track) around every data
+  /// command, with the same clock stamps the service-latency histograms
+  /// observe — so with sample_every == 1 the stage.transport totals match
+  /// server.latency.* exactly (the attribution invariant tests pin).
+  void AttachTracing(Tracer& tracer) {
+    tracer_ = &tracer;
+    trace_root_ = &tracer.RecorderFor(TraceComponent::kTransport);
+  }
+
  private:
   // ConnectionHost:
   FramePayload OnFrame(Connection& conn,
@@ -101,6 +122,11 @@ class OsdServer final : private ConnectionHost {
   void BeginDrainOnLoop();
   void MaybeFinishDrain();
   SimTime NowNs() const;
+
+  FramePayload HandleAdminFrame(Connection& conn,
+                                std::span<const uint8_t> payload);
+  void RollSeries();
+  std::string HealthJson() const;
 
   OsdTarget& target_;
   OsdServerConfig config_;
@@ -118,6 +144,16 @@ class OsdServer final : private ConnectionHost {
 
   EventLog* events_ = nullptr;
 
+  // Admin plane (null when un-attached).
+  MetricRegistry* admin_registry_ = nullptr;
+  TimeSeriesRing* series_ = nullptr;
+
+  // Tracing (null when un-attached).
+  Tracer* tracer_ = nullptr;
+  SpanRecorder* trace_root_ = nullptr;
+
+  SimTime started_ns_ = 0;  ///< Run() entry stamp, for health uptime
+
   // Telemetry (null when un-attached).
   Counter* tel_accepted_ = nullptr;
   Counter* tel_closed_ = nullptr;
@@ -128,10 +164,12 @@ class OsdServer final : private ConnectionHost {
   Counter* tel_frame_errors_ = nullptr;
   Counter* tel_crc_errors_ = nullptr;
   Counter* tel_decode_errors_ = nullptr;
+  Counter* tel_admin_requests_ = nullptr;
+  Counter* tel_admin_errors_ = nullptr;
   Gauge* tel_active_ = nullptr;
-  Histogram* tel_lat_read_ = nullptr;
-  Histogram* tel_lat_write_ = nullptr;
-  Histogram* tel_lat_other_ = nullptr;
+  ShardedHistogram* tel_lat_read_ = nullptr;
+  ShardedHistogram* tel_lat_write_ = nullptr;
+  ShardedHistogram* tel_lat_other_ = nullptr;
 };
 
 }  // namespace reo

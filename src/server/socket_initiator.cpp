@@ -196,7 +196,7 @@ Status SocketInitiator::Send(const OsdCommand& command) {
   return Status::Ok();
 }
 
-Result<OsdResponse> SocketInitiator::Receive() {
+Result<std::span<const uint8_t>> SocketInitiator::ReceiveFrame() {
   if (fd_ < 0) return Status{ErrorCode::kUnavailable, "not connected"};
   std::span<const uint8_t> payload;
   for (;;) {
@@ -239,7 +239,31 @@ Result<OsdResponse> SocketInitiator::Receive() {
                          : std::string("recv: ") + std::strerror(errno)};
   }
   ++stats_.frames_received;
-  auto resp = DecodeResponse(payload);
+  return payload;
+}
+
+Result<OsdResponse> SocketInitiator::Receive() {
+  auto payload = ReceiveFrame();
+  if (!payload.ok()) return payload.status();
+  auto resp = DecodeResponse(*payload);
+  if (!resp.ok()) {
+    ++stats_.decode_errors;
+    Inc(tel_decode_errors_);
+    Close();
+    return resp.status();
+  }
+  return resp;
+}
+
+Result<AdminResponse> SocketInitiator::AdminRoundtrip(AdminOp op,
+                                                      uint32_t arg) {
+  if (fd_ < 0) return Status{ErrorCode::kUnavailable, "not connected"};
+  ++stats_.admin_commands;
+  REO_RETURN_IF_ERROR(SendFramed(EncodeAdminCommand(AdminCommand{op, arg})));
+  ++stats_.frames_sent;
+  auto payload = ReceiveFrame();
+  if (!payload.ok()) return payload.status();
+  auto resp = DecodeAdminResponse(*payload);
   if (!resp.ok()) {
     ++stats_.decode_errors;
     Inc(tel_decode_errors_);

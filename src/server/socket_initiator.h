@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "osd/osd_target.h"
 #include "osd/transport.h"
+#include "server/admin_protocol.h"
 #include "server/frame.h"
 #include "telemetry/metric_registry.h"
 
@@ -29,6 +30,7 @@ struct SocketInitiatorStats : TransportStats {
   uint64_t frame_errors = 0;    ///< lost framing (bad magic / oversized)
   uint64_t timeouts = 0;        ///< connect/receive deadline expiries
   uint64_t reconnects = 0;      ///< sessions re-established by Roundtrip
+  uint64_t admin_commands = 0;  ///< in-band ADMIN round-trips issued
 };
 
 /// Partial-failure posture of one initiator session. The defaults keep the
@@ -77,6 +79,13 @@ class SocketInitiator {
   /// Receives the next response frame (blocking).
   Result<OsdResponse> Receive();
 
+  /// Sends one in-band ADMIN command (STATS / SERIES / EVENTS / HEALTH)
+  /// and waits for its JSON reply. `arg` scopes SERIES and EVENTS replies
+  /// to the newest N windows/events (0 = all retained). Must not be
+  /// interleaved with pipelined Send()s still awaiting Receive() — the
+  /// wire answers strictly in order.
+  Result<AdminResponse> AdminRoundtrip(AdminOp op, uint32_t arg = 0);
+
   const SocketInitiatorStats& stats() const { return stats_; }
 
   /// Registers wire-level metrics ("initiator.*").
@@ -87,6 +96,10 @@ class SocketInitiator {
   /// goes out of the encode buffer in place, never copied into a staging
   /// vector.
   Status SendFramed(std::span<const uint8_t> payload);
+
+  /// Blocks for the next intact framed payload. The returned view stays
+  /// valid until the decoder's next Feed() (i.e. the next receive).
+  Result<std::span<const uint8_t>> ReceiveFrame();
 
   int fd_ = -1;
   SocketInitiatorConfig config_;

@@ -1,0 +1,287 @@
+#include "telemetry/json_scan.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace reo {
+
+const std::string JsonDoc::kEmpty;
+
+struct JsonDoc::Parser {
+  std::string_view in;
+  size_t pos = 0;
+  JsonDoc* doc;
+
+  void SkipWs() {
+    while (pos < in.size() && (in[pos] == ' ' || in[pos] == '\t' ||
+                               in[pos] == '\n' || in[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos < in.size() && in[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool Literal(std::string_view lit) {
+    if (in.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  // Appends the parsed value as a new node; returns its index or kInvalid.
+  int Value(int depth) {
+    if (depth > kMaxDepth) return kInvalid;
+    SkipWs();
+    if (pos >= in.size()) return kInvalid;
+    char c = in[pos];
+    int idx = static_cast<int>(doc->nodes_.size());
+    doc->nodes_.emplace_back();
+    switch (c) {
+      case '{': {
+        doc->nodes_[static_cast<size_t>(idx)].type = Type::kObject;
+        ++pos;
+        SkipWs();
+        if (Eat('}')) return idx;
+        while (true) {
+          SkipWs();
+          std::string key;
+          if (!String(&key)) return kInvalid;
+          SkipWs();
+          if (!Eat(':')) return kInvalid;
+          int child = Value(depth + 1);
+          if (child == kInvalid) return kInvalid;
+          Node& n = doc->nodes_[static_cast<size_t>(idx)];
+          n.keys.push_back(std::move(key));
+          n.children.push_back(child);
+          SkipWs();
+          if (Eat(',')) continue;
+          if (Eat('}')) return idx;
+          return kInvalid;
+        }
+      }
+      case '[': {
+        doc->nodes_[static_cast<size_t>(idx)].type = Type::kArray;
+        ++pos;
+        SkipWs();
+        if (Eat(']')) return idx;
+        while (true) {
+          int child = Value(depth + 1);
+          if (child == kInvalid) return kInvalid;
+          doc->nodes_[static_cast<size_t>(idx)].children.push_back(child);
+          SkipWs();
+          if (Eat(',')) continue;
+          if (Eat(']')) return idx;
+          return kInvalid;
+        }
+      }
+      case '"': {
+        Node& n = doc->nodes_[static_cast<size_t>(idx)];
+        n.type = Type::kString;
+        if (!String(&n.str)) return kInvalid;
+        return idx;
+      }
+      case 't':
+        if (!Literal("true")) return kInvalid;
+        doc->nodes_[static_cast<size_t>(idx)].type = Type::kBool;
+        doc->nodes_[static_cast<size_t>(idx)].b = true;
+        return idx;
+      case 'f':
+        if (!Literal("false")) return kInvalid;
+        doc->nodes_[static_cast<size_t>(idx)].type = Type::kBool;
+        return idx;
+      case 'n':
+        if (!Literal("null")) return kInvalid;
+        return idx;  // Type::kNull
+      default:
+        return Number(idx) ? idx : kInvalid;
+    }
+  }
+
+  bool Number(int idx) {
+    size_t start = pos;
+    if (pos < in.size() && in[pos] == '-') ++pos;
+    if (pos >= in.size() || in[pos] < '0' || in[pos] > '9') return false;
+    // Integer part: no leading zeros per RFC 8259.
+    if (in[pos] == '0') {
+      ++pos;
+    } else {
+      while (pos < in.size() && in[pos] >= '0' && in[pos] <= '9') ++pos;
+    }
+    if (pos < in.size() && in[pos] == '.') {
+      ++pos;
+      if (pos >= in.size() || in[pos] < '0' || in[pos] > '9') return false;
+      while (pos < in.size() && in[pos] >= '0' && in[pos] <= '9') ++pos;
+    }
+    if (pos < in.size() && (in[pos] == 'e' || in[pos] == 'E')) {
+      ++pos;
+      if (pos < in.size() && (in[pos] == '+' || in[pos] == '-')) ++pos;
+      if (pos >= in.size() || in[pos] < '0' || in[pos] > '9') return false;
+      while (pos < in.size() && in[pos] >= '0' && in[pos] <= '9') ++pos;
+    }
+    std::string tmp(in.substr(start, pos - start));  // NUL-terminate
+    Node& n = doc->nodes_[static_cast<size_t>(idx)];
+    n.type = Type::kNumber;
+    n.num = std::strtod(tmp.c_str(), nullptr);
+    return true;
+  }
+
+  bool String(std::string* out) {
+    if (!Eat('"')) return false;
+    out->clear();
+    while (pos < in.size()) {
+      unsigned char c = static_cast<unsigned char>(in[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control char: invalid JSON
+      if (c == '\\') {
+        ++pos;
+        if (pos >= in.size()) return false;
+        char e = in[pos++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > in.size()) return false;
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = in[pos + static_cast<size_t>(i)];
+              v <<= 4;
+              if (h >= '0' && h <= '9') {
+                v |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                v |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                v |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return false;
+              }
+            }
+            pos += 4;
+            // Our emitters only produce \u00xx for control bytes; decode
+            // the Latin-1 range as one byte and anything beyond as UTF-8.
+            if (v < 0x80) {
+              out->push_back(static_cast<char>(v));
+            } else if (v < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (v >> 6)));
+              out->push_back(static_cast<char>(0x80 | (v & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (v >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((v >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (v & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(static_cast<char>(c));
+        ++pos;
+      }
+    }
+    return false;  // unterminated
+  }
+};
+
+std::optional<JsonDoc> JsonDoc::Parse(std::string_view text) {
+  if (text.size() > kMaxInput) return std::nullopt;
+  JsonDoc doc;
+  Parser p{text, 0, &doc};
+  int root = p.Value(0);
+  if (root != 0) return std::nullopt;  // failed, or (impossibly) non-first
+  p.SkipWs();
+  if (p.pos != text.size()) return std::nullopt;  // trailing garbage
+  return doc;
+}
+
+double JsonDoc::number(int node) const {
+  if (!is(node, Type::kNumber)) return 0.0;
+  return nodes_[static_cast<size_t>(node)].num;
+}
+
+bool JsonDoc::boolean(int node) const {
+  return is(node, Type::kBool) && nodes_[static_cast<size_t>(node)].b;
+}
+
+const std::string& JsonDoc::str(int node) const {
+  if (!is(node, Type::kString)) return kEmpty;
+  return nodes_[static_cast<size_t>(node)].str;
+}
+
+size_t JsonDoc::size(int node) const {
+  if (node == kInvalid) return 0;
+  return nodes_[static_cast<size_t>(node)].children.size();
+}
+
+int JsonDoc::item(int node, size_t i) const {
+  if (!is(node, Type::kArray)) return kInvalid;
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  if (i >= n.children.size()) return kInvalid;
+  return n.children[i];
+}
+
+int JsonDoc::member(int node, std::string_view key) const {
+  if (!is(node, Type::kObject)) return kInvalid;
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  for (size_t i = 0; i < n.keys.size(); ++i) {
+    if (n.keys[i] == key) return n.children[i];
+  }
+  return kInvalid;
+}
+
+const std::string& JsonDoc::key(int node, size_t i) const {
+  if (!is(node, Type::kObject)) return kEmpty;
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  if (i >= n.keys.size()) return kEmpty;
+  return n.keys[i];
+}
+
+int JsonDoc::value(int node, size_t i) const {
+  if (!is(node, Type::kObject)) return kInvalid;
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  if (i >= n.children.size()) return kInvalid;
+  return n.children[i];
+}
+
+int JsonDoc::Find(std::initializer_list<std::string_view> path) const {
+  int node = root();
+  for (std::string_view seg : path) {
+    node = member(node, seg);
+    if (node == kInvalid) return kInvalid;
+  }
+  return node;
+}
+
+std::vector<double> JsonDoc::NumberArray(int node) const {
+  std::vector<double> out;
+  if (!is(node, Type::kArray)) return out;
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  out.reserve(n.children.size());
+  for (int child : n.children) {
+    if (is(child, Type::kNumber)) {
+      out.push_back(number(child));
+    } else if (is(child, Type::kNull)) {
+      out.push_back(std::numeric_limits<double>::quiet_NaN());
+    } else {
+      out.clear();
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace reo

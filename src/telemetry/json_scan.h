@@ -1,0 +1,80 @@
+// Minimal JSON reader for the telemetry plane's own exports: an arena DOM
+// (one flat node vector, indices as references) just rich enough for the
+// admin tooling (reo_top, admin_probe) to walk STATS / SERIES / EVENTS /
+// HEALTH responses. Strict on structure (balanced, complete, single root),
+// tolerant on nothing — a parse failure returns nullopt so probes fail
+// loudly instead of reading garbage.
+//
+// Deliberately NOT a general-purpose library: no writer (json_util.h
+// emits), no \uXXXX decoding beyond passthrough of the escaped text for
+// ASCII, no number-roundtrip guarantees past double precision, input
+// capped to the wire protocol's frame limit. Both sides of the wire are
+// this repo; the fuzz tests cover hostile inputs anyway.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reo {
+
+class JsonDoc {
+ public:
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one complete JSON value (plus optional surrounding whitespace).
+  /// Returns nullopt on any syntax error, trailing garbage, or input
+  /// larger than kMaxInput / nested deeper than kMaxDepth.
+  static std::optional<JsonDoc> Parse(std::string_view text);
+
+  static constexpr size_t kMaxInput = 64u << 20;
+  static constexpr int kMaxDepth = 64;
+  static constexpr int kInvalid = -1;
+
+  int root() const { return 0; }
+
+  Type type(int node) const { return nodes_[static_cast<size_t>(node)].type; }
+  bool is(int node, Type t) const { return node != kInvalid && type(node) == t; }
+
+  /// Number value; 0.0 if the node is not a number.
+  double number(int node) const;
+  bool boolean(int node) const;
+  /// Decoded string value; empty if not a string.
+  const std::string& str(int node) const;
+
+  /// Array length / object member count; 0 for scalars.
+  size_t size(int node) const;
+  /// Array element i (kInvalid if out of range / not an array).
+  int item(int node, size_t i) const;
+  /// Object member by key (kInvalid if missing / not an object). Keys with
+  /// dots are fine — lookup is exact, not path-split.
+  int member(int node, std::string_view key) const;
+  /// Object member by position, for iteration.
+  const std::string& key(int node, size_t i) const;
+  int value(int node, size_t i) const;
+
+  /// Convenience: member(...) chained through nested objects.
+  int Find(std::initializer_list<std::string_view> path) const;
+
+  /// Numbers of an all-number/null array (null -> NaN); empty if not.
+  std::vector<double> NumberArray(int node) const;
+
+ private:
+  struct Node {
+    Type type = Type::kNull;
+    double num = 0.0;
+    bool b = false;
+    std::string str;                    // string value
+    std::vector<std::string> keys;      // object keys
+    std::vector<int> children;          // array items / object values
+  };
+
+  std::vector<Node> nodes_;
+  static const std::string kEmpty;
+
+  struct Parser;
+};
+
+}  // namespace reo

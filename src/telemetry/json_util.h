@@ -1,0 +1,57 @@
+// Shared JSON emission helpers for the telemetry plane's hand-rolled
+// encoders (metric snapshots, time-series exports, event logs, health
+// reports). Emission only — parsing lives in json_scan.h.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace reo {
+
+/// %g-style compact number formatting without locale surprises. JSON has
+/// no literal for non-finite values (an unbounded H_hot gauge, a NaN
+/// ratio over an empty window) — render those as null.
+inline std::string JsonNum(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  // Enough digits to round-trip counters up to 2^53 exactly.
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// Appends `s` as a JSON string literal, escaping quotes, backslashes,
+/// and control characters (event messages can carry newlines from
+/// strerror/operator input; metric names never do, but the encoder must
+/// not depend on that).
+inline void AppendJsonString(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+inline std::string JsonString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  AppendJsonString(out, s);
+  return out;
+}
+
+}  // namespace reo

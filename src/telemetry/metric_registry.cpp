@@ -1,22 +1,11 @@
 #include "telemetry/metric_registry.h"
 
 #include <algorithm>
-#include <cmath>
-#include <cstdio>
+
+#include "telemetry/json_util.h"
 
 namespace reo {
 namespace {
-
-/// %g-style compact formatting without locale surprises. Gauges can carry
-/// non-finite values (e.g. an unbounded H_hot threshold), which JSON has
-/// no literal for — render those as null.
-std::string Num(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[40];
-  // Enough digits to round-trip counters up to 2^53 exactly.
-  std::snprintf(buf, sizeof(buf), "%.10g", v);
-  return buf;
-}
 
 /// RFC 4180 field quoting: names containing a comma, quote, or newline
 /// are wrapped in double quotes with embedded quotes doubled, so a
@@ -36,16 +25,82 @@ std::string CsvField(std::string_view s) {
   return out;
 }
 
-void AppendJsonString(std::string& out, std::string_view s) {
-  out.push_back('"');
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  out.push_back('"');
+}  // namespace
+
+size_t CurrentMetricDomain() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricDomains;
+  return mine;
 }
 
-}  // namespace
+void ShardedHistogram::Merge(const Histogram& other) {
+  Shard& s = shards_[CurrentMetricDomain()];
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    uint64_t n = other.bucket_count(b);
+    if (n) {
+      s.buckets[static_cast<size_t>(b)].fetch_add(n,
+                                                  std::memory_order_relaxed);
+    }
+  }
+  s.count.fetch_add(other.count(), std::memory_order_relaxed);
+  s.sum.fetch_add(other.sum(), std::memory_order_relaxed);
+  double m = s.max.load(std::memory_order_relaxed);
+  double om = other.max();
+  while (om > m &&
+         !s.max.compare_exchange_weak(m, om, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram ShardedHistogram::Merged() const {
+  Histogram out;
+  uint64_t counts[Histogram::kBuckets];
+  for (const Shard& s : shards_) {
+    uint64_t total = 0;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      counts[b] = s.buckets[static_cast<size_t>(b)].load(
+          std::memory_order_relaxed);
+      total += counts[b];
+    }
+    out.MergeBuckets(counts, total, s.sum.load(std::memory_order_relaxed),
+                     s.max.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+uint64_t ShardedHistogram::count() const {
+  uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.count.load(std::memory_order_relaxed);
+  return n;
+}
+
+double ShardedHistogram::sum() const {
+  double v = 0.0;
+  for (const Shard& s : shards_) v += s.sum.load(std::memory_order_relaxed);
+  return v;
+}
+
+double ShardedHistogram::mean() const {
+  uint64_t n = count();
+  return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double ShardedHistogram::max() const {
+  double m = 0.0;
+  for (const Shard& s : shards_) {
+    m = std::max(m, s.max.load(std::memory_order_relaxed));
+  }
+  return m;
+}
+
+void ShardedHistogram::Reset() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+    s.max.store(0.0, std::memory_order_relaxed);
+  }
+}
 
 const MetricSnapshot::Entry* MetricSnapshot::Find(std::string_view name) const {
   auto it = std::lower_bound(
@@ -73,36 +128,39 @@ std::string MetricSnapshot::ToJson() const {
     out += "}";
   };
   emit_section("counters", Kind::kCounter,
-               [&](const Entry& e) { out += Num(e.value); });
+               [&](const Entry& e) { out += JsonNum(e.value); });
   out.push_back(',');
   emit_section("gauges", Kind::kGauge,
-               [&](const Entry& e) { out += Num(e.value); });
+               [&](const Entry& e) { out += JsonNum(e.value); });
   out.push_back(',');
   emit_section("histograms", Kind::kHistogram, [&](const Entry& e) {
-    out += "{\"count\":" + Num(static_cast<double>(e.count)) +
-           ",\"mean\":" + Num(e.mean) + ",\"p50\":" + Num(e.p50) +
-           ",\"p99\":" + Num(e.p99) + ",\"p999\":" + Num(e.p999) +
-           ",\"max\":" + Num(e.max) + "}";
+    out += "{\"count\":" + JsonNum(static_cast<double>(e.count)) +
+           ",\"mean\":" + JsonNum(e.mean) + ",\"p50\":" + JsonNum(e.p50) +
+           ",\"p99\":" + JsonNum(e.p99) + ",\"p999\":" + JsonNum(e.p999) +
+           ",\"max\":" + JsonNum(e.max) + ",\"sum\":" + JsonNum(e.sum) + "}";
   });
   out.push_back('}');
   return out;
 }
 
 std::string MetricSnapshot::ToCsv() const {
-  std::string out = "kind,name,value,count,mean,p50,p99,p999,max\n";
+  std::string out = "kind,name,value,count,mean,p50,p99,p999,max,sum\n";
   for (const Entry& e : entries) {
     switch (e.kind) {
       case Kind::kCounter:
-        out += "counter," + CsvField(e.name) + "," + Num(e.value) + ",,,,,,\n";
+        out += "counter," + CsvField(e.name) + "," + JsonNum(e.value) +
+               ",,,,,,,\n";
         break;
       case Kind::kGauge:
-        out += "gauge," + CsvField(e.name) + "," + Num(e.value) + ",,,,,,\n";
+        out += "gauge," + CsvField(e.name) + "," + JsonNum(e.value) +
+               ",,,,,,,\n";
         break;
       case Kind::kHistogram:
         out += "histogram," + CsvField(e.name) + ",," +
-               Num(static_cast<double>(e.count)) + "," + Num(e.mean) + "," +
-               Num(e.p50) + "," + Num(e.p99) + "," + Num(e.p999) + "," +
-               Num(e.max) + "\n";
+               JsonNum(static_cast<double>(e.count)) + "," + JsonNum(e.mean) +
+               "," + JsonNum(e.p50) + "," + JsonNum(e.p99) + "," +
+               JsonNum(e.p999) + "," + JsonNum(e.max) + "," + JsonNum(e.sum) +
+               "\n";
         break;
     }
   }
@@ -112,11 +170,12 @@ std::string MetricSnapshot::ToCsv() const {
 bool MetricRegistry::ClaimName(const std::string& name, Kind kind) {
   auto [it, inserted] = kinds_.emplace(name, kind);
   if (inserted || it->second == kind) return true;
-  ++name_collisions_;
+  name_collisions_.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 
 Counter& MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!ClaimName(name, Kind::kCounter)) {
     orphan_counters_.push_back(std::make_unique<Counter>());
     return *orphan_counters_.back();
@@ -127,6 +186,7 @@ Counter& MetricRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge& MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!ClaimName(name, Kind::kGauge)) {
     orphan_gauges_.push_back(std::make_unique<Gauge>());
     return *orphan_gauges_.back();
@@ -136,25 +196,33 @@ Gauge& MetricRegistry::GetGauge(const std::string& name) {
   return *slot;
 }
 
-Histogram& MetricRegistry::GetHistogram(const std::string& name) {
+ShardedHistogram& MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!ClaimName(name, Kind::kHistogram)) {
-    orphan_histograms_.push_back(std::make_unique<Histogram>());
+    orphan_histograms_.push_back(std::make_unique<ShardedHistogram>());
     return *orphan_histograms_.back();
   }
   auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>();
+  if (!slot) slot = std::make_unique<ShardedHistogram>();
   return *slot;
 }
 
+size_t MetricRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
 void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
 }
 
 MetricSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   MetricSnapshot snap;
-  snap.entries.reserve(size());
+  snap.entries.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, c] : counters_) {
     MetricSnapshot::Entry e;
     e.name = name;
@@ -170,15 +238,17 @@ MetricSnapshot MetricRegistry::Snapshot() const {
     snap.entries.push_back(std::move(e));
   }
   for (const auto& [name, h] : histograms_) {
+    Histogram merged = h->Merged();
     MetricSnapshot::Entry e;
     e.name = name;
     e.kind = MetricSnapshot::Kind::kHistogram;
-    e.count = h->count();
-    e.mean = h->mean();
-    e.p50 = h->Percentile(0.50);
-    e.p99 = h->Percentile(0.99);
-    e.p999 = h->Percentile(0.999);
-    e.max = h->max();
+    e.count = merged.count();
+    e.mean = merged.mean();
+    e.p50 = merged.Percentile(0.50);
+    e.p99 = merged.Percentile(0.99);
+    e.p999 = merged.Percentile(0.999);
+    e.max = merged.max();
+    e.sum = merged.sum();
     snap.entries.push_back(std::move(e));
   }
   std::sort(snap.entries.begin(), snap.entries.end(),

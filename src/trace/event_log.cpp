@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <map>
 
+#include "telemetry/json_util.h"
+
 namespace reo {
 namespace {
 
@@ -63,6 +65,37 @@ std::string EventLog::ToText() const {
   if (dropped_ > 0) {
     out += "... " + std::to_string(dropped_) + " later events dropped (log full)\n";
   }
+  return out;
+}
+
+std::string EventLog::ToJson(size_t max_events) const {
+  size_t n = events_.size();
+  if (max_events && max_events < n) n = max_events;
+  size_t first = events_.size() - n;
+
+  std::string out = "{\"schema\":\"reo.events.v1\",\"dropped\":";
+  out += JsonNum(static_cast<double>(dropped_));
+  out += ",\"events\":[";
+  for (size_t i = first; i < events_.size(); ++i) {
+    const LoggedEvent& e = events_[i];
+    if (i != first) out.push_back(',');
+    out += "{\"t_ms\":" + JsonNum(ToMs(e.time));
+    out += ",\"severity\":";
+    AppendJsonString(out, to_string(e.severity));
+    out += ",\"category\":";
+    AppendJsonString(out, e.category);
+    out += ",\"message\":";
+    AppendJsonString(out, e.message);
+    out += ",\"fields\":{";
+    for (size_t f = 0; f < e.fields.size(); ++f) {
+      if (f) out.push_back(',');
+      AppendJsonString(out, e.fields[f].first);
+      out.push_back(':');
+      AppendJsonString(out, e.fields[f].second);
+    }
+    out += "}}";
+  }
+  out += "]}";
   return out;
 }
 

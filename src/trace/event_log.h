@@ -67,6 +67,11 @@ class EventLog {
   ///   [     12.345 ms] WARN  device.failure      device 0 shot down  device=0 ...
   std::string ToText() const;
 
+  /// {"schema":"reo.events.v1","dropped":N,"events":[{"t_ms":...,
+  ///  "severity":"WARN","category":...,"message":...,"fields":{...}},...]}
+  /// Newest `max_events` retained events (0 = all) — the ADMIN EVENTS body.
+  std::string ToJson(size_t max_events = 0) const;
+
   /// Human-readable recovery report: the failure/spare/rebuild milestones
   /// in time order, with per-class rebuild roll-ups — the "what did the
   /// recovery scheduler do minute-by-minute" answer for a Fig. 8 run.

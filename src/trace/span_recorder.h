@@ -75,11 +75,9 @@ class SpanRecorder {
  private:
   friend class TraceSpan;
 
-  void Push(const SpanRecord& r) {
-    ring_[head_] = r;
-    head_ = (head_ + 1) % ring_.size();
-    ++total_;
-  }
+  /// Commits one record: ring write plus the tracer's per-stage latency
+  /// observation (out-of-line in tracer.cpp — it needs the full Tracer).
+  void Push(const SpanRecord& r);
 
   Tracer& tracer_;
   std::vector<SpanRecord> ring_;

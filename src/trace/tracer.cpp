@@ -9,6 +9,13 @@ SpanRecorder::SpanRecorder(Tracer& tracer, TraceComponent component,
       component_(component),
       instance_(instance) {}
 
+void SpanRecorder::Push(const SpanRecord& r) {
+  ring_[head_] = r;
+  head_ = (head_ + 1) % ring_.size();
+  ++total_;
+  tracer_.ObserveSpan(r);
+}
+
 void SpanRecorder::Record(TraceOp op, SimTime start, SimTime end,
                           uint64_t object, uint8_t flags, uint64_t detail) {
   TraceContext* ctx = tracer_.active();
@@ -83,6 +90,20 @@ TraceContext* Tracer::Begin(bool force) {
 }
 
 void Tracer::End() { active_ = nullptr; }
+
+void Tracer::AttachStageMetrics(MetricRegistry& registry) {
+  for (uint8_t c = 0; c < kTraceComponentCount; ++c) {
+    stage_us_[c] = &registry.GetHistogram(
+        "stage." + std::string(to_string(static_cast<TraceComponent>(c))) +
+        ".span_us");
+  }
+}
+
+void Tracer::ObserveSpan(const SpanRecord& r) {
+  ShardedHistogram* h = stage_us_[static_cast<uint8_t>(r.component)];
+  if (!h) return;
+  h->Add(r.end > r.start ? static_cast<double>(r.end - r.start) / 1e3 : 0.0);
+}
 
 TraceStats Tracer::Stats() const {
   TraceStats s;

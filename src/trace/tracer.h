@@ -8,10 +8,12 @@
 // guards (span_recorder.h) or call SpanRecorder::Record for leaves.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "telemetry/metric_registry.h"
 #include "trace/event_log.h"
 #include "trace/span_recorder.h"
 #include "trace/trace_context.h"
@@ -55,6 +57,19 @@ class Tracer {
   const TracerConfig& config() const { return config_; }
   TraceStats Stats() const;
 
+  /// Registers per-stage latency histograms ("stage.<component>.span_us",
+  /// one per component track; device instances fold into one) and feeds
+  /// every committed span's duration into them from then on. This is the
+  /// latency-attribution bridge: with sample_every == 1 the transport
+  /// stage's sums equal the server's end-to-end latency sums exactly, and
+  /// nested stages show where that time went. Nested stages on the
+  /// simulated serving path carry *modeled* device time while the
+  /// transport root carries wall clock — compare shapes, not absolutes.
+  void AttachStageMetrics(MetricRegistry& registry);
+
+  /// Observation hook SpanRecorder::Push calls on every committed span.
+  void ObserveSpan(const SpanRecord& r);
+
   /// Visits every recorder (export order: component, then instance).
   template <typename Fn>
   void ForEachRecorder(Fn&& fn) const {
@@ -78,6 +93,8 @@ class Tracer {
   TraceId next_trace_id_ = 1;
   uint64_t roots_seen_ = 0;
   uint64_t traces_sampled_ = 0;
+  /// Per-component stage histograms (null when un-attached).
+  std::array<ShardedHistogram*, kTraceComponentCount> stage_us_{};
 };
 
 /// RAII root-span guard. The cache manager opens one per client request

@@ -10,6 +10,7 @@
 #include "osd/control_protocol.h"
 #include "osd/osd_target.h"
 #include "osd/transport.h"
+#include "server/admin_protocol.h"
 #include "server/frame.h"
 
 namespace reo {
@@ -249,6 +250,146 @@ TEST(ProtocolFuzzTest, ByteFlipsUnderCrcFramingNeverYieldCorruptPayloads) {
                     st == FrameStatus::kNeedMore)
             << "unexpected status " << int(st) << " at byte " << pos;
       }
+    }
+  }
+}
+
+// ---- Admin protocol (STATS/SERIES/EVENTS/HEALTH wire encodings) ----
+
+std::vector<AdminResponse> SampleAdminResponses() {
+  std::vector<AdminResponse> resps;
+  resps.push_back(AdminResponse{0, "{\"schema\":\"reo.health.v1\"}"});
+  resps.push_back(AdminResponse{0, ""});  // empty body still frames
+  resps.push_back(AdminResponse{1, "{\"error\":\"nope \\\"quoted\\\"\"}"});
+  AdminResponse big;
+  big.json.assign(4096, 'x');
+  resps.push_back(std::move(big));
+  return resps;
+}
+
+TEST(ProtocolFuzzTest, AdminCommandsRoundTripForEveryOpAndArg) {
+  for (uint8_t op = 0; op < 4; ++op) {
+    for (uint32_t arg : {0u, 1u, 17u, 0xFFFFFFFFu}) {
+      AdminCommand cmd{static_cast<AdminOp>(op), arg};
+      std::vector<uint8_t> wire = EncodeAdminCommand(cmd);
+      EXPECT_TRUE(IsAdminFrame(wire));
+      auto decoded = DecodeAdminCommand(wire);
+      ASSERT_TRUE(decoded.ok());
+      EXPECT_EQ(decoded->op, cmd.op);
+      EXPECT_EQ(decoded->arg, cmd.arg);
+    }
+  }
+  for (const AdminResponse& resp : SampleAdminResponses()) {
+    auto decoded = DecodeAdminResponse(EncodeAdminResponse(resp));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->status, resp.status);
+    EXPECT_EQ(decoded->json, resp.json);
+  }
+}
+
+// Every prefix of every valid admin encoding must be rejected cleanly —
+// same truncation sweep the OSD codecs get, both wire directions.
+TEST(ProtocolFuzzTest, TruncatedAdminFramesFailCleanlyAtEveryOffset) {
+  for (uint8_t op = 0; op < 4; ++op) {
+    std::vector<uint8_t> wire =
+        EncodeAdminCommand(AdminCommand{static_cast<AdminOp>(op), 7});
+    ASSERT_TRUE(DecodeAdminCommand(wire).ok());
+    for (size_t len = 0; len < wire.size(); ++len) {
+      auto r =
+          DecodeAdminCommand(std::span<const uint8_t>(wire.data(), len));
+      EXPECT_FALSE(r.ok()) << "request prefix of " << len << " bytes decoded";
+    }
+  }
+  for (const AdminResponse& resp : SampleAdminResponses()) {
+    std::vector<uint8_t> wire = EncodeAdminResponse(resp);
+    ASSERT_TRUE(DecodeAdminResponse(wire).ok());
+    for (size_t len = 0; len < wire.size(); ++len) {
+      auto r =
+          DecodeAdminResponse(std::span<const uint8_t>(wire.data(), len));
+      EXPECT_FALSE(r.ok()) << "response prefix of " << len << "/"
+                           << wire.size() << " bytes decoded";
+    }
+  }
+}
+
+// Strictness hinges: trailing bytes after a request, a nonzero reserved
+// byte, an unknown op, and a json_len that disagrees with the remaining
+// bytes (in either direction, including the 0xFF..FF overflow stamp) all
+// reject without overread.
+TEST(ProtocolFuzzTest, MalformedAdminFramesFailCleanly) {
+  std::vector<uint8_t> req = EncodeAdminCommand(AdminCommand{AdminOp::kStats, 3});
+  auto trailing = req;
+  trailing.push_back(0);
+  EXPECT_FALSE(DecodeAdminCommand(trailing).ok());
+  auto reserved = req;
+  reserved.back() = 1;
+  EXPECT_FALSE(DecodeAdminCommand(reserved).ok());
+  auto bad_op = req;
+  bad_op[4] = 200;
+  EXPECT_FALSE(DecodeAdminCommand(bad_op).ok());
+  // An OSD command payload is not an admin frame (and vice versa).
+  OsdCommand osd;
+  osd.op = OsdOp::kRead;
+  EXPECT_FALSE(IsAdminFrame(EncodeCommand(osd)));
+  EXPECT_FALSE(DecodeAdminCommand(EncodeCommand(osd)).ok());
+
+  AdminResponse resp{0, "{\"ok\":true}"};
+  std::vector<uint8_t> wire = EncodeAdminResponse(resp);
+  for (size_t pos = 0; pos + 8 <= wire.size(); ++pos) {
+    auto mutated = wire;
+    for (size_t i = 0; i < 8; ++i) mutated[pos + i] = 0xFF;
+    (void)DecodeAdminResponse(mutated);  // must not crash or overread
+  }
+  auto short_len = wire;
+  --short_len[5];  // json_len low byte: announced < remaining
+  EXPECT_FALSE(DecodeAdminResponse(short_len).ok());
+  auto long_len = wire;
+  ++long_len[5];  // announced > remaining
+  EXPECT_FALSE(DecodeAdminResponse(long_len).ok());
+}
+
+// Single-byte flips of a CRC-framed admin request: the framing layer
+// must flag the corruption (or the strict decoder must reject), and a
+// surfaced frame must be byte-identical — corruption never reaches the
+// dispatch peek silently.
+TEST(ProtocolFuzzTest, AdminByteFlipsUnderCrcFramingNeverYieldCorruptPayloads) {
+  std::vector<uint8_t> payload =
+      EncodeAdminCommand(AdminCommand{AdminOp::kSeries, 42});
+  std::vector<uint8_t> wire = EncodeFrame(payload);
+  for (size_t pos = 0; pos < wire.size(); ++pos) {
+    for (uint8_t bit = 0; bit < 8; ++bit) {
+      auto mutated = wire;
+      mutated[pos] ^= static_cast<uint8_t>(1u << bit);
+      FrameDecoder decoder;
+      decoder.Feed(mutated);
+      std::vector<uint8_t> out;
+      FrameStatus st = decoder.Next(&out);
+      if (st == FrameStatus::kFrame) {
+        EXPECT_EQ(out, payload) << "corrupt admin payload surfaced; byte "
+                                << pos << " bit " << int(bit);
+      } else {
+        EXPECT_TRUE(st == FrameStatus::kCrcMismatch ||
+                    st == FrameStatus::kBadMagic ||
+                    st == FrameStatus::kOversized ||
+                    st == FrameStatus::kNeedMore)
+            << "unexpected status " << int(st) << " at byte " << pos;
+      }
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, AdminDecodersSurviveRandomBytes) {
+  Pcg32 rng(31337);
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<uint8_t> junk(rng.NextBounded(64));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.Next());
+    if (auto c = DecodeAdminCommand(junk); c.ok()) {
+      EXPECT_EQ(EncodeAdminCommand(*c),
+                std::vector<uint8_t>(junk.begin(), junk.end()));
+    }
+    if (auto r = DecodeAdminResponse(junk); r.ok()) {
+      EXPECT_EQ(EncodeAdminResponse(*r),
+                std::vector<uint8_t>(junk.begin(), junk.end()));
     }
   }
 }

@@ -11,6 +11,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <thread>
 #include <unordered_map>
 
@@ -18,13 +20,17 @@
 #include "osd/transport.h"
 #include <sys/uio.h>
 
+#include "server/admin_protocol.h"
 #include "server/event_loop.h"
 #include "server/frame.h"
 #include "server/frame_queue.h"
 #include "server/osd_server.h"
 #include "server/socket_initiator.h"
+#include "telemetry/json_scan.h"
 #include "telemetry/metric_registry.h"
+#include "telemetry/time_series.h"
 #include "trace/event_log.h"
+#include "trace/tracer.h"
 
 namespace reo {
 namespace {
@@ -81,6 +87,23 @@ class ServerTest : public ::testing::Test {
     loop_thread_ = std::thread([this] { server_->Run(); });
   }
 
+  /// Full observability wiring: metrics + admin plane + every-request
+  /// tracing into the per-stage histograms (sample_every = 1, so the
+  /// attribution-equality assertions are exact, not statistical).
+  void StartAdminServer(OsdServerConfig cfg = {}) {
+    server_ = std::make_unique<OsdServer>(target_, cfg);
+    server_->AttachTelemetry(telemetry_);
+    server_->AttachEvents(events_);
+    tracer_.AttachStageMetrics(telemetry_);
+    target_.AttachTracing(tracer_);
+    server_->AttachTracing(tracer_);
+    TrackServingDefaults(telemetry_, series_, /*num_devices=*/0);
+    server_->AttachAdmin(&telemetry_, &series_);
+    ASSERT_TRUE(server_->Listen().ok());
+    ASSERT_GT(server_->port(), 0);
+    loop_thread_ = std::thread([this] { server_->Run(); });
+  }
+
   void DrainAndJoin() {
     if (!server_ || !loop_thread_.joinable()) return;
     server_->RequestDrain();
@@ -93,6 +116,9 @@ class ServerTest : public ::testing::Test {
   OsdTarget target_{plane_};
   MetricRegistry telemetry_;
   EventLog events_;
+  Tracer tracer_{TracerConfig{.sample_every = 1}};
+  TimeSeriesRing series_{
+      TimeSeriesConfig{.window_ns = 50'000'000, .capacity = 64}};
   std::unique_ptr<OsdServer> server_;
   std::thread loop_thread_;
 };
@@ -284,6 +310,211 @@ TEST_F(ServerTest, GarbagePayloadGetsErrorResponseAndConnectionSurvives) {
   DrainAndJoin();
   EXPECT_EQ(server_->stats().decode_errors, 1u);
   EXPECT_EQ(server_->stats().crc_errors, 0u);
+}
+
+// --- In-band admin plane -----------------------------------------------------
+
+TEST_F(ServerTest, AdminCommandsAnswerDuringLiveTraffic) {
+  StartAdminServer();
+  SocketInitiator client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(client.Roundtrip(FormatCmd()).ok());
+
+  // Live data traffic interleaved with admin polls on the same socket.
+  constexpr int kOps = 4;
+  for (int i = 0; i < kOps; ++i) {
+    OsdCommand create;
+    create.op = OsdOp::kCreate;
+    create.id = ObjectId{kFirstUserId, kTestObject.oid + i};
+    create.logical_size = 4;
+    ASSERT_TRUE(client.Roundtrip(create).ok());
+    OsdCommand write;
+    write.op = OsdOp::kWrite;
+    write.id = create.id;
+    write.data = {1, 2, 3, 4};
+    write.logical_size = 4;
+    ASSERT_TRUE(client.Roundtrip(write).ok());
+    OsdCommand read;
+    read.op = OsdOp::kRead;
+    read.id = write.id;
+    ASSERT_TRUE(client.Roundtrip(read).ok());
+  }
+  // format + creates + writes + reads
+  constexpr uint64_t kDataRequests = 1 + 3 * kOps;
+
+  auto health = client.AdminRoundtrip(AdminOp::kHealth);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 0);
+  auto hdoc = JsonDoc::Parse(health->json);
+  ASSERT_TRUE(hdoc.has_value());
+  EXPECT_EQ(hdoc->str(hdoc->member(hdoc->root(), "schema")), "reo.health.v1");
+  EXPECT_EQ(hdoc->str(hdoc->member(hdoc->root(), "status")), "ok");
+  EXPECT_EQ(hdoc->number(hdoc->member(hdoc->root(), "requests")),
+            static_cast<double>(kDataRequests));
+
+  auto stats = client.AdminRoundtrip(AdminOp::kStats);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->status, 0);
+  auto sdoc = JsonDoc::Parse(stats->json);
+  ASSERT_TRUE(sdoc.has_value());
+  // Admin polls must not count as data requests (no skewed ratios).
+  EXPECT_EQ(sdoc->number(sdoc->Find({"counters", "server.requests"})),
+            static_cast<double>(kDataRequests));
+  EXPECT_GT(sdoc->number(
+                sdoc->Find({"histograms", "server.latency.read_us", "count"})),
+            0.0);
+
+  // Let at least one 50 ms series window close under the loop's roll
+  // timer, then ask for the newest windows.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  auto series = client.AdminRoundtrip(AdminOp::kSeries, 8);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->status, 0);
+  auto rdoc = JsonDoc::Parse(series->json);
+  ASSERT_TRUE(rdoc.has_value());
+  EXPECT_EQ(rdoc->str(rdoc->member(rdoc->root(), "schema")), "reo.series.v1");
+  EXPECT_GE(rdoc->number(rdoc->member(rdoc->root(), "windows")), 1.0);
+  int col = rdoc->Find({"series", "server.requests"});
+  ASSERT_TRUE(rdoc->is(col, JsonDoc::Type::kArray));
+  // All the data requests happened before the first poll, so the windows
+  // seen here sum to at most the total (catch-up puts them in window 0,
+  // which may already have rotated out of the newest 8).
+  double sum = 0;
+  for (double v : rdoc->NumberArray(col)) sum += v;
+  EXPECT_LE(sum, static_cast<double>(kDataRequests));
+
+  auto ev = client.AdminRoundtrip(AdminOp::kEvents, 10);
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev->status, 0);
+  auto edoc = JsonDoc::Parse(ev->json);
+  ASSERT_TRUE(edoc.has_value());
+  EXPECT_EQ(edoc->str(edoc->member(edoc->root(), "schema")), "reo.events.v1");
+
+  client.Close();
+  DrainAndJoin();
+  EXPECT_EQ(server_->stats().admin_requests, 4u);
+  EXPECT_EQ(server_->stats().admin_errors, 0u);
+  EXPECT_EQ(server_->stats().requests, kDataRequests);
+  EXPECT_EQ(client.stats().admin_commands, 4u);
+}
+
+TEST_F(ServerTest, MalformedAdminFrameAnswersErrorAndConnectionSurvives) {
+  StartAdminServer();
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  auto read_admin_response = [&](int sock) -> Result<AdminResponse> {
+    FrameDecoder decoder;
+    std::vector<uint8_t> payload;
+    for (;;) {
+      FrameStatus st = decoder.Next(&payload);
+      if (st == FrameStatus::kFrame) break;
+      if (st != FrameStatus::kNeedMore) {
+        return Status{ErrorCode::kCorrupted, "framing lost"};
+      }
+      uint8_t buf[4096];
+      ssize_t n = recv(sock, buf, sizeof(buf), 0);
+      if (n <= 0) return Status{ErrorCode::kUnavailable, "closed"};
+      decoder.Feed({buf, static_cast<size_t>(n)});
+    }
+    return DecodeAdminResponse(payload);
+  };
+
+  // Admin magic with a nonzero reserved byte: the strict decoder rejects
+  // it, and the server must answer in-band instead of dropping us.
+  std::vector<uint8_t> bad =
+      EncodeAdminCommand(AdminCommand{AdminOp::kHealth, 0});
+  bad.back() = 0xEE;
+  std::vector<uint8_t> frame = EncodeFrame(bad);
+  ASSERT_EQ(send(fd, frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  auto err = read_admin_response(fd);
+  ASSERT_TRUE(err.ok());
+  EXPECT_NE(err->status, 0);
+  EXPECT_NE(err->json.find("error"), std::string::npos);
+
+  // The connection survived: a valid HEALTH on the same socket answers.
+  frame = EncodeFrame(EncodeAdminCommand(AdminCommand{AdminOp::kHealth, 0}));
+  ASSERT_EQ(send(fd, frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  auto ok = read_admin_response(fd);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->status, 0);
+  close(fd);
+
+  DrainAndJoin();
+  EXPECT_EQ(server_->stats().admin_requests, 2u);
+  EXPECT_EQ(server_->stats().admin_errors, 1u);
+  EXPECT_EQ(server_->stats().requests, 0u);  // admin never counts as data
+  bool saw_admin_error = false;
+  for (const auto& e : events_.events()) {
+    if (e.category == "server.admin_error") saw_admin_error = true;
+  }
+  EXPECT_TRUE(saw_admin_error);
+}
+
+// The attribution invariant the telemetry plane promises: with
+// sample_every = 1 the transport-stage span histogram observes the same
+// two clock stamps as the end-to-end service-latency histograms, so the
+// sums and counts match exactly — not statistically.
+TEST_F(ServerTest, StageLatencyAttributionMatchesEndToEnd) {
+  StartAdminServer();
+  SocketInitiator client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(client.Roundtrip(FormatCmd()).ok());
+  constexpr int kOps = 50;
+  for (int i = 0; i < kOps; ++i) {
+    OsdCommand create;
+    create.op = OsdOp::kCreate;
+    create.id = ObjectId{kFirstUserId, kTestObject.oid + 500 + i};
+    create.logical_size = 256;
+    ASSERT_TRUE(client.Roundtrip(create).ok());
+    OsdCommand write;
+    write.op = OsdOp::kWrite;
+    write.id = create.id;
+    write.data = std::vector<uint8_t>(256, static_cast<uint8_t>(i));
+    write.logical_size = 256;
+    ASSERT_TRUE(client.Roundtrip(write).ok());
+    OsdCommand read;
+    read.op = OsdOp::kRead;
+    read.id = write.id;
+    ASSERT_TRUE(client.Roundtrip(read).ok());
+  }
+  client.Close();
+  DrainAndJoin();
+
+  MetricSnapshot snap = telemetry_.Snapshot();
+  const MetricSnapshot::Entry* transport =
+      snap.Find("stage.transport.span_us");
+  const MetricSnapshot::Entry* lat_read = snap.Find("server.latency.read_us");
+  const MetricSnapshot::Entry* lat_write =
+      snap.Find("server.latency.write_us");
+  const MetricSnapshot::Entry* lat_other =
+      snap.Find("server.latency.other_us");
+  ASSERT_NE(transport, nullptr);
+  ASSERT_NE(lat_read, nullptr);
+  ASSERT_NE(lat_write, nullptr);
+  ASSERT_NE(lat_other, nullptr);
+
+  uint64_t end_to_end_count =
+      lat_read->count + lat_write->count + lat_other->count;
+  EXPECT_EQ(end_to_end_count, 1u + 3u * kOps);
+  EXPECT_EQ(transport->count, end_to_end_count);
+  double end_to_end_sum = lat_read->sum + lat_write->sum + lat_other->sum;
+  EXPECT_NEAR(transport->sum, end_to_end_sum,
+              1e-9 * std::max(1.0, end_to_end_sum));
+
+  // The nested stage (osd_target spans under the transport root) was
+  // attributed too, once per data request.
+  const MetricSnapshot::Entry* target_stage =
+      snap.Find("stage.osd_target.span_us");
+  ASSERT_NE(target_stage, nullptr);
+  EXPECT_EQ(target_stage->count, end_to_end_count);
 }
 
 TEST_F(ServerTest, IdleConnectionsAreReaped) {

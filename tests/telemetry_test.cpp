@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "flash/flash_device.h"
@@ -25,7 +27,7 @@ TEST(MetricRegistryTest, CounterGaugeBasics) {
   g.Set(5.0);
   EXPECT_DOUBLE_EQ(g.value(), 5.0);
 
-  Histogram& h = reg.GetHistogram("cache.latency.hit_us");
+  ShardedHistogram& h = reg.GetHistogram("cache.latency.hit_us");
   h.Add(100.0);
   EXPECT_EQ(h.count(), 1u);
   EXPECT_EQ(reg.size(), 3u);
@@ -46,6 +48,7 @@ TEST(MetricRegistryTest, NullTolerantHelpers) {
   Inc(static_cast<Counter*>(nullptr));
   Set(static_cast<Gauge*>(nullptr), 1.0);
   Observe(static_cast<Histogram*>(nullptr), 1.0);
+  Observe(static_cast<ShardedHistogram*>(nullptr), 1.0);
 
   MetricRegistry reg;
   Counter& c = reg.GetCounter("x");
@@ -94,7 +97,7 @@ TEST(MetricRegistryTest, SnapshotSortedAndFindable) {
 
 TEST(MetricRegistryTest, HistogramSnapshotSummarizes) {
   MetricRegistry reg;
-  Histogram& h = reg.GetHistogram("cache.latency.miss_us");
+  ShardedHistogram& h = reg.GetHistogram("cache.latency.miss_us");
   for (int i = 1; i <= 100; ++i) h.Add(static_cast<double>(i) * 10.0);
 
   MetricSnapshot snap = reg.Snapshot();
@@ -142,7 +145,8 @@ TEST(MetricRegistryTest, CsvExportShape) {
   reg.GetHistogram("cache.latency.hit_us").Add(42.0);
 
   std::string csv = reg.Snapshot().ToCsv();
-  EXPECT_EQ(csv.rfind("kind,name,value,count,mean,p50,p99,p999,max\n", 0), 0u)
+  EXPECT_EQ(csv.rfind("kind,name,value,count,mean,p50,p99,p999,max,sum\n", 0),
+            0u)
       << csv;
   EXPECT_NE(csv.find("counter,osd.reads,3"), std::string::npos) << csv;
   EXPECT_NE(csv.find("histogram,cache.latency.hit_us,"), std::string::npos)
@@ -153,7 +157,7 @@ TEST(MetricRegistryTest, ResetZeroesButKeepsRegistrations) {
   MetricRegistry reg;
   Counter& c = reg.GetCounter("osd.reads");
   Gauge& g = reg.GetGauge("flash.devices");
-  Histogram& h = reg.GetHistogram("cache.latency.hit_us");
+  ShardedHistogram& h = reg.GetHistogram("cache.latency.hit_us");
   c.Inc(3);
   g.Set(5.0);
   h.Add(42.0);
@@ -190,7 +194,7 @@ TEST(MetricRegistryTest, CsvEscapesDelimitersInNames) {
     std::string line = csv.substr(pos, eol - pos);
     pos = eol + 1;
     if (line.find('"') != std::string::npos) continue;  // quoted: multi-line
-    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 8) << line;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 9) << line;
   }
 }
 
@@ -222,6 +226,160 @@ TEST(MetricRegistryTest, DeviceCountersSurviveSpareReplacement) {
   EXPECT_GT(reg.GetCounter("flash.dev0.writes").value(), writes_before);
   EXPECT_GT(reg.GetCounter("flash.dev0.ftl.host_pages_written").value(), 0u);
   EXPECT_EQ(reg.name_collisions(), 0u);
+}
+
+TEST(MetricRegistryTest, SnapshotExportsHistogramSum) {
+  MetricRegistry reg;
+  ShardedHistogram& h = reg.GetHistogram("server.latency.read_us");
+  h.Add(10.0);
+  h.Add(30.0);
+
+  MetricSnapshot snap = reg.Snapshot();
+  const MetricSnapshot::Entry* e = snap.Find("server.latency.read_us");
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->sum, 40.0);
+  EXPECT_NE(snap.ToJson().find("\"sum\":40"), std::string::npos);
+  EXPECT_NE(snap.ToCsv().find(",40\n"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, ShardedHistogramMergesPlainHistogram) {
+  // The load generator's rollup path: per-worker plain histograms merged
+  // into one registry histogram. Percentiles must survive the trip — the
+  // merge has to carry buckets, not just moments.
+  Histogram worker_a;
+  Histogram worker_b;
+  for (int i = 1; i <= 50; ++i) worker_a.Add(10.0);
+  for (int i = 1; i <= 50; ++i) worker_b.Add(1000.0);
+
+  MetricRegistry reg;
+  ShardedHistogram& h = reg.GetHistogram("loadgen.latency.all_us");
+  h.Merge(worker_a);
+  h.Merge(worker_b);
+
+  Histogram folded = h.Merged();
+  EXPECT_EQ(folded.count(), 100u);
+  EXPECT_DOUBLE_EQ(folded.sum(), 50.0 * 10.0 + 50.0 * 1000.0);
+  EXPECT_DOUBLE_EQ(folded.max(), 1000.0);
+  EXPECT_LT(folded.Percentile(0.25), 20.0);   // low half near 10
+  EXPECT_GT(folded.Percentile(0.75), 800.0);  // high half near 1000
+}
+
+// --- Concurrency: the registry's core thread-safety contract. Run under
+// TSan (the dedicated CI job builds these tests with -fsanitize=thread);
+// the exactness assertions below catch lost updates even without it.
+
+TEST(MetricRegistryTest, ConcurrentCountersAreExact) {
+  MetricRegistry reg;
+  Counter& c = reg.GetCounter("server.requests");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100'000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(MetricRegistryTest, ConcurrentHistogramObservationsAreExact) {
+  MetricRegistry reg;
+  ShardedHistogram& h = reg.GetHistogram("server.latency.read_us");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20'000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Add(static_cast<double>((t + 1) * 100));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  Histogram folded = h.Merged();
+  EXPECT_EQ(folded.count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(folded.max(), 800.0);
+  // Every sample landed in a bucket: the bucket total matches the count.
+  uint64_t bucketed = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    bucketed += folded.bucket_count(b);
+  }
+  EXPECT_EQ(bucketed, kThreads * kPerThread);
+}
+
+TEST(MetricRegistryTest, SnapshotWhileWritingIsMonotoneAndSane) {
+  // Readers must never perturb writers or observe garbage: counters in a
+  // mid-flight snapshot are between 0 and the final total and never
+  // decrease across successive snapshots.
+  MetricRegistry reg;
+  Counter& c = reg.GetCounter("server.requests");
+  ShardedHistogram& h = reg.GetHistogram("server.latency.read_us");
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerThread = 50'000;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        c.Inc();
+        h.Add(50.0);
+      }
+    });
+  }
+  std::thread reader([&] {
+    double prev = 0.0;
+    while (!done.load(std::memory_order_acquire)) {
+      MetricSnapshot snap = reg.Snapshot();
+      const MetricSnapshot::Entry* e = snap.Find("server.requests");
+      ASSERT_NE(e, nullptr);
+      EXPECT_GE(e->value, prev);
+      EXPECT_LE(e->value, static_cast<double>(kWriters * kPerThread));
+      prev = e->value;
+      const MetricSnapshot::Entry* lh = snap.Find("server.latency.read_us");
+      ASSERT_NE(lh, nullptr);
+      EXPECT_LE(lh->count, kWriters * kPerThread);
+    }
+  });
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(c.value(), kWriters * kPerThread);
+  EXPECT_EQ(h.count(), kWriters * kPerThread);
+}
+
+TEST(MetricRegistryTest, ConcurrentRegistrationReturnsStableObjects) {
+  // Many threads race to register overlapping names; every thread must get
+  // the same object per name and no update may be lost.
+  MetricRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 100; ++i) {
+        reg.GetCounter("shared.counter." + std::to_string(i % 10)).Inc();
+        reg.GetHistogram("shared.hist." + std::to_string(i % 10)).Add(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  uint64_t total = 0;
+  for (int i = 0; i < 10; ++i) {
+    total += reg.GetCounter("shared.counter." + std::to_string(i)).value();
+  }
+  EXPECT_EQ(total, kThreads * 100u);
+  EXPECT_EQ(reg.name_collisions(), 0u);
+  EXPECT_EQ(reg.size(), 20u);
 }
 
 }  // namespace

@@ -1,0 +1,195 @@
+// admin_probe: one-shot in-band admin query against a live reo_server.
+//
+// Connects over the framed OSD wire, issues one ADMIN command (STATS /
+// SERIES / EVENTS / HEALTH), prints the JSON reply, and optionally
+// asserts on it — the CI smoke job's probe. Examples:
+//
+//   admin_probe --port 9555 health
+//   admin_probe --port-file port.txt --lint stats
+//   admin_probe --port-file port.txt --arg 10 series
+//   admin_probe --port-file port.txt --lint \
+//       --expect-zero counters.server.crc_errors \
+//       --expect-zero counters.fault.crc_unrepaired stats
+//
+// Exit codes: 0 ok; 1 an --expect-zero value was nonzero; 2 usage /
+// connect / protocol error (including status!=0 replies); 3 the reply
+// failed --lint or could not be parsed for --expect-zero.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "server/socket_initiator.h"
+#include "telemetry/json_scan.h"
+#include "trace/json_lint.h"
+
+using namespace reo;
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] stats|series|events|health\n"
+      "  --host ADDR        server address (default 127.0.0.1)\n"
+      "  --port N           server port\n"
+      "  --port-file PATH   read the port from PATH (reo_server --port-file)\n"
+      "  --arg N            series: newest N windows; events: newest N\n"
+      "                     events (default 0 = all retained)\n"
+      "  --timeout-ms N     connect/receive deadline (default 5000)\n"
+      "  --lint             validate the reply is well-formed JSON (exit 3)\n"
+      "  --expect-zero PATH assert a numeric field is 0 or absent; PATH is\n"
+      "                     section.metric (\"counters.server.crc_errors\")\n"
+      "                     or a flat health field (\"crc_errors\");\n"
+      "                     repeatable (exit 1 on violation)\n"
+      "  --quiet            suppress the JSON body on stdout\n",
+      argv0);
+}
+
+/// Resolves an --expect-zero path: "section.rest" against an object-valued
+/// `section` member first (metric names contain dots, so only the first
+/// dot splits), then the whole path as one flat key at the root.
+int ResolvePath(const JsonDoc& doc, const std::string& path) {
+  size_t dot = path.find('.');
+  if (dot != std::string::npos) {
+    int section = doc.member(doc.root(), path.substr(0, dot));
+    if (doc.is(section, JsonDoc::Type::kObject)) {
+      int hit = doc.member(section, path.substr(dot + 1));
+      if (hit != JsonDoc::kInvalid) return hit;
+    }
+  }
+  return doc.member(doc.root(), path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string port_file;
+  uint16_t port = 0;
+  uint32_t arg = 0;
+  uint32_t timeout_ms = 5000;
+  bool lint = false;
+  bool quiet = false;
+  std::vector<std::string> expect_zero;
+  const char* op_name = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--host")) {
+      host = next();
+    } else if (!std::strcmp(argv[i], "--port")) {
+      port = static_cast<uint16_t>(std::strtoul(next(), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--port-file")) {
+      port_file = next();
+    } else if (!std::strcmp(argv[i], "--arg")) {
+      arg = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--timeout-ms")) {
+      timeout_ms = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--lint")) {
+      lint = true;
+    } else if (!std::strcmp(argv[i], "--expect-zero")) {
+      expect_zero.emplace_back(next());
+    } else if (!std::strcmp(argv[i], "--quiet")) {
+      quiet = true;
+    } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      Usage(argv[0]);
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      Usage(argv[0]);
+      return 2;
+    } else if (op_name == nullptr) {
+      op_name = argv[i];
+    } else {
+      std::fprintf(stderr, "more than one command: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (op_name == nullptr) {
+    Usage(argv[0]);
+    return 2;
+  }
+  AdminOp op;
+  if (!std::strcmp(op_name, "stats")) op = AdminOp::kStats;
+  else if (!std::strcmp(op_name, "series")) op = AdminOp::kSeries;
+  else if (!std::strcmp(op_name, "events")) op = AdminOp::kEvents;
+  else if (!std::strcmp(op_name, "health")) op = AdminOp::kHealth;
+  else {
+    std::fprintf(stderr, "unknown command %s\n", op_name);
+    return 2;
+  }
+  if (!port_file.empty()) {
+    auto text = ReadFileToString(port_file);
+    if (!text.ok()) {
+      std::fprintf(stderr, "port file: %s\n",
+                   text.status().to_string().c_str());
+      return 2;
+    }
+    port = static_cast<uint16_t>(std::strtoul(text->c_str(), nullptr, 10));
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "need --port or --port-file\n");
+    return 2;
+  }
+
+  SocketInitiatorConfig cfg;
+  cfg.connect_timeout_ms = timeout_ms;
+  cfg.receive_timeout_ms = timeout_ms;
+  SocketInitiator client(cfg);
+  Status st = client.Connect(host, port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect %s:%u: %s\n", host.c_str(), port,
+                 st.to_string().c_str());
+    return 2;
+  }
+  auto resp = client.AdminRoundtrip(op, arg);
+  if (!resp.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", op_name,
+                 resp.status().to_string().c_str());
+    return 2;
+  }
+  if (!quiet) std::printf("%s\n", resp->json.c_str());
+  if (resp->status != 0) {
+    std::fprintf(stderr, "%s answered status %u: %s\n", op_name, resp->status,
+                 resp->json.c_str());
+    return 2;
+  }
+
+  if (lint) {
+    JsonLintResult lr = LintJson(resp->json);
+    if (!lr.ok) {
+      std::fprintf(stderr, "%s reply is not valid JSON at byte %zu: %s\n",
+                   op_name, lr.error_offset, lr.error.c_str());
+      return 3;
+    }
+  }
+  if (!expect_zero.empty()) {
+    auto doc = JsonDoc::Parse(resp->json);
+    if (!doc) {
+      std::fprintf(stderr, "%s reply did not parse\n", op_name);
+      return 3;
+    }
+    int violations = 0;
+    for (const std::string& path : expect_zero) {
+      int node = ResolvePath(*doc, path);
+      if (node == JsonDoc::kInvalid) continue;  // never registered: zero
+      double v = doc->number(node);
+      if (v != 0.0) {
+        std::fprintf(stderr, "expect-zero violated: %s = %g\n", path.c_str(),
+                     v);
+        ++violations;
+      }
+    }
+    if (violations > 0) return 1;
+  }
+  return 0;
+}

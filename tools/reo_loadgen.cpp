@@ -595,9 +595,10 @@ int main(int argc, char** argv) {
   // Merge the per-thread results into one registry; everything reported
   // below is read back out of its snapshot.
   MetricRegistry registry;
-  Histogram& read_us = registry.GetHistogram("loadgen.latency.read_us");
-  Histogram& write_us = registry.GetHistogram("loadgen.latency.write_us");
-  Histogram& all_us = registry.GetHistogram("loadgen.latency.all_us");
+  ShardedHistogram& read_us = registry.GetHistogram("loadgen.latency.read_us");
+  ShardedHistogram& write_us =
+      registry.GetHistogram("loadgen.latency.write_us");
+  ShardedHistogram& all_us = registry.GetHistogram("loadgen.latency.all_us");
   Counter& reads = registry.GetCounter("loadgen.reads");
   Counter& writes = registry.GetCounter("loadgen.writes");
   Counter& sense_errors = registry.GetCounter("loadgen.sense_errors");
