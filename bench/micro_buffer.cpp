@@ -1,0 +1,55 @@
+// Microbenchmark pinning the non-zeroing PayloadBuffer win on the read
+// path: GetObject materializes a fresh payload buffer and then overwrites
+// every byte with chunk copies, so a value-initializing resize() pays one
+// full memset per read purely to be overwritten. The pair below measures
+// resize-then-fill with the zeroing and non-zeroing allocators at the
+// default chunk size.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/rng.h"
+
+namespace {
+
+using reo::PayloadBuffer;
+using reo::Pcg32;
+
+std::vector<uint8_t> RandomSource(size_t len) {
+  Pcg32 rng(42);
+  std::vector<uint8_t> src(len);
+  for (auto& b : src) b = static_cast<uint8_t>(rng.Next());
+  return src;
+}
+
+void BM_ReadFillZeroingVector(benchmark::State& state) {
+  size_t len = static_cast<size_t>(state.range(0));
+  auto src = RandomSource(len);
+  for (auto _ : state) {
+    std::vector<uint8_t> payload;
+    payload.resize(len);  // memset to 0 first...
+    std::memcpy(payload.data(), src.data(), len);  // ...then overwritten
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+}
+BENCHMARK(BM_ReadFillZeroingVector)->Arg(4 * 1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_ReadFillPayloadBuffer(benchmark::State& state) {
+  size_t len = static_cast<size_t>(state.range(0));
+  auto src = RandomSource(len);
+  for (auto _ : state) {
+    PayloadBuffer payload;
+    payload.resize(len);  // default-init: no memset
+    std::memcpy(payload.data(), src.data(), len);
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+}
+BENCHMARK(BM_ReadFillPayloadBuffer)->Arg(4 * 1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+}  // namespace

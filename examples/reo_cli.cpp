@@ -47,6 +47,10 @@ void Usage(const char* argv0) {
       "  --fault-spec PATH               JSON fault-injection spec (see\n"
       "                                  src/fault/fault_spec.h for the format)\n"
       "  --scrub-every N                 full scrub pass every N requests\n"
+      "  --dram-mb N                     DRAM admission tier budget in MiB\n"
+      "                                  (default 0 = tier disabled)\n"
+      "  --admission all|flashiness|credit   flash-admission policy (default all)\n"
+      "  --flash-write-budget MBPS       write-credit budget in MiB/s (default 64)\n"
       "  --failslow-demote               demote devices flagged fail-slow\n"
       "  --warmup                        unmeasured warm-up pass first\n"
       "  --verify                        CRC-verify every hit\n"
@@ -204,6 +208,17 @@ int main(int argc, char** argv) {
       cfg.faults = std::move(*spec);
     } else if (!std::strcmp(argv[i], "--scrub-every")) {
       cfg.scrub_interval_requests = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--dram-mb")) {
+      cfg.admission.dram_bytes = std::strtoull(next(), nullptr, 10) * kMiB;
+    } else if (!std::strcmp(argv[i], "--admission")) {
+      const char* p = next();
+      if (!ParseAdmissionPolicy(p, &cfg.admission.policy)) {
+        std::fprintf(stderr, "unknown admission policy %s\n", p);
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--flash-write-budget")) {
+      cfg.admission.flash_write_budget_bps =
+          std::strtoull(next(), nullptr, 10) * kMiB;
     } else if (!std::strcmp(argv[i], "--failslow-demote")) {
       cfg.failslow_demote = true;
     } else if (!std::strcmp(argv[i], "recover-stats")) {
@@ -327,6 +342,20 @@ int main(int argc, char** argv) {
               static_cast<double>(report.space.user_bytes) / 1e6,
               static_cast<double>(report.space.redundancy_bytes) / 1e6,
               report.max_wear * 100);
+  if (cfg.admission.dram_bytes > 0) {
+    auto counter = [&report](const char* name) -> double {
+      const MetricSnapshot::Entry* e = report.telemetry.Find(name);
+      return e != nullptr ? e->value : 0.0;
+    };
+    double dram_total = counter("dram.hits") + counter("dram.misses");
+    std::printf("admit (%s): staged %.0f, graduated %.0f, dropped %.0f,"
+                " write-through %.0f, bypass %.0f; dram hit %.1f%%\n",
+                std::string(to_string(cfg.admission.policy)).c_str(),
+                counter("admit.staged"), counter("admit.graduated"),
+                counter("admit.dropped"), counter("admit.write_through"),
+                counter("admit.bypass"),
+                dram_total > 0 ? counter("dram.hits") / dram_total * 100 : 0.0);
+  }
   if (!cfg.faults.empty()) {
     auto counter = [&report](const char* name) -> double {
       const MetricSnapshot::Entry* e = report.telemetry.Find(name);

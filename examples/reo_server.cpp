@@ -18,7 +18,9 @@
 #include <memory>
 #include <string>
 
+#include "admit/admission_tier.h"
 #include "common/file_util.h"
+#include "common/units.h"
 #include "core/data_plane.h"
 #include "core/policy.h"
 #include "fault/failslow.h"
@@ -75,7 +77,16 @@ void Usage(const char* argv0) {
       "  --checkpoint-interval N  journal records between automatic\n"
       "                       checkpoints (default 4096)\n"
       "  --fault-spec PATH    JSON fault-injection spec (chaos testing; see\n"
-      "                       src/fault/fault_spec.h for the format)\n",
+      "                       src/fault/fault_spec.h for the format)\n"
+      "  --dram-mb N          DRAM admission tier budget in MiB; clean\n"
+      "                       writes stage in DRAM and only graduate to\n"
+      "                       flash per the admission policy (default 0:\n"
+      "                       tier off, every write goes straight to flash)\n"
+      "  --admission P        all|flashiness|credit - policy deciding which\n"
+      "                       DRAM evictions earn a flash write (default all)\n"
+      "  --flash-write-budget N   write-credit budget for --admission\n"
+      "                       credit, MiB of flash writes per second\n"
+      "                       (default 64)\n",
       argv0);
 }
 
@@ -95,6 +106,7 @@ int main(int argc, char** argv) {
   uint64_t trace_sample = 64;
   uint64_t series_window_ms = 1000;
   size_t series_windows = 300;
+  AdmissionConfig admit_cfg;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -162,6 +174,17 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--checkpoint-interval")) {
       persist_cfg.checkpoint_interval_records =
           std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--dram-mb")) {
+      admit_cfg.dram_bytes = std::strtoull(next(), nullptr, 10) * kMiB;
+    } else if (!std::strcmp(argv[i], "--admission")) {
+      const char* p = next();
+      if (!ParseAdmissionPolicy(p, &admit_cfg.policy)) {
+        std::fprintf(stderr, "unknown admission policy %s\n", p);
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--flash-write-budget")) {
+      admit_cfg.flash_write_budget_bps =
+          std::strtoull(next(), nullptr, 10) * kMiB;
     } else if (!std::strcmp(argv[i], "--fault-spec")) {
       auto spec = LoadFaultSpecFile(next());
       if (!spec.ok()) {
@@ -192,6 +215,11 @@ int main(int argc, char** argv) {
   smc.capacity_limit_bytes = capacity_bytes;
   StripeManager stripes(array, smc);
   ReoDataPlane plane(stripes, RedundancyPolicy(policy));
+  // DRAM admission tier: clean writes stage in DRAM and only graduate to
+  // flash when the admission policy says the eviction earned a flash write.
+  // Disabled (--dram-mb 0) the stack is byte-identical to the pre-tier one.
+  AdmissionTier admit(admit_cfg);
+  if (admit.enabled()) plane.AttachAdmission(admit);
   OsdTarget target(plane);
 
   MetricRegistry telemetry;
@@ -200,8 +228,10 @@ int main(int argc, char** argv) {
     array.AttachTelemetry(telemetry);
     plane.AttachTelemetry(telemetry);
     target.AttachTelemetry(telemetry);
+    if (admit.enabled()) admit.AttachTelemetry(telemetry);
   }
   plane.AttachEvents(events);
+  if (admit.enabled()) admit.AttachEvents(events);
 
   // Per-stage latency attribution: sampled request traces feed
   // stage.<component>.span_us histograms. --trace-sample 0 turns it off.
@@ -318,6 +348,11 @@ int main(int argc, char** argv) {
               server_cfg.bind_address.c_str(), server.port(),
               std::string(to_string(policy.mode)).c_str(), num_devices,
               static_cast<unsigned long long>(capacity_bytes >> 20));
+  if (admit.enabled()) {
+    std::printf("dram admission tier: %llu MiB, policy %s\n",
+                static_cast<unsigned long long>(admit_cfg.dram_bytes >> 20),
+                std::string(to_string(admit_cfg.policy)).c_str());
+  }
   std::fflush(stdout);
 
   g_server = &server;

@@ -1,0 +1,146 @@
+#include "admit/admission.h"
+
+#include <algorithm>
+
+namespace reo {
+
+bool ParseAdmissionPolicy(std::string_view name, AdmissionPolicyKind* out) {
+  if (name == "all") {
+    *out = AdmissionPolicyKind::kAdmitAll;
+  } else if (name == "flashiness") {
+    *out = AdmissionPolicyKind::kFlashiness;
+  } else if (name == "credit") {
+    *out = AdmissionPolicyKind::kWriteCredit;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+class AdmitAllPolicy final : public AdmissionPolicy {
+ public:
+  bool ShouldAdmit(const AdmissionCandidate&, SimTime) override { return true; }
+  std::string_view name() const override { return "all"; }
+};
+
+/// Flashield-style: an object graduates only when the reuse observed while
+/// DRAM-resident clears `min_hits_`. The threshold adapts per window of
+/// evictions: graduating more than the target fraction raises it (flash
+/// writes too cheap), less lowers it, so the graduate rate tracks the
+/// target without a trace-specific constant.
+class FlashinessPolicy final : public AdmissionPolicy {
+ public:
+  explicit FlashinessPolicy(const AdmissionConfig& cfg)
+      : target_(std::clamp(cfg.flashiness_target, 0.0, 1.0)),
+        window_(std::max<uint32_t>(cfg.flashiness_window, 1)) {}
+
+  bool ShouldAdmit(const AdmissionCandidate& obj, SimTime now) override {
+    bool admit = obj.dram_hits >= min_hits_;
+    ++seen_;
+    if (admit) ++admitted_;
+    if (seen_ >= window_) {
+      double fraction = static_cast<double>(admitted_) / seen_;
+      uint64_t prev = min_hits_;
+      if (fraction > target_ && min_hits_ < kMaxThreshold) {
+        ++min_hits_;
+      } else if (fraction < target_ && min_hits_ > 0) {
+        --min_hits_;
+      }
+      if (min_hits_ != prev) {
+        Emit(ev_, now, EventSeverity::kInfo, "admit.threshold",
+             "flashiness threshold adapted",
+             {{"min_hits", std::to_string(min_hits_)},
+              {"graduate_fraction", std::to_string(fraction)}});
+      }
+      seen_ = 0;
+      admitted_ = 0;
+    }
+    return admit;
+  }
+
+  std::string_view name() const override { return "flashiness"; }
+
+  uint64_t min_hits() const { return min_hits_; }
+
+ private:
+  static constexpr uint64_t kMaxThreshold = 1 << 20;
+
+  double target_;
+  uint32_t window_;
+  uint64_t min_hits_ = 1;  ///< start at "any observed reuse"
+  uint32_t seen_ = 0;
+  uint32_t admitted_ = 0;
+};
+
+/// Token bucket in flash-write bytes, refilled at the configured budget
+/// rate (the lsm_sim flash_cache credit scheme): graduation requires and
+/// spends `stored_bytes` credits; an exhausted bucket drops evictions
+/// until refill catches up.
+class WriteCreditPolicy final : public AdmissionPolicy {
+ public:
+  explicit WriteCreditPolicy(const AdmissionConfig& cfg)
+      : rate_bps_(cfg.flash_write_budget_bps),
+        cap_(static_cast<double>(cfg.flash_write_budget_bps) *
+             std::max(cfg.credit_burst_seconds, 0.0)) {
+    credits_ = cap_;  // start full so a cold cache is not throttled
+  }
+
+  bool ShouldAdmit(const AdmissionCandidate& obj, SimTime now) override {
+    Refill(now);
+    double need = static_cast<double>(obj.stored_bytes);
+    if (credits_ < need) {
+      if (!exhausted_) {
+        exhausted_ = true;
+        Emit(ev_, now, EventSeverity::kInfo, "admit.budget_exhausted",
+             "flash-write credits exhausted; dropping DRAM evictions",
+             {{"budget_bps", std::to_string(rate_bps_)}});
+      }
+      return false;
+    }
+    return true;
+  }
+
+  void OnFlashWrite(uint64_t bytes, SimTime now) override {
+    Refill(now);
+    credits_ -= static_cast<double>(bytes);
+    if (credits_ < 0) credits_ = 0;
+  }
+
+  std::string_view name() const override { return "credit"; }
+
+  double credits() const { return credits_; }
+
+ private:
+  void Refill(SimTime now) {
+    if (now > last_refill_) {
+      double dt_s = static_cast<double>(now - last_refill_) / 1e9;
+      credits_ = std::min(cap_, credits_ + dt_s * static_cast<double>(rate_bps_));
+      last_refill_ = now;
+    }
+    if (exhausted_ && credits_ > 0) exhausted_ = false;
+  }
+
+  uint64_t rate_bps_;
+  double cap_;
+  double credits_ = 0;
+  SimTime last_refill_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<AdmissionPolicy> MakeAdmissionPolicy(const AdmissionConfig& cfg) {
+  switch (cfg.policy) {
+    case AdmissionPolicyKind::kAdmitAll:
+      return std::make_unique<AdmitAllPolicy>();
+    case AdmissionPolicyKind::kFlashiness:
+      return std::make_unique<FlashinessPolicy>(cfg);
+    case AdmissionPolicyKind::kWriteCredit:
+      return std::make_unique<WriteCreditPolicy>(cfg);
+  }
+  return std::make_unique<AdmitAllPolicy>();
+}
+
+}  // namespace reo

@@ -1,0 +1,150 @@
+// AdmissionTier: the DRAM front cache plus its admission policy, as one
+// facade the data plane drives.
+//
+// Clean writes (classes 2/3) are staged in DRAM instead of going to
+// flash; reads check DRAM first. When staging needs room the tier evicts
+// (segmented LRU) and the policy decides per victim: graduate — write to
+// flash through the writer callback the plane installed, carrying the
+// hotness the classifier hook reports — or drop, spending no flash
+// endurance on an object that never earned it.
+//
+// The tier is deliberately below the core library: it talks to flash only
+// through the installed callback, so `reo_admit` depends on nothing above
+// the telemetry/trace substrate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "admit/admission.h"
+#include "admit/dram_cache.h"
+#include "common/status.h"
+#include "telemetry/metric_registry.h"
+
+namespace reo {
+
+/// Plain mirrors of the tier counters for tests and simulator reports.
+struct AdmissionStats {
+  uint64_t staged = 0;         ///< writes held in DRAM
+  uint64_t bypass = 0;         ///< writes sent straight to flash
+  uint64_t write_through = 0;  ///< overwrites of flash-resident objects
+  uint64_t dram_hits = 0;
+  uint64_t dram_misses = 0;
+  uint64_t evictions = 0;  ///< == graduated + dropped
+  uint64_t graduated = 0;
+  uint64_t graduated_bytes = 0;
+  uint64_t dropped = 0;
+  uint64_t dropped_bytes = 0;
+  uint64_t graduate_failures = 0;  ///< graduation writes flash refused
+};
+
+class AdmissionTier {
+ public:
+  /// Writes one graduating object to flash (the plane's write path).
+  using FlashWriteFn = std::function<Status(
+      ObjectId id, std::span<const uint8_t> payload, uint64_t logical_bytes,
+      uint8_t class_id, SimTime now)>;
+
+  /// Classifies a graduating object from its observed DRAM reuse; the
+  /// cache manager installs this so class 2/3 placement starts from
+  /// evidence. Null falls back to the class the object was staged with.
+  using HotnessFn = std::function<uint8_t(ObjectId id, uint64_t logical_bytes,
+                                          uint64_t dram_hits,
+                                          uint8_t staged_class)>;
+
+  explicit AdmissionTier(const AdmissionConfig& cfg);
+
+  bool enabled() const { return cfg_.dram_bytes > 0; }
+  const AdmissionConfig& config() const { return cfg_; }
+
+  void SetFlashWriter(FlashWriteFn fn) { flash_write_ = std::move(fn); }
+  /// The currently installed writer, so a layer with eviction authority
+  /// (the cache manager) can wrap it with make-room-then-write.
+  const FlashWriteFn& flash_writer() const { return flash_write_; }
+  void SetHotnessHook(HotnessFn fn) { hotness_ = std::move(fn); }
+
+  /// Whether a write of this class should be staged at all (clean classes
+  /// only; durability classes 0/1 must hit flash before the ack).
+  static bool StageableClass(uint8_t class_id) { return class_id >= 2; }
+
+  /// Whether `stored_bytes` can ever fit the DRAM budget.
+  bool CanHold(uint64_t stored_bytes) const {
+    return dram_.CanHold(stored_bytes);
+  }
+
+  /// Stages a shaped (flash-ready) payload, evicting — graduate or drop,
+  /// per policy — until it fits. Counted as admit.staged.
+  Status Stage(ObjectId id, PayloadBuffer payload, uint64_t logical_bytes,
+               uint8_t class_id, SimTime now);
+
+  /// DRAM lookup for the read path; counts dram.hits / dram.misses and
+  /// maintains dram.hit_ratio. The pointer is valid until the next
+  /// mutating tier call.
+  const DramCache::Entry* Lookup(ObjectId id, SimTime now);
+
+  bool Contains(ObjectId id) const { return dram_.Peek(id) != nullptr; }
+
+  /// Drops a staged object (overwrite-invalidate, REMOVE). True when a
+  /// DRAM entry existed.
+  bool Erase(ObjectId id);
+
+  /// Updates the staged class in place (clean reclass). False when the
+  /// object is not staged.
+  bool SetClass(ObjectId id, uint8_t class_id);
+
+  /// Forces a staged object to flash now (reclass to a durability class):
+  /// writes with `class_id`, then drops the DRAM copy. Counted as an
+  /// eviction + graduation so the admit invariant holds.
+  Status GraduateNow(ObjectId id, uint8_t class_id, SimTime now);
+
+  /// Reports a tier-caused flash write the tier did not issue itself
+  /// (write-through of an overwrite) so budget policies can spend it.
+  void NoteWriteThrough(uint64_t bytes, SimTime now);
+
+  /// Counts a write the tier declined to stage (wrong class, oversized,
+  /// replay). Telemetry only.
+  void CountBypass();
+
+  void Clear() { dram_.Clear(); UpdateGauges(); }
+
+  void AttachTelemetry(MetricRegistry& registry);
+  void AttachEvents(EventLog& events);
+
+  const AdmissionStats& stats() const { return stats_; }
+  const AdmissionPolicy& policy() const { return *policy_; }
+  uint64_t dram_bytes_used() const { return dram_.bytes(); }
+  size_t dram_objects() const { return dram_.size(); }
+
+ private:
+  /// Evicts until `needed_bytes` fit, graduating or dropping each victim.
+  void EvictUntilFit(uint64_t needed_bytes, SimTime now);
+  uint8_t ClassifyForFlash(const AdmissionCandidate& victim) const;
+  void UpdateGauges();
+  void UpdateHitRatio();
+
+  AdmissionConfig cfg_;
+  DramCache dram_;
+  std::unique_ptr<AdmissionPolicy> policy_;
+  FlashWriteFn flash_write_;
+  HotnessFn hotness_;
+  AdmissionStats stats_;
+
+  // Telemetry (null when un-attached).
+  Counter* tel_staged_ = nullptr;
+  Counter* tel_bypass_ = nullptr;
+  Counter* tel_write_through_ = nullptr;
+  Counter* tel_hits_ = nullptr;
+  Counter* tel_misses_ = nullptr;
+  Counter* tel_evictions_ = nullptr;
+  Counter* tel_graduated_ = nullptr;
+  Counter* tel_graduated_bytes_ = nullptr;
+  Counter* tel_dropped_ = nullptr;
+  Counter* tel_dropped_bytes_ = nullptr;
+  Counter* tel_graduate_failures_ = nullptr;
+  Gauge* tel_dram_bytes_ = nullptr;
+  Gauge* tel_dram_objects_ = nullptr;
+  Gauge* tel_hit_ratio_ = nullptr;
+};
+
+}  // namespace reo

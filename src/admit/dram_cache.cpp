@@ -1,0 +1,129 @@
+#include "admit/dram_cache.h"
+
+#include <algorithm>
+
+namespace reo {
+
+DramCache::DramCache(uint64_t capacity_bytes, double protected_fraction)
+    : capacity_bytes_(capacity_bytes),
+      protected_capacity_bytes_(static_cast<uint64_t>(
+          static_cast<double>(capacity_bytes) *
+          std::clamp(protected_fraction, 0.0, 1.0))) {}
+
+void DramCache::Put(ObjectId id, PayloadBuffer payload, uint64_t logical_bytes,
+                    uint8_t class_id, SimTime now) {
+  Erase(id);
+  Node node;
+  node.entry.logical_bytes = logical_bytes;
+  node.entry.staged_at = now;
+  node.entry.last_hit = now;
+  node.entry.class_id = class_id;
+  bytes_ += payload.size();
+  node.entry.payload = std::move(payload);
+  node.segment = Segment::kProbation;
+  probation_.push_front(id);
+  node.lru_it = probation_.begin();
+  index_.emplace(id, std::move(node));
+}
+
+const DramCache::Entry* DramCache::Get(ObjectId id, SimTime now) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return nullptr;
+  Node& node = it->second;
+  ++node.entry.hits;
+  node.entry.last_hit = now;
+  // Promote: observed reuse moves the entry into the protected segment.
+  if (node.segment == Segment::kProbation) {
+    probation_.erase(node.lru_it);
+    node.segment = Segment::kProtected;
+    protected_bytes_ += node.entry.payload.size();
+  } else {
+    protected_.erase(node.lru_it);
+  }
+  protected_.push_front(id);
+  node.lru_it = protected_.begin();
+  RebalanceProtected();
+  return &node.entry;
+}
+
+const DramCache::Entry* DramCache::Peek(ObjectId id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &it->second.entry;
+}
+
+bool DramCache::SetClass(ObjectId id, uint8_t class_id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  it->second.entry.class_id = class_id;
+  return true;
+}
+
+bool DramCache::Erase(ObjectId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  Node& node = it->second;
+  bytes_ -= node.entry.payload.size();
+  if (node.segment == Segment::kProbation) {
+    probation_.erase(node.lru_it);
+  } else {
+    protected_bytes_ -= node.entry.payload.size();
+    protected_.erase(node.lru_it);
+  }
+  index_.erase(it);
+  return true;
+}
+
+bool DramCache::PopVictim(AdmissionCandidate* out, PayloadBuffer* payload) {
+  ObjectId victim;
+  if (!probation_.empty()) {
+    victim = probation_.back();
+  } else if (!protected_.empty()) {
+    victim = protected_.back();
+  } else {
+    return false;
+  }
+  auto it = index_.find(victim);
+  Node& node = it->second;
+  out->id = victim;
+  out->logical_bytes = node.entry.logical_bytes;
+  out->stored_bytes = node.entry.payload.size();
+  out->dram_hits = node.entry.hits;
+  out->staged_at = node.entry.staged_at;
+  out->last_hit = node.entry.last_hit;
+  out->staged_class = node.entry.class_id;
+  *payload = std::move(node.entry.payload);
+  bytes_ -= out->stored_bytes;
+  if (node.segment == Segment::kProbation) {
+    probation_.pop_back();
+  } else {
+    protected_bytes_ -= out->stored_bytes;
+    protected_.pop_back();
+  }
+  index_.erase(it);
+  return true;
+}
+
+void DramCache::Clear() {
+  index_.clear();
+  probation_.clear();
+  protected_.clear();
+  bytes_ = 0;
+  protected_bytes_ = 0;
+}
+
+void DramCache::RebalanceProtected() {
+  while (protected_bytes_ > protected_capacity_bytes_ &&
+         protected_.size() > 1) {
+    ObjectId demote = protected_.back();
+    protected_.pop_back();
+    Node& node = index_.at(demote);
+    protected_bytes_ -= node.entry.payload.size();
+    node.segment = Segment::kProbation;
+    // Demotion lands at probation *head*: it was re-referenced once, so it
+    // still outranks brand-new arrivals... but below anything protected.
+    probation_.push_front(demote);
+    node.lru_it = probation_.begin();
+  }
+}
+
+}  // namespace reo

@@ -1,0 +1,101 @@
+// Bounded DRAM front cache: hash index over a segmented LRU (probation +
+// protected), byte-capacity budget.
+//
+// New objects land at the head of the probation segment; a DRAM hit
+// promotes into the protected segment, whose overflow demotes back to
+// probation — one re-reference is evidence, two evictions' worth of scan
+// traffic is not (the classic SLRU scan filter). Eviction always takes
+// the probation tail first, so one-hit-wonders leave before anything with
+// observed reuse. Single-threaded, like the data plane that owns it.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "admit/admission.h"
+#include "common/buffer.h"
+#include "common/object_id.h"
+#include "common/sim_clock.h"
+
+namespace reo {
+
+class DramCache {
+ public:
+  struct Entry {
+    PayloadBuffer payload;  ///< shaped (physical-size) bytes, flash-ready
+    uint64_t logical_bytes = 0;
+    uint64_t hits = 0;  ///< reads served while resident
+    SimTime staged_at = 0;
+    SimTime last_hit = 0;
+    uint8_t class_id = 3;
+  };
+
+  /// @param capacity_bytes DRAM budget; charges the stored payload size.
+  /// @param protected_fraction share of the budget the protected segment
+  ///        may hold before demoting its tail.
+  DramCache(uint64_t capacity_bytes, double protected_fraction);
+
+  /// Inserts or replaces `id`. The caller must have made room first
+  /// (CanHold / evictions via TakeEvictionCandidate); oversized objects
+  /// are the caller's problem to bypass.
+  void Put(ObjectId id, PayloadBuffer payload, uint64_t logical_bytes,
+           uint8_t class_id, SimTime now);
+
+  /// Looks up `id`; a hit bumps the reuse features and promotes the entry
+  /// to the protected segment. Returns null on miss. The pointer is valid
+  /// until the next mutating call.
+  const Entry* Get(ObjectId id, SimTime now);
+
+  /// Looks up without touching recency/reuse state.
+  const Entry* Peek(ObjectId id) const;
+
+  /// Updates the staged class in place. False when absent.
+  bool SetClass(ObjectId id, uint8_t class_id);
+
+  /// Removes `id` if present; true when something was dropped.
+  bool Erase(ObjectId id);
+
+  /// Pops the eviction victim (probation tail, else protected tail) and
+  /// returns it with its accumulated features; the entry leaves the cache.
+  /// Returns false when empty.
+  bool PopVictim(AdmissionCandidate* out, PayloadBuffer* payload);
+
+  /// Whether an object of `stored_bytes` can ever fit the budget.
+  bool CanHold(uint64_t stored_bytes) const {
+    return stored_bytes <= capacity_bytes_;
+  }
+  /// Whether it fits right now without evicting.
+  bool HasRoomFor(uint64_t stored_bytes) const {
+    return bytes_ + stored_bytes <= capacity_bytes_;
+  }
+
+  void Clear();
+
+  uint64_t bytes() const { return bytes_; }
+  size_t size() const { return index_.size(); }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  enum class Segment : uint8_t { kProbation, kProtected };
+
+  struct Node {
+    Entry entry;
+    Segment segment = Segment::kProbation;
+    std::list<ObjectId>::iterator lru_it;
+  };
+
+  /// Moves the protected tail back to probation while the protected
+  /// segment exceeds its share of the budget.
+  void RebalanceProtected();
+
+  uint64_t capacity_bytes_;
+  uint64_t protected_capacity_bytes_;
+  uint64_t bytes_ = 0;
+  uint64_t protected_bytes_ = 0;
+  std::unordered_map<ObjectId, Node, ObjectIdHash> index_;
+  std::list<ObjectId> probation_;  ///< head = most recent arrival
+  std::list<ObjectId> protected_;  ///< head = most recently re-referenced
+};
+
+}  // namespace reo

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/object_id.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
@@ -61,7 +62,10 @@ struct StripeManagerConfig {
 struct ArrayIo {
   SimTime complete = 0;
   bool degraded = false;            ///< read needed parity reconstruction
-  std::vector<uint8_t> payload;     ///< physical bytes (reads only)
+  /// Physical bytes (reads only). PayloadBuffer: the read path sizes this
+  /// buffer and then overwrites every byte with chunk copies, so resize()
+  /// must not pay a zero-fill first.
+  PayloadBuffer payload;
   uint32_t chunk_reads = 0;
   uint32_t chunk_writes = 0;
   /// Chunks whose CRC failed during this operation (latent sector errors

@@ -1,0 +1,58 @@
+// PayloadBuffer: a std::vector<uint8_t> that default-initializes (i.e.
+// leaves uninitialized) its elements on resize instead of zero-filling.
+//
+// The read path materializes a fresh payload buffer per GetObject and then
+// overwrites every byte with chunk copies; the value-initializing resize in
+// plain std::vector memsets 64 KiB first, purely to be overwritten. The
+// allocator below rebinds construct() so `resize(n)` default-initializes
+// trivially-constructible elements (a no-op for uint8_t) while explicit
+// value construction (`assign`, `resize(n, 0)`, brace-init) still works.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace reo {
+
+template <typename T, typename Base = std::allocator<T>>
+class DefaultInitAllocator : public Base {
+ public:
+  using Base::Base;
+
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U, typename std::allocator_traits<
+                                              Base>::template rebind_alloc<U>>;
+  };
+
+  // Default construction (what vector::resize(n) calls) becomes
+  // default-init: trivial types are left uninitialized.
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+  // Value/copy construction (resize(n, v), assign, push_back) unchanged.
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    std::allocator_traits<Base>::construct(static_cast<Base&>(*this), ptr,
+                                           std::forward<Args>(args)...);
+  }
+};
+
+/// Byte buffer for bulk payloads on the read path: resize() does not
+/// zero-fill. Interchangeable with std::vector<uint8_t> through spans,
+/// .data()/.size(), and the comparison operators below.
+using PayloadBuffer = std::vector<uint8_t, DefaultInitAllocator<uint8_t>>;
+
+inline bool operator==(const PayloadBuffer& a, const std::vector<uint8_t>& b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+inline bool operator==(const std::vector<uint8_t>& a, const PayloadBuffer& b) {
+  return b == a;
+}
+
+}  // namespace reo

@@ -113,6 +113,51 @@ ObjectState CacheManager::StateOf(ObjectId id, const Entry& e) const {
                      .is_metadata = e.metadata};
 }
 
+void CacheManager::AttachAdmission(AdmissionTier& tier) {
+  // Graduations happen outside the admission path, where nobody has made
+  // flash room yet; wrap the plane's writer with the same evict-to-fit
+  // loop a miss fill runs, or every graduation into a full flash cache
+  // would fail and the eviction would degrade to a drop.
+  tier.SetFlashWriter([this, inner = tier.flash_writer()](
+                          ObjectId id, std::span<const uint8_t> payload,
+                          uint64_t logical_bytes, uint8_t class_id,
+                          SimTime now) -> Status {
+    size_t attempts = entries_.size() + 2;
+    while (!plane_.HasFlashSpaceFor(logical_bytes, class_id)) {
+      if (attempts-- == 0 || !EvictOne(now)) {
+        return Status(ErrorCode::kNoSpace, "no flash room for graduation");
+      }
+      if (entries_.find(id) == entries_.end()) {
+        // The eviction scan took the graduating object itself: it is no
+        // longer cached, so writing it to flash would leak untracked space.
+        return Status(ErrorCode::kNotFound, "evicted during graduation");
+      }
+    }
+    return inner(id, payload, logical_bytes, class_id, now);
+  });
+  tier.SetHotnessHook([this](ObjectId id, uint64_t logical_bytes,
+                             uint64_t dram_hits, uint8_t staged_class) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+      // Evicted from the initiator-side index already: classify on the
+      // DRAM-observed reuse alone.
+      ObjectState state{.id = id,
+                        .logical_size = logical_bytes,
+                        .freq = dram_hits};
+      return static_cast<uint8_t>(Classify(state, classifier_.h_hot()));
+    }
+    ObjectState state = StateOf(id, it->second);
+    state.freq = std::max(state.freq, dram_hits);
+    DataClass cls = Classify(state, classifier_.h_hot());
+    // A graduation is by definition clean data leaving DRAM; never let a
+    // stale dirty flag route it into a durability class here.
+    if (cls == DataClass::kMetadata || cls == DataClass::kDirty) {
+      return staged_class;
+    }
+    return static_cast<uint8_t>(cls);
+  });
+}
+
 SenseCode CacheManager::SendClassification(ObjectId id, DataClass cls,
                                            SimTime now) {
   SenseCode sense =

@@ -214,6 +214,14 @@ class CacheManager {
   /// The detector must outlive the manager.
   void AttachFaultDetector(FailSlowDetector* detector) { failslow_ = detector; }
 
+  /// Installs the classification hook on the DRAM admission tier: an
+  /// object graduating to flash is classified from its *observed* access
+  /// history (initiator-side frequency plus reuse seen while
+  /// DRAM-resident) against the live H_hot, so class 2/3 placement starts
+  /// from evidence instead of the cold-start guess it was staged with.
+  /// The tier must outlive the manager.
+  void AttachAdmission(AdmissionTier& tier);
+
  private:
   struct Entry {
     uint64_t logical_size = 0;

@@ -69,11 +69,27 @@ RedundancyLevel ReoDataPlane::EffectiveLevel(uint64_t logical_bytes,
   return level;
 }
 
+void ReoDataPlane::AttachAdmission(AdmissionTier& tier) {
+  admit_ = &tier;
+  tier.SetFlashWriter([this](ObjectId id, std::span<const uint8_t> payload,
+                             uint64_t logical_bytes, uint8_t class_id,
+                             SimTime now) -> Status {
+    auto io = WriteToFlash(id, payload, logical_bytes, class_id, now);
+    return io.ok() ? Status::Ok() : io.status();
+  });
+}
+
+bool ReoDataPlane::ShouldStage(uint64_t stored_bytes, uint8_t class_id) const {
+  return admit_ != nullptr && admit_->enabled() &&
+         AdmissionTier::StageableClass(class_id) &&
+         admit_->CanHold(stored_bytes) &&
+         (persist_ == nullptr || !persist_->replaying());
+}
+
 Result<DataPlaneIo> ReoDataPlane::WriteObject(ObjectId id,
                                               std::span<const uint8_t> payload,
                                               uint64_t logical_bytes,
                                               uint8_t class_id, SimTime now) {
-  TraceSpan span(trace_, TraceOp::kDataWrite, now, id.oid);
   // The in-process simulator hands over exactly PhysicalSize(logical)
   // bytes (chunk-padded, possibly scaled); wire clients naturally send
   // logical-sized payloads. Adapt the latter to the array's chunk
@@ -87,6 +103,38 @@ Result<DataPlaneIo> ReoDataPlane::WriteObject(ObjectId id,
     shaped.resize(physical, 0);
     payload = shaped;
   }
+  if (ShouldStage(payload.size(), class_id)) {
+    if (stripes_.Contains(id)) {
+      // Overwrite of a flash-resident object: write through so the flash
+      // copy stays fresh (staging it would leave a stale version below),
+      // and invalidate any DRAM copy of the previous version.
+      auto io = WriteToFlash(id, payload, logical_bytes, class_id, now);
+      if (io.ok()) {
+        admit_->NoteWriteThrough(payload.size(), now);
+        admit_->Erase(id);
+      }
+      return io;
+    }
+    PayloadBuffer staged(payload.begin(), payload.end());
+    Status st =
+        admit_->Stage(id, std::move(staged), logical_bytes, class_id, now);
+    if (st.ok()) {
+      DataPlaneIo io;
+      io.complete = now;  // DRAM latency is noise next to the flash path
+      return io;
+    }
+    // Staging refused: fall through to the flash path below.
+  } else if (admit_ != nullptr && admit_->enabled()) {
+    admit_->CountBypass();
+  }
+  return WriteToFlash(id, payload, logical_bytes, class_id, now);
+}
+
+Result<DataPlaneIo> ReoDataPlane::WriteToFlash(ObjectId id,
+                                               std::span<const uint8_t> payload,
+                                               uint64_t logical_bytes,
+                                               uint8_t class_id, SimTime now) {
+  TraceSpan span(trace_, TraceOp::kDataWrite, now, id.oid);
   RedundancyLevel desired = policy_.LevelFor(static_cast<DataClass>(class_id));
   RedundancyLevel level = EffectiveLevel(logical_bytes, class_id);
   if (level != desired) {
@@ -138,6 +186,14 @@ Result<DataPlaneIo> ReoDataPlane::WriteObject(ObjectId id,
 }
 
 Result<DataPlaneIo> ReoDataPlane::ReadObject(ObjectId id, SimTime now) {
+  if (admit_ != nullptr && admit_->enabled()) {
+    if (const DramCache::Entry* e = admit_->Lookup(id, now)) {
+      DataPlaneIo io;
+      io.complete = now;
+      io.payload.assign(e->payload.begin(), e->payload.end());
+      return io;
+    }
+  }
   TraceSpan span(trace_, TraceOp::kDataRead, now, id.oid);
   // Bounded retry for transient device errors. Chunks that failed with
   // kIoError were NOT marked lost, so the retry re-reads the same slots.
@@ -195,17 +251,34 @@ Result<DataPlaneIo> ReoDataPlane::ReadObject(ObjectId id, SimTime now) {
 }
 
 Status ReoDataPlane::RemoveObject(ObjectId id) {
+  bool staged = admit_ != nullptr && admit_->Erase(id);
   Status st = stripes_.RemoveObject(id);
   if (st.ok()) {
     Inc(tel_removes_);
     Set(tel_redundancy_bytes_, static_cast<double>(stripes_.redundancy_bytes()));
     Set(tel_user_bytes_, static_cast<double>(stripes_.user_bytes()));
     if (persist_ != nullptr) (void)persist_->CommitEvict(id, /*now=*/0);
+  } else if (staged && st.code() == ErrorCode::kNotFound) {
+    // The object lived only in DRAM: nothing on flash, nothing in the
+    // durable log, but the remove succeeded.
+    Inc(tel_removes_);
+    return Status::Ok();
   }
   return st;
 }
 
 Status ReoDataPlane::SetObjectClass(ObjectId id, uint8_t class_id, SimTime now) {
+  if (admit_ != nullptr && admit_->Contains(id)) {
+    if (AdmissionTier::StageableClass(class_id)) {
+      // Clean reclass of a DRAM-staged object: just retag it; the class
+      // takes effect when (if) the object graduates.
+      admit_->SetClass(id, class_id);
+      return Status::Ok();
+    }
+    // Reclass into a durability class: the object needs flash + journal
+    // now, so it graduates immediately at the new class.
+    return admit_->GraduateNow(id, class_id, now);
+  }
   auto size = stripes_.LogicalSizeOf(id);
   if (!size.ok()) return size.status();
   TraceSpan span(trace_, TraceOp::kReencode, now, id.oid);
@@ -235,6 +308,7 @@ Status ReoDataPlane::SetObjectClass(ObjectId id, uint8_t class_id, SimTime now) 
 }
 
 ObjectHealth ReoDataPlane::Health(ObjectId id) const {
+  if (admit_ != nullptr && admit_->Contains(id)) return ObjectHealth::kIntact;
   if (!stripes_.Contains(id)) return ObjectHealth::kAbsent;
   switch (stripes_.SurvivalOf(id)) {
     case ObjectSurvival::kIntact: return ObjectHealth::kIntact;
@@ -245,12 +319,21 @@ ObjectHealth ReoDataPlane::Health(ObjectId id) const {
 }
 
 bool ReoDataPlane::HasSpaceFor(uint64_t logical_bytes, uint8_t class_id) const {
+  // A stageable write only needs DRAM room — the tier makes room by
+  // evicting, and graduations make flash room through the cache manager.
+  if (ShouldStage(stripes_.PhysicalSize(logical_bytes), class_id)) return true;
+  return HasFlashSpaceFor(logical_bytes, class_id);
+}
+
+bool ReoDataPlane::HasFlashSpaceFor(uint64_t logical_bytes,
+                                    uint8_t class_id) const {
   return stripes_.HasSpaceFor(logical_bytes, EffectiveLevel(logical_bytes, class_id));
 }
 
 void ReoDataPlane::OnFormat(uint64_t capacity_bytes, SimTime now) {
   (void)capacity_bytes;
   (void)now;
+  if (admit_ != nullptr) admit_->Clear();
   // A client-driven FORMAT starts an empty cache: drop the durable state
   // too — but never while restore itself is replaying through a format.
   if (persist_ != nullptr && !persist_->replaying()) persist_->ResetAll();

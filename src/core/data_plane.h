@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "admit/admission_tier.h"
 #include "array/stripe_manager.h"
 #include "common/rng.h"
 #include "core/policy.h"
@@ -37,6 +38,9 @@ class ReoDataPlane final : public DataPlane {
   ObjectHealth Health(ObjectId id) const override;
   bool recovery_active() const override { return recovery_active_; }
   bool HasSpaceFor(uint64_t logical_bytes, uint8_t class_id) const override;
+  /// Flash-only space check: ignores the DRAM tier's staging shortcut.
+  /// The cache manager's graduation wrapper evicts against this.
+  bool HasFlashSpaceFor(uint64_t logical_bytes, uint8_t class_id) const;
   void OnFormat(uint64_t capacity_bytes, SimTime now) override;
 
   // --- Reo-specific ----------------------------------------------------------
@@ -86,10 +90,26 @@ class ReoDataPlane final : public DataPlane {
     stripes_.AttachEvents(events);
   }
 
+  /// Interposes the DRAM admission tier on the write/read path: clean
+  /// writes (classes 2/3) stage in DRAM and reach flash only when the
+  /// tier's policy graduates them; reads check DRAM first. The tier must
+  /// outlive the plane. A disabled tier (dram_bytes == 0) leaves every
+  /// path byte-identical to the un-attached plane.
+  void AttachAdmission(AdmissionTier& tier);
+
  private:
+  /// The flash write path proper: PutObject with bounded retry, then the
+  /// durable-log commit. Staged writes bypass this until graduation.
+  Result<DataPlaneIo> WriteToFlash(ObjectId id, std::span<const uint8_t> payload,
+                                   uint64_t logical_bytes, uint8_t class_id,
+                                   SimTime now);
+  /// Whether this write should be held in DRAM instead of hitting flash.
+  bool ShouldStage(uint64_t stored_bytes, uint8_t class_id) const;
+
   StripeManager& stripes_;
   RedundancyPolicy policy_;
   PersistenceManager* persist_ = nullptr;
+  AdmissionTier* admit_ = nullptr;
   uint64_t reserve_bytes_ = 0;
   bool recovery_active_ = false;
   uint64_t reserve_rejections_ = 0;

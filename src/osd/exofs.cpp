@@ -311,7 +311,7 @@ Result<std::vector<uint8_t>> ExofsClient::ReadFile(const std::string& path,
     return Status{ErrorCode::kCorrupted,
                   "read failed: " + std::string(to_string(resp.sense))};
   }
-  auto data = std::move(resp.data);
+  std::vector<uint8_t> data(resp.data.begin(), resp.data.end());
   data.resize(std::min<size_t>(data.size(), static_cast<size_t>(ent->size)));
   return data;
 }

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/object_id.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
@@ -28,7 +29,7 @@ namespace reo {
 struct DataPlaneIo {
   SimTime complete = 0;
   bool degraded = false;
-  std::vector<uint8_t> payload;
+  PayloadBuffer payload;  ///< non-zeroing: reads fill every byte anyway
 };
 
 /// Accessibility of an object's bytes (paper §IV.D: "immediately
@@ -113,7 +114,7 @@ struct OsdResponse {
   SenseCode sense = SenseCode::kOk;
   SimTime complete = 0;
   bool degraded = false;
-  std::vector<uint8_t> data;        ///< READ payload
+  PayloadBuffer data;               ///< READ payload (non-zeroing buffer)
   std::vector<uint8_t> attr_value;  ///< GET_ATTR value
   std::vector<uint64_t> list;       ///< LIST / LIST_COLLECTION oids
 

@@ -56,7 +56,8 @@ class Reader {
   // Length-prefixed fields compare the announced count against the bytes
   // actually remaining (never `pos_ + n`, which a hostile 64-bit length
   // wraps past the size check into an out-of-bounds read).
-  bool Bytes(std::vector<uint8_t>* out) {
+  template <typename Vec>  // std::vector<uint8_t> or PayloadBuffer
+  bool Bytes(Vec* out) {
     uint64_t n = 0;
     if (!U64(&n) || n > Remaining()) return false;
     out->assign(buf_.begin() + static_cast<long>(pos_),

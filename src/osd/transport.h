@@ -35,7 +35,7 @@ Result<OsdResponse> DecodeResponse(std::span<const uint8_t> wire);
 /// response costs zero payload copies between cache and kernel.
 struct EncodedResponseParts {
   std::vector<uint8_t> head;  ///< magic..degraded + data length prefix
-  std::vector<uint8_t> body;  ///< the response's data buffer, moved
+  PayloadBuffer body;         ///< the response's data buffer, moved
   std::vector<uint8_t> tail;  ///< attr_value + list encodings
 };
 EncodedResponseParts EncodeResponseParts(OsdResponse&& response);

@@ -31,7 +31,9 @@ void FrameMetaPool::Put(FrameMeta* meta) {
 
 void FrameQueue::Push(std::vector<uint8_t> payload) {
   FramePayload parts;
-  parts.body = std::move(payload);
+  // The wire sees head‖body‖tail concatenated, so a single-buffer frame
+  // can ride in `head` (body is the non-zeroing bulk type).
+  parts.head = std::move(payload);
   Push(std::move(parts));
 }
 

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "common/buffer.h"
 #include "server/frame.h"
 
 namespace reo {
@@ -63,7 +64,7 @@ class FrameMetaPool {
 /// in `head`/`tail` — no 64 KiB memcpy per read response.
 struct FramePayload {
   std::vector<uint8_t> head;
-  std::vector<uint8_t> body;
+  PayloadBuffer body;  ///< bulk data, moved straight from the cache read
   std::vector<uint8_t> tail;
 
   size_t size() const { return head.size() + body.size() + tail.size(); }

@@ -66,6 +66,14 @@ CacheSimulator::CacheSimulator(const Trace& trace, SimulationConfig config)
   if (persist_) cache_->AttachPersistence(persist_.get());
   if (failslow_) cache_->AttachFaultDetector(failslow_.get());
 
+  if (config_.admission.dram_bytes > 0) {
+    admit_ = std::make_unique<AdmissionTier>(config_.admission);
+    plane_->AttachAdmission(*admit_);
+    // Graduating objects classify from observed hotness, not the staged
+    // cold-start guess.
+    cache_->AttachAdmission(*admit_);
+  }
+
   if (config_.wire_transport) {
     transport_ = std::make_unique<OsdTransport>(*target_, config_.net);
     cache_->initiator_mutable().UseTransport(transport_.get());
@@ -78,6 +86,7 @@ CacheSimulator::CacheSimulator(const Trace& trace, SimulationConfig config)
   target_->AttachTelemetry(telemetry_);
   cache_->AttachTelemetry(telemetry_);
   if (transport_) transport_->AttachTelemetry(telemetry_);
+  if (admit_) admit_->AttachTelemetry(telemetry_);
 
   if (config_.enable_tracing) {
     // The cache manager fans out to the data plane (stripes + flash
@@ -92,6 +101,7 @@ CacheSimulator::CacheSimulator(const Trace& trace, SimulationConfig config)
     plane_->AttachEvents(tracer_.events());
     if (injector_) injector_->AttachEvents(tracer_.events());
     if (failslow_) failslow_->AttachEvents(tracer_.events());
+    if (admit_) admit_->AttachEvents(tracer_.events());
   }
 
   // Register the catalog with the backend store.

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "admit/admission_tier.h"
 #include "backend/backend_store.h"
 #include "core/cache_manager.h"
 #include "fault/failslow.h"
@@ -101,6 +102,11 @@ struct SimulationConfig {
   bool failslow_demote = false;
   /// When > 0, run a full scrub pass every N measured requests.
   uint64_t scrub_interval_requests = 0;
+
+  /// DRAM admission tier (DESIGN.md "DRAM admission tier"). The default
+  /// (dram_bytes == 0) wires nothing and keeps the run byte-identical to
+  /// the pre-tier simulator.
+  AdmissionConfig admission;
 };
 
 /// Everything a bench/test needs from one run.
@@ -152,6 +158,8 @@ class CacheSimulator {
   FaultInjector* fault_injector() { return injector_.get(); }
   /// Fail-slow detector; null unless `faults` had rules.
   FailSlowDetector* failslow_detector() { return failslow_.get(); }
+  /// DRAM admission tier; null unless `admission.dram_bytes` was set.
+  AdmissionTier* admission_tier() { return admit_.get(); }
 
  private:
   void ReplayUnmeasured();
@@ -171,6 +179,7 @@ class CacheSimulator {
   std::unique_ptr<PersistenceManager> persist_;  ///< only when data_dir set
   std::unique_ptr<FaultInjector> injector_;      ///< only when faults set
   std::unique_ptr<FailSlowDetector> failslow_;   ///< only when faults set
+  std::unique_ptr<AdmissionTier> admit_;         ///< only when dram_bytes > 0
   std::unique_ptr<CacheManager> cache_;
   /// Event sink for the injection script ("sim.*"); null when tracing off.
   EventLog* sim_ev_ = nullptr;

@@ -270,6 +270,16 @@ void TrackServingDefaults(MetricRegistry& registry, TimeSeriesRing& ring,
     ring.TrackRatio("flash.writes_per_op", std::move(flash_writes),
                     {&registry.GetCounter("server.requests")});
   }
+
+  // DRAM admission tier (all zero when the tier is off; the registry
+  // creates the counters either way so the columns always exist).
+  counter("admit.staged");
+  counter("admit.graduated");
+  counter("admit.dropped");
+  counter("dram.evictions");
+  ring.TrackRatio("dram.hit_ratio", {&registry.GetCounter("dram.hits")},
+                  {&registry.GetCounter("dram.hits"),
+                   &registry.GetCounter("dram.misses")});
 }
 
 }  // namespace reo

@@ -1,5 +1,6 @@
 #include "trace/event_log.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 
@@ -43,8 +44,13 @@ void EventLog::Emit(
     SimTime time, EventSeverity severity, std::string_view category,
     std::string_view message,
     std::initializer_list<std::pair<std::string_view, std::string>> fields) {
-  if (events_.size() >= capacity_) {
-    ++dropped_;
+  // Claim a ticket first: the bound is enforced globally, not per shard,
+  // so single-threaded behavior matches the old flat log exactly (first
+  // `capacity_` events kept, later ones counted as dropped).
+  uint64_t seq = stored_.fetch_add(1, std::memory_order_relaxed);
+  if (seq >= capacity_) {
+    stored_.fetch_sub(1, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   LoggedEvent e;
@@ -56,28 +62,72 @@ void EventLog::Emit(
   for (const auto& [k, v] : fields) {
     e.fields.emplace_back(std::string(k), v);
   }
-  events_.push_back(std::move(e));
+  Shard& shard = shards_[CurrentMetricDomain()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.events.emplace_back(seq, std::move(e));
+}
+
+std::vector<LoggedEvent> EventLog::Merged() const {
+  std::vector<std::pair<uint64_t, const LoggedEvent*>> order;
+  // Hold every shard lock across the copy so the merge is one consistent
+  // cut (events are rare; these locks are all but uncontended).
+  std::array<std::unique_lock<std::mutex>, kMetricDomains> locks;
+  for (size_t d = 0; d < kMetricDomains; ++d) {
+    locks[d] = std::unique_lock<std::mutex>(shards_[d].mu);
+  }
+  size_t total = 0;
+  for (const Shard& s : shards_) total += s.events.size();
+  order.reserve(total);
+  for (const Shard& s : shards_) {
+    for (const auto& [seq, e] : s.events) order.emplace_back(seq, &e);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<LoggedEvent> out;
+  out.reserve(order.size());
+  for (const auto& [seq, e] : order) out.push_back(*e);
+  return out;
+}
+
+const std::vector<LoggedEvent>& EventLog::events() const {
+  std::lock_guard<std::mutex> lock(merged_mu_);
+  merged_ = Merged();
+  return merged_;
+}
+
+void EventLog::Clear() {
+  std::array<std::unique_lock<std::mutex>, kMetricDomains> locks;
+  for (size_t d = 0; d < kMetricDomains; ++d) {
+    locks[d] = std::unique_lock<std::mutex>(shards_[d].mu);
+  }
+  for (size_t d = 0; d < kMetricDomains; ++d) {
+    shards_[d].events.clear();
+  }
+  stored_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 std::string EventLog::ToText() const {
+  std::vector<LoggedEvent> all = Merged();
   std::string out;
-  for (const auto& e : events_) AppendLine(out, e);
-  if (dropped_ > 0) {
-    out += "... " + std::to_string(dropped_) + " later events dropped (log full)\n";
+  for (const auto& e : all) AppendLine(out, e);
+  if (uint64_t d = dropped(); d > 0) {
+    out += "... " + std::to_string(d) + " later events dropped (log full)\n";
   }
   return out;
 }
 
 std::string EventLog::ToJson(size_t max_events) const {
-  size_t n = events_.size();
+  std::vector<LoggedEvent> all = Merged();
+  size_t n = all.size();
   if (max_events && max_events < n) n = max_events;
-  size_t first = events_.size() - n;
+  size_t first = all.size() - n;
 
   std::string out = "{\"schema\":\"reo.events.v1\",\"dropped\":";
-  out += JsonNum(static_cast<double>(dropped_));
+  out += JsonNum(static_cast<double>(dropped()));
   out += ",\"events\":[";
-  for (size_t i = first; i < events_.size(); ++i) {
-    const LoggedEvent& e = events_[i];
+  for (size_t i = first; i < all.size(); ++i) {
+    const LoggedEvent& e = all[i];
     if (i != first) out.push_back(',');
     out += "{\"t_ms\":" + JsonNum(ToMs(e.time));
     out += ",\"severity\":";
@@ -100,6 +150,7 @@ std::string EventLog::ToJson(size_t max_events) const {
 }
 
 std::string EventLog::RecoveryTimeline() const {
+  std::vector<LoggedEvent> all = Merged();
   std::string out = "== Recovery timeline ==\n";
   // Per-class on-demand/background rebuild roll-up, filled as we walk.
   struct ClassTally {
@@ -118,7 +169,7 @@ std::string EventLog::RecoveryTimeline() const {
            e.category.starts_with("sim.spare");
   };
 
-  for (const auto& e : events_) {
+  for (const auto& e : all) {
     if (!relevant(e)) continue;
     if (e.category == "recovery.rebuild") {
       int cls = 0;

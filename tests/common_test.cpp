@@ -9,6 +9,7 @@
 #include <set>
 #include <thread>
 
+#include "common/buffer.h"
 #include "common/crc32c.h"
 #include "common/file_util.h"
 #include "common/histogram.h"
@@ -494,6 +495,61 @@ TEST(FileUtilTest, ConcurrentWritersNeverTearTheFile) {
   }
   EXPECT_EQ(leftovers, 0u);
   std::filesystem::remove_all(dir);
+}
+
+// --- PayloadBuffer (non-zeroing resize) ------------------------------------
+
+/// Base allocator that counts value-initializing (no-arg) constructions —
+/// the memset-equivalent work PayloadBuffer exists to skip.
+template <typename T>
+struct ZeroCountingAllocator : std::allocator<T> {
+  static inline uint64_t value_constructions = 0;
+
+  template <typename U>
+  struct rebind {
+    using other = ZeroCountingAllocator<U>;
+  };
+
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0) ++value_constructions;
+    ::new (static_cast<void*>(ptr)) U(std::forward<Args>(args)...);
+  }
+};
+
+TEST(PayloadBufferTest, ResizeSkipsValueInitialization) {
+  using Counting = ZeroCountingAllocator<uint8_t>;
+  // A plain vector over the counting base value-initializes every element.
+  Counting::value_constructions = 0;
+  std::vector<uint8_t, Counting> zeroing;
+  zeroing.resize(4096);
+  EXPECT_EQ(Counting::value_constructions, 4096u);
+
+  // The DefaultInitAllocator wrapper routes resize() to default-init and
+  // never reaches the base's value-initializing construct.
+  Counting::value_constructions = 0;
+  std::vector<uint8_t, DefaultInitAllocator<uint8_t, Counting>> raw;
+  raw.resize(4096);
+  EXPECT_EQ(Counting::value_constructions, 0u);
+
+  // Explicit values still construct through the base as before.
+  raw.resize(4096 + 16, 0xAB);
+  EXPECT_EQ(raw.back(), 0xAB);
+}
+
+TEST(PayloadBufferTest, InteroperatesWithPlainVectors) {
+  PayloadBuffer buf;
+  buf.resize(8);
+  std::vector<uint8_t> src{1, 2, 3, 4, 5, 6, 7, 8};
+  std::copy(src.begin(), src.end(), buf.begin());
+  EXPECT_TRUE(buf == src);
+  EXPECT_TRUE(src == buf);
+  buf[0] = 9;
+  EXPECT_FALSE(buf == src);
+  // Explicit value-fill forms keep zeroing semantics.
+  PayloadBuffer zeroed(16, 0);
+  EXPECT_TRUE(std::all_of(zeroed.begin(), zeroed.end(),
+                          [](uint8_t b) { return b == 0; }));
 }
 
 }  // namespace

@@ -222,7 +222,7 @@ class FakeDataPlane final : public DataPlane {
     DataPlaneIo io;
     io.complete = now + 5;
     io.degraded = it->second.health == ObjectHealth::kDegraded;
-    io.payload = it->second.payload;
+    io.payload.assign(it->second.payload.begin(), it->second.payload.end());
     return io;
   }
   Status RemoveObject(ObjectId id) override {

@@ -47,7 +47,10 @@ class MapDataPlane final : public DataPlane {
   Result<DataPlaneIo> ReadObject(ObjectId id, SimTime now) override {
     auto it = data_.find(id);
     if (it == data_.end()) return Status{ErrorCode::kNotFound, "no data"};
-    return DataPlaneIo{.complete = now, .payload = it->second};
+    DataPlaneIo io;
+    io.complete = now;
+    io.payload.assign(it->second.begin(), it->second.end());
+    return io;
   }
   Status RemoveObject(ObjectId id) override {
     return data_.erase(id) ? Status::Ok()

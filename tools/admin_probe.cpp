@@ -44,6 +44,10 @@ void Usage(const char* argv0) {
       "                     section.metric (\"counters.server.crc_errors\")\n"
       "                     or a flat health field (\"crc_errors\");\n"
       "                     repeatable (exit 1 on violation)\n"
+      "  --expect-sum SPEC  assert \"a+b=c\" over numeric fields (same PATH\n"
+      "                     syntax; absent fields count as 0), e.g.\n"
+      "                     counters.admit.graduated+counters.admit.dropped=\n"
+      "                     counters.dram.evictions; repeatable (exit 1)\n"
       "  --quiet            suppress the JSON body on stdout\n",
       argv0);
 }
@@ -74,6 +78,7 @@ int main(int argc, char** argv) {
   bool lint = false;
   bool quiet = false;
   std::vector<std::string> expect_zero;
+  std::vector<std::string> expect_sum;
   const char* op_name = nullptr;
 
   for (int i = 1; i < argc; ++i) {
@@ -98,6 +103,8 @@ int main(int argc, char** argv) {
       lint = true;
     } else if (!std::strcmp(argv[i], "--expect-zero")) {
       expect_zero.emplace_back(next());
+    } else if (!std::strcmp(argv[i], "--expect-sum")) {
+      expect_sum.emplace_back(next());
     } else if (!std::strcmp(argv[i], "--quiet")) {
       quiet = true;
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
@@ -172,7 +179,7 @@ int main(int argc, char** argv) {
       return 3;
     }
   }
-  if (!expect_zero.empty()) {
+  if (!expect_zero.empty() || !expect_sum.empty()) {
     auto doc = JsonDoc::Parse(resp->json);
     if (!doc) {
       std::fprintf(stderr, "%s reply did not parse\n", op_name);
@@ -186,6 +193,32 @@ int main(int argc, char** argv) {
       if (v != 0.0) {
         std::fprintf(stderr, "expect-zero violated: %s = %g\n", path.c_str(),
                      v);
+        ++violations;
+      }
+    }
+    auto value_at = [&doc](const std::string& path) -> double {
+      int node = ResolvePath(*doc, path);
+      return node == JsonDoc::kInvalid ? 0.0 : doc->number(node);
+    };
+    for (const std::string& spec : expect_sum) {
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "bad --expect-sum spec (no '='): %s\n",
+                     spec.c_str());
+        return 2;
+      }
+      double lhs = 0.0;
+      size_t start = 0;
+      while (start <= eq) {
+        size_t plus = spec.find('+', start);
+        if (plus == std::string::npos || plus > eq) plus = eq;
+        lhs += value_at(spec.substr(start, plus - start));
+        start = plus + 1;
+      }
+      double rhs = value_at(spec.substr(eq + 1));
+      if (lhs != rhs) {
+        std::fprintf(stderr, "expect-sum violated: %s (lhs %g != rhs %g)\n",
+                     spec.c_str(), lhs, rhs);
         ++violations;
       }
     }

@@ -229,6 +229,7 @@ int main(int argc, char** argv) {
       std::printf("ratios\n");
       gauge_row("read miss", "osd.read_miss_ratio", "  ");
       gauge_row("flash wr/op", "flash.writes_per_op", "  ");
+      gauge_row("dram hit", "dram.hit_ratio", "  ");
     }
 
     if (sdoc) {
