@@ -10,6 +10,15 @@
 //   reo_server --port 0 --port-file port.txt --stats-out stats.json
 //   reo_server --policy 2-parity --devices 8 --capacity-mb 512
 //   reo_server --port 9555 --data-dir /var/lib/reo     # durable, restartable
+//   reo_server --port 9555 --shards 4                  # multi-threaded
+//
+// With --shards N > 1 the object space is hash-partitioned across N
+// independent serving stacks, each on its own event-loop thread with its
+// own flash array, cache state, and (under --data-dir) its own journal
+// in data-dir/shardK. One listening port serves all of them; commands
+// landing on the "wrong" shard's connection are forwarded between loops
+// (see src/shard/sharded_server.h). --shards 1 (the default) uses the
+// original single-threaded OsdServer path, byte-for-byte unchanged.
 #include <signal.h>
 
 #include <cstdio>
@@ -17,6 +26,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "admit/admission_tier.h"
 #include "common/file_util.h"
@@ -31,6 +41,7 @@
 #include "persist/persistence.h"
 #include "persist/restore.h"
 #include "server/osd_server.h"
+#include "shard/sharded_server.h"
 #include "telemetry/metric_registry.h"
 #include "telemetry/time_series.h"
 #include "trace/event_log.h"
@@ -41,10 +52,12 @@ using namespace reo;
 namespace {
 
 OsdServer* g_server = nullptr;
+ShardedServer* g_sharded = nullptr;
 
 void HandleShutdownSignal(int) {
   // RequestDrain is async-signal-safe: a flag store plus an eventfd write.
   if (g_server != nullptr) g_server->RequestDrain();
+  if (g_sharded != nullptr) g_sharded->RequestDrain();
 }
 
 void Usage(const char* argv0) {
@@ -53,6 +66,12 @@ void Usage(const char* argv0) {
       "  --bind ADDR          listen address (default 127.0.0.1)\n"
       "  --port N             listen port; 0 picks an ephemeral one (default 0)\n"
       "  --port-file PATH     write the bound port to PATH (for scripts/CI)\n"
+      "  --shards N           serving shards (threads); the object space is\n"
+      "                       hash-partitioned across N independent stacks\n"
+      "                       (default 1: the single-threaded server).\n"
+      "                       Capacity and DRAM budgets are split evenly;\n"
+      "                       --devices is per shard; per-stage tracing is\n"
+      "                       only available with 1 shard\n"
       "  --policy reo|0-parity|1-parity|2-parity|full-repl   (default reo)\n"
       "  --reserve F          Reo redundancy reserve fraction (default 0.2)\n"
       "  --devices N          flash devices (default 5)\n"
@@ -62,6 +81,7 @@ void Usage(const char* argv0) {
       "  --max-connections N  concurrent connection cap (default 1024)\n"
       "  --idle-timeout-ms N  close idle connections (default 60000)\n"
       "  --stats-out PATH     write the telemetry snapshot JSON on exit\n"
+      "                       (multi-shard: the merged cross-shard snapshot)\n"
       "  --events-out PATH    write the event log text on exit\n"
       "  --telemetry on|off   metric registration + time series + in-band\n"
       "                       STATS/SERIES admin data (default on; off\n"
@@ -72,7 +92,9 @@ void Usage(const char* argv0) {
       "  --series-windows N   closed windows retained (default 300)\n"
       "  --data-dir PATH      durable cache state: data log + journal +\n"
       "                       checkpoints under PATH; restart recovers in\n"
-      "                       class order 0->1->2->3 (default: in-memory)\n"
+      "                       class order 0->1->2->3 (default: in-memory).\n"
+      "                       With --shards N > 1, shard K journals under\n"
+      "                       PATH/shardK\n"
       "  --fsync-batch N      group-commit fsync batch, records (default 32)\n"
       "  --checkpoint-interval N  journal records between automatic\n"
       "                       checkpoints (default 4096)\n"
@@ -90,11 +112,26 @@ void Usage(const char* argv0) {
       argv0);
 }
 
+/// One shard's full serving stack. With --shards 1 there is exactly one
+/// of these and it sits behind the classic OsdServer.
+struct ShardStack {
+  std::unique_ptr<FlashArray> array;
+  std::unique_ptr<StripeManager> stripes;
+  std::unique_ptr<ReoDataPlane> plane;
+  std::unique_ptr<AdmissionTier> admit;
+  std::unique_ptr<OsdTarget> target;
+  std::unique_ptr<MetricRegistry> telemetry;
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<FailSlowDetector> failslow;
+  std::unique_ptr<PersistenceManager> persist;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   OsdServerConfig server_cfg;
   PolicyConfig policy{.mode = ProtectionMode::kReo, .reo_reserve_fraction = 0.2};
+  size_t num_shards = 1;
   size_t num_devices = 5;
   uint64_t capacity_bytes = 256ull << 20;
   uint64_t chunk_bytes = 64 * 1024;
@@ -122,6 +159,9 @@ int main(int argc, char** argv) {
       server_cfg.port = static_cast<uint16_t>(std::strtoul(next(), nullptr, 10));
     } else if (!std::strcmp(argv[i], "--port-file")) {
       port_file = next();
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      num_shards = std::strtoull(next(), nullptr, 10);
+      if (num_shards == 0) num_shards = 1;
     } else if (!std::strcmp(argv[i], "--policy")) {
       std::string p = next();
       if (p == "reo") policy.mode = ProtectionMode::kReo;
@@ -203,181 +243,316 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The production stack, same wiring as the simulator minus the replay
-  // harness: every byte a client writes lands in the striped flash array
-  // under the selected protection policy.
-  FlashDeviceConfig dev;
-  dev.capacity_bytes = std::max<uint64_t>(capacity_bytes, 4 * chunk_bytes);
-  FlashArray array(num_devices, dev);
-  StripeManagerConfig smc;
-  smc.chunk_logical_bytes = chunk_bytes;
-  smc.scale_shift = scale_shift;
-  smc.capacity_limit_bytes = capacity_bytes;
-  StripeManager stripes(array, smc);
-  ReoDataPlane plane(stripes, RedundancyPolicy(policy));
-  // DRAM admission tier: clean writes stage in DRAM and only graduate to
-  // flash when the admission policy says the eviction earned a flash write.
-  // Disabled (--dram-mb 0) the stack is byte-identical to the pre-tier one.
-  AdmissionTier admit(admit_cfg);
-  if (admit.enabled()) plane.AttachAdmission(admit);
-  OsdTarget target(plane);
+  // Per-stage tracing assumes a single-threaded stack; with shards it
+  // would need one tracer per shard and per-shard span merge. Off for now.
+  bool tracing_on = telemetry_on && trace_sample > 0 && num_shards == 1;
 
-  MetricRegistry telemetry;
-  EventLog events;
-  if (telemetry_on) {
-    array.AttachTelemetry(telemetry);
-    plane.AttachTelemetry(telemetry);
-    target.AttachTelemetry(telemetry);
-    if (admit.enabled()) admit.AttachTelemetry(telemetry);
-  }
-  plane.AttachEvents(events);
-  if (admit.enabled()) admit.AttachEvents(events);
-
-  // Per-stage latency attribution: sampled request traces feed
-  // stage.<component>.span_us histograms. --trace-sample 0 turns it off.
-  Tracer tracer(TracerConfig{.sample_every = trace_sample});
-  bool tracing_on = telemetry_on && trace_sample > 0;
-  if (tracing_on) {
-    tracer.AttachStageMetrics(telemetry);
-    array.AttachTracing(tracer);
-    stripes.AttachTracing(tracer);
-    plane.AttachTracing(tracer);
-    target.AttachTracing(tracer);
-  }
-
-  // Chaos testing: deterministic fault injection into the device layer.
-  // The data plane's retry + in-place CRC repair is what keeps injected
-  // latent/transient faults invisible to wire clients.
-  std::unique_ptr<FaultInjector> injector;
-  std::unique_ptr<FailSlowDetector> failslow;
-  if (!fault_spec.empty()) {
-    injector = std::make_unique<FaultInjector>(fault_spec);
-    failslow = std::make_unique<FailSlowDetector>(
-        static_cast<uint32_t>(num_devices), FailSlowConfig{});
-    array.AttachFaults(injector.get(), failslow.get());
-    injector->AttachTelemetry(telemetry);
-    injector->AttachEvents(events);
-    failslow->AttachTelemetry(telemetry);
-    failslow->AttachEvents(events);
-    plane.ConfigureRetry(plane.retry_policy(), fault_spec.seed);
-  }
-
-  // Durable state: open (running crash recovery), replay any recovered
-  // objects back through the stack in class order, then checkpoint so the
-  // next restart starts from a compact image.
-  std::unique_ptr<PersistenceManager> persist;
-  if (persist_cfg.enabled()) {
-    auto opened = PersistenceManager::Open(persist_cfg);
-    if (!opened.ok()) {
-      if (opened.status().code() == ErrorCode::kCorrupted) {
-        // Fail-stop on corrupt durable state: refuse to serve from a state
-        // image we cannot trust, and name the offending file so the
-        // operator can remove or restore it. Distinct exit code for CI.
-        std::fprintf(stderr, "reo_server: corrupt durable state: %s\n",
-                     opened.status().to_string().c_str());
-        return 3;
-      }
-      std::fprintf(stderr, "persistence open failed: %s\n",
-                   opened.status().to_string().c_str());
-      return 1;
-    }
-    persist = std::move(*opened);
-    if (injector) persist->AttachFaults(injector.get());
-    persist->AttachTelemetry(telemetry);
-    persist->AttachEvents(events);
-    plane.AttachPersistence(persist.get());
-    if (persist->live_objects() > 0) {
-      RestoreReport rr =
-          RestoreToTarget(*persist, target, capacity_bytes, 0, &events);
-      std::printf(
-          "restored %llu objects (class0=%llu class1=%llu class2=%llu"
-          " class3=%llu, dirty_lost=%llu, verify_failures=%llu) in %llu us\n",
-          static_cast<unsigned long long>(rr.total_restored()),
-          static_cast<unsigned long long>(rr.restored_per_class[0]),
-          static_cast<unsigned long long>(rr.restored_per_class[1]),
-          static_cast<unsigned long long>(rr.restored_per_class[2]),
-          static_cast<unsigned long long>(rr.restored_per_class[3]),
-          static_cast<unsigned long long>(rr.dirty_lost),
-          static_cast<unsigned long long>(rr.payload_verify_failures),
-          static_cast<unsigned long long>(rr.duration_us));
-    }
-    Status cp = persist->Checkpoint(0);
-    if (!cp.ok()) {
-      std::fprintf(stderr, "startup checkpoint failed: %s\n",
-                   cp.to_string().c_str());
-      return 1;
-    }
-    // Clean shutdown: checkpoint after the last in-flight request is
-    // answered, so restart replays a checkpoint instead of a long journal.
-    server_cfg.on_drained = [&persist, &events]() {
-      Status st = persist->Checkpoint(0);
-      if (!st.ok()) {
-        Emit(&events, 0, EventSeverity::kError, "persist.checkpoint",
-             "shutdown checkpoint failed", {{"error", st.to_string()}});
-      }
-    };
-  }
-
-  OsdServer server(target, server_cfg);
-  server.AttachEvents(events);
-  // Live observability: per-window time series over the serving metrics,
-  // plus the in-band STATS/SERIES admin plane. HEALTH and EVENTS answer
-  // even with --telemetry off (dispatch does not depend on AttachAdmin).
+  EventLog events;  // shared: thread-safe, global ticket order across shards
   TimeSeriesRing series(TimeSeriesConfig{
       .window_ns = series_window_ms * 1'000'000, .capacity = series_windows});
-  if (telemetry_on) {
-    server.AttachTelemetry(telemetry);
-    TrackServingDefaults(telemetry, series, num_devices);
-    server.AttachAdmin(&telemetry, &series);
-  }
-  if (tracing_on) server.AttachTracing(tracer);
-  Status st = server.Listen();
-  if (!st.ok()) {
-    std::fprintf(stderr, "listen failed: %s\n", st.to_string().c_str());
-    return 1;
-  }
-  if (!port_file.empty()) {
-    Status wf = WriteFileAtomic(port_file, std::to_string(server.port()) + "\n");
-    if (!wf.ok()) {
-      std::fprintf(stderr, "port file: %s\n", wf.to_string().c_str());
-      return 1;
+  Tracer tracer(TracerConfig{.sample_every = trace_sample});
+
+  // Budgets split evenly across shards (each shard is an independent
+  // stack over its hash slice of the object space).
+  uint64_t shard_capacity = capacity_bytes / num_shards;
+  AdmissionConfig shard_admit_cfg = admit_cfg;
+  shard_admit_cfg.dram_bytes = admit_cfg.dram_bytes / num_shards;
+
+  // The production stack(s), same wiring as the simulator minus the
+  // replay harness: every byte a client writes lands in a striped flash
+  // array under the selected protection policy.
+  std::vector<ShardStack> stacks(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    ShardStack& s = stacks[k];
+    FlashDeviceConfig dev;
+    dev.capacity_bytes = std::max<uint64_t>(shard_capacity, 4 * chunk_bytes);
+    s.array = std::make_unique<FlashArray>(num_devices, dev);
+    StripeManagerConfig smc;
+    smc.chunk_logical_bytes = chunk_bytes;
+    smc.scale_shift = scale_shift;
+    smc.capacity_limit_bytes = shard_capacity;
+    s.stripes = std::make_unique<StripeManager>(*s.array, smc);
+    s.plane = std::make_unique<ReoDataPlane>(*s.stripes,
+                                             RedundancyPolicy(policy));
+    // DRAM admission tier: clean writes stage in DRAM and only graduate
+    // to flash when the admission policy says the eviction earned a
+    // flash write. Disabled (--dram-mb 0) the stack is byte-identical to
+    // the pre-tier one.
+    s.admit = std::make_unique<AdmissionTier>(shard_admit_cfg);
+    if (s.admit->enabled()) s.plane->AttachAdmission(*s.admit);
+    s.target = std::make_unique<OsdTarget>(*s.plane);
+
+    s.telemetry = std::make_unique<MetricRegistry>();
+    if (telemetry_on) {
+      s.array->AttachTelemetry(*s.telemetry);
+      s.plane->AttachTelemetry(*s.telemetry);
+      s.target->AttachTelemetry(*s.telemetry);
+      if (s.admit->enabled()) s.admit->AttachTelemetry(*s.telemetry);
+    }
+    s.plane->AttachEvents(events);
+    if (s.admit->enabled()) s.admit->AttachEvents(events);
+
+    // Per-stage latency attribution: sampled request traces feed
+    // stage.<component>.span_us histograms. --trace-sample 0 turns it off.
+    if (tracing_on) {
+      tracer.AttachStageMetrics(*s.telemetry);
+      s.array->AttachTracing(tracer);
+      s.stripes->AttachTracing(tracer);
+      s.plane->AttachTracing(tracer);
+      s.target->AttachTracing(tracer);
+    }
+
+    // Chaos testing: deterministic fault injection into the device layer.
+    // The data plane's retry + in-place CRC repair is what keeps injected
+    // latent/transient faults invisible to wire clients. Each shard's
+    // injector reseeds so shards do not fail in lockstep.
+    if (!fault_spec.empty()) {
+      FaultSpec shard_spec = fault_spec;
+      shard_spec.seed += k;
+      s.injector = std::make_unique<FaultInjector>(shard_spec);
+      s.failslow = std::make_unique<FailSlowDetector>(
+          static_cast<uint32_t>(num_devices), FailSlowConfig{});
+      s.array->AttachFaults(s.injector.get(), s.failslow.get());
+      s.injector->AttachTelemetry(*s.telemetry);
+      s.injector->AttachEvents(events);
+      s.failslow->AttachTelemetry(*s.telemetry);
+      s.failslow->AttachEvents(events);
+      s.plane->ConfigureRetry(s.plane->retry_policy(), shard_spec.seed);
+    }
+
+    // Durable state: open (running crash recovery), replay any recovered
+    // objects back through the stack in class order, then checkpoint so
+    // the next restart starts from a compact image. Each shard owns an
+    // independent journal directory; restores run shard-by-shard, class-
+    // ordered within each shard.
+    if (persist_cfg.enabled()) {
+      PersistenceConfig shard_persist_cfg = persist_cfg;
+      if (num_shards > 1) {
+        shard_persist_cfg.data_dir =
+            persist_cfg.data_dir + "/shard" + std::to_string(k);
+      }
+      auto opened = PersistenceManager::Open(shard_persist_cfg);
+      if (!opened.ok()) {
+        if (opened.status().code() == ErrorCode::kCorrupted) {
+          // Fail-stop on corrupt durable state: refuse to serve from a
+          // state image we cannot trust, and name the offending file so
+          // the operator can remove or restore it. Distinct exit code
+          // for CI.
+          std::fprintf(stderr, "reo_server: corrupt durable state: %s\n",
+                       opened.status().to_string().c_str());
+          return 3;
+        }
+        std::fprintf(stderr, "persistence open failed: %s\n",
+                     opened.status().to_string().c_str());
+        return 1;
+      }
+      s.persist = std::move(*opened);
+      if (s.injector) s.persist->AttachFaults(s.injector.get());
+      s.persist->AttachTelemetry(*s.telemetry);
+      s.persist->AttachEvents(events);
+      s.plane->AttachPersistence(s.persist.get());
+      if (s.persist->live_objects() > 0) {
+        RestoreReport rr =
+            RestoreToTarget(*s.persist, *s.target, shard_capacity, 0, &events);
+        std::printf(
+            "shard %zu: restored %llu objects (class0=%llu class1=%llu"
+            " class2=%llu class3=%llu, dirty_lost=%llu, verify_failures=%llu)"
+            " in %llu us\n",
+            k, static_cast<unsigned long long>(rr.total_restored()),
+            static_cast<unsigned long long>(rr.restored_per_class[0]),
+            static_cast<unsigned long long>(rr.restored_per_class[1]),
+            static_cast<unsigned long long>(rr.restored_per_class[2]),
+            static_cast<unsigned long long>(rr.restored_per_class[3]),
+            static_cast<unsigned long long>(rr.dirty_lost),
+            static_cast<unsigned long long>(rr.payload_verify_failures),
+            static_cast<unsigned long long>(rr.duration_us));
+      }
+      Status cp = s.persist->Checkpoint(0);
+      if (!cp.ok()) {
+        std::fprintf(stderr, "startup checkpoint failed: %s\n",
+                     cp.to_string().c_str());
+        return 1;
+      }
     }
   }
-  std::printf("reo_server listening on %s:%u (policy %s, %zu devices,"
-              " %llu MiB budget)\n",
-              server_cfg.bind_address.c_str(), server.port(),
-              std::string(to_string(policy.mode)).c_str(), num_devices,
-              static_cast<unsigned long long>(capacity_bytes >> 20));
-  if (admit.enabled()) {
-    std::printf("dram admission tier: %llu MiB, policy %s\n",
-                static_cast<unsigned long long>(admit_cfg.dram_bytes >> 20),
-                std::string(to_string(admit_cfg.policy)).c_str());
-  }
-  std::fflush(stdout);
 
-  g_server = &server;
   struct sigaction sa{};
   sa.sa_handler = HandleShutdownSignal;
-  sigaction(SIGTERM, &sa, nullptr);
-  sigaction(SIGINT, &sa, nullptr);
-  signal(SIGPIPE, SIG_IGN);
 
-  server.Run();
-  g_server = nullptr;
+  if (num_shards == 1) {
+    // --- Single-threaded path: the classic OsdServer, unchanged. ------
+    ShardStack& s = stacks[0];
+    if (s.persist) {
+      // Clean shutdown: checkpoint after the last in-flight request is
+      // answered, so restart replays a checkpoint instead of a long
+      // journal.
+      PersistenceManager* persist = s.persist.get();
+      server_cfg.on_drained = [persist, &events]() {
+        Status st = persist->Checkpoint(0);
+        if (!st.ok()) {
+          Emit(&events, 0, EventSeverity::kError, "persist.checkpoint",
+               "shutdown checkpoint failed", {{"error", st.to_string()}});
+        }
+      };
+    }
+    OsdServer server(*s.target, server_cfg);
+    server.AttachEvents(events);
+    // Live observability: per-window time series over the serving
+    // metrics, plus the in-band STATS/SERIES admin plane. HEALTH and
+    // EVENTS answer even with --telemetry off (dispatch does not depend
+    // on AttachAdmin).
+    if (telemetry_on) {
+      server.AttachTelemetry(*s.telemetry);
+      TrackServingDefaults(*s.telemetry, series, num_devices);
+      server.AttachAdmin(s.telemetry.get(), &series);
+    }
+    if (tracing_on) server.AttachTracing(tracer);
+    Status st = server.Listen();
+    if (!st.ok()) {
+      std::fprintf(stderr, "listen failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    if (!port_file.empty()) {
+      Status wf =
+          WriteFileAtomic(port_file, std::to_string(server.port()) + "\n");
+      if (!wf.ok()) {
+        std::fprintf(stderr, "port file: %s\n", wf.to_string().c_str());
+        return 1;
+      }
+    }
+    std::printf("reo_server listening on %s:%u (policy %s, %zu devices,"
+                " %llu MiB budget)\n",
+                server_cfg.bind_address.c_str(), server.port(),
+                std::string(to_string(policy.mode)).c_str(), num_devices,
+                static_cast<unsigned long long>(capacity_bytes >> 20));
+    if (s.admit->enabled()) {
+      std::printf("dram admission tier: %llu MiB, policy %s\n",
+                  static_cast<unsigned long long>(admit_cfg.dram_bytes >> 20),
+                  std::string(to_string(admit_cfg.policy)).c_str());
+    }
+    std::fflush(stdout);
 
-  const OsdServerStats& s = server.stats();
-  std::printf("drained: %llu connections served, %llu requests,"
-              " %llu bytes in / %llu out\n",
-              static_cast<unsigned long long>(s.accepted),
-              static_cast<unsigned long long>(s.requests),
-              static_cast<unsigned long long>(s.bytes_in),
-              static_cast<unsigned long long>(s.bytes_out));
-  std::printf("wire errors: %llu frame, %llu crc, %llu decode\n",
-              static_cast<unsigned long long>(s.frame_errors),
-              static_cast<unsigned long long>(s.crc_errors),
-              static_cast<unsigned long long>(s.decode_errors));
+    g_server = &server;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+    signal(SIGPIPE, SIG_IGN);
+
+    server.Run();
+    g_server = nullptr;
+
+    const OsdServerStats& st2 = server.stats();
+    std::printf("drained: %llu connections served, %llu requests,"
+                " %llu bytes in / %llu out\n",
+                static_cast<unsigned long long>(st2.accepted),
+                static_cast<unsigned long long>(st2.requests),
+                static_cast<unsigned long long>(st2.bytes_in),
+                static_cast<unsigned long long>(st2.bytes_out));
+    std::printf("wire errors: %llu frame, %llu crc, %llu decode\n",
+                static_cast<unsigned long long>(st2.frame_errors),
+                static_cast<unsigned long long>(st2.crc_errors),
+                static_cast<unsigned long long>(st2.decode_errors));
+  } else {
+    // --- Sharded path: N loops behind one port. -----------------------
+    ShardedServerConfig shard_cfg;
+    shard_cfg.bind_address = server_cfg.bind_address;
+    shard_cfg.port = server_cfg.port;
+    shard_cfg.backlog = server_cfg.backlog;
+    shard_cfg.max_connections = server_cfg.max_connections;
+    shard_cfg.idle_timeout_ms = server_cfg.idle_timeout_ms;
+    shard_cfg.drain_timeout_ms = server_cfg.drain_timeout_ms;
+    shard_cfg.connection = server_cfg.connection;
+    if (persist_cfg.enabled()) {
+      // Phase-2 drain: every shard checkpoints its own journal on its
+      // own loop thread once all in-flight work everywhere completed.
+      shard_cfg.on_shard_drained = [&stacks, &events](size_t k) {
+        Status st = stacks[k].persist->Checkpoint(0);
+        if (!st.ok()) {
+          Emit(&events, 0, EventSeverity::kError, "persist.checkpoint",
+               "shutdown checkpoint failed",
+               {{"error", st.to_string()}, {"shard", std::to_string(k)}});
+        }
+      };
+    }
+    std::vector<OsdTarget*> targets;
+    std::vector<MetricRegistry*> registries;
+    targets.reserve(num_shards);
+    registries.reserve(num_shards);
+    for (ShardStack& s : stacks) {
+      targets.push_back(s.target.get());
+      registries.push_back(s.telemetry.get());
+    }
+    ShardedServer server(targets, shard_cfg);
+    server.AttachEvents(events);
+    if (telemetry_on) {
+      for (size_t k = 0; k < num_shards; ++k) {
+        server.AttachShardTelemetry(k, *stacks[k].telemetry);
+      }
+      // One whole-process ring: every column sums the same-named metric
+      // across shard registries, so reo_top's ratios stay correct.
+      TrackServingDefaults(std::span<MetricRegistry* const>(registries),
+                           series, num_devices);
+      server.AttachAdmin(registries, &series);
+    }
+    Status st = server.Listen();
+    if (!st.ok()) {
+      std::fprintf(stderr, "listen failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    if (!port_file.empty()) {
+      Status wf =
+          WriteFileAtomic(port_file, std::to_string(server.port()) + "\n");
+      if (!wf.ok()) {
+        std::fprintf(stderr, "port file: %s\n", wf.to_string().c_str());
+        return 1;
+      }
+    }
+    std::printf("reo_server listening on %s:%u (%zu shards, policy %s,"
+                " %zu devices/shard, %llu MiB budget)\n",
+                shard_cfg.bind_address.c_str(), server.port(), num_shards,
+                std::string(to_string(policy.mode)).c_str(), num_devices,
+                static_cast<unsigned long long>(capacity_bytes >> 20));
+    if (stacks[0].admit->enabled()) {
+      std::printf("dram admission tier: %llu MiB, policy %s\n",
+                  static_cast<unsigned long long>(admit_cfg.dram_bytes >> 20),
+                  std::string(to_string(admit_cfg.policy)).c_str());
+    }
+    std::fflush(stdout);
+
+    g_sharded = &server;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+    signal(SIGPIPE, SIG_IGN);
+
+    server.Run();
+    g_sharded = nullptr;
+
+    ShardedServerStats st2 = server.stats();
+    std::printf("drained: %llu connections served, %llu requests,"
+                " %llu bytes in / %llu out\n",
+                static_cast<unsigned long long>(st2.accepted),
+                static_cast<unsigned long long>(st2.requests),
+                static_cast<unsigned long long>(st2.bytes_in),
+                static_cast<unsigned long long>(st2.bytes_out));
+    std::printf("wire errors: %llu frame, %llu crc, %llu decode;"
+                " cross-shard: %llu forwarded, %llu executed\n",
+                static_cast<unsigned long long>(st2.frame_errors),
+                static_cast<unsigned long long>(st2.crc_errors),
+                static_cast<unsigned long long>(st2.decode_errors),
+                static_cast<unsigned long long>(st2.forwarded),
+                static_cast<unsigned long long>(st2.forward_executed));
+  }
+
   if (!stats_out.empty()) {
-    Status wf = WriteFileAtomic(stats_out, telemetry.Snapshot().ToJson());
+    std::string json;
+    if (num_shards == 1) {
+      json = stacks[0].telemetry->Snapshot().ToJson();
+    } else {
+      std::vector<const MetricRegistry*> regs;
+      regs.reserve(num_shards);
+      for (ShardStack& s : stacks) regs.push_back(s.telemetry.get());
+      json = MetricRegistry::Merged(regs).ToJson();
+    }
+    Status wf = WriteFileAtomic(stats_out, json);
     if (!wf.ok()) {
       std::fprintf(stderr, "stats write failed: %s\n", wf.to_string().c_str());
       return 1;

@@ -18,4 +18,14 @@ uint32_t Crc32cPortable(std::span<const uint8_t> data, uint32_t seed = 0);
 /// True when Crc32c dispatches to the SSE4.2 instruction on this CPU.
 bool Crc32cUsesHardware();
 
+/// True when bulk payloads additionally take the PCLMULQDQ-folded path:
+/// three independent CRC32 instruction streams per block, recombined with
+/// one carry-less multiply — ~3x the single-stream instruction throughput
+/// on large buffers. Small inputs always use the plain SSE4.2 loop.
+bool Crc32cUsesClmul();
+
+/// Minimum input size (bytes) for the folded path (one 3-lane block);
+/// exposed so the differential test straddles the dispatch boundary.
+inline constexpr size_t kCrc32cFoldThreshold = 3 * 1024;
+
 }  // namespace reo

@@ -143,19 +143,34 @@ bool Connection::ProcessFrames() {
   std::span<const uint8_t> payload;
   for (;;) {
     bool input_exhausted = true;
-    if (pending_write_bytes() < config_.write_high_watermark) {
+    bool deferred_blocked =
+        stall_token_ != 0 || slots_.size() >= config_.max_inflight;
+    if (!deferred_blocked &&
+        pending_write_bytes() < config_.write_high_watermark) {
       FrameStatus st = decoder_.NextView(&payload);
       if (st == FrameStatus::kFrame) {
         ++frames_handled_;
         ArmIdleTimer();
-        FramePayload response = host_.OnFrame(*this, payload);
-        if (!response.empty()) {
-          // The handler's buffer is shipped as-is: the queue frames it
-          // with a pooled header/trailer block, no payload copy.
-          out_.Push(std::move(response));
-          if (pending_write_bytes() > config_.write_hard_limit) {
-            Fail("write queue overflow");
-            return false;
+        dispatch_token_ = next_token_++;
+        FrameResult r = host_.OnFrame(*this, payload);
+        if (r.deferred) {
+          // Response arrives later via Complete(); hold its place so the
+          // wire order matches the request order.
+          slots_.push_back(Slot{dispatch_token_, false, {}});
+          if (r.barrier) stall_token_ = dispatch_token_;
+        } else if (!r.response.empty()) {
+          if (slots_.empty()) {
+            // The handler's buffer is shipped as-is: the queue frames it
+            // with a pooled header/trailer block, no payload copy.
+            out_.Push(std::move(r.response));
+            if (pending_write_bytes() > config_.write_hard_limit) {
+              Fail("write queue overflow");
+              return false;
+            }
+          } else {
+            // Earlier responses are still pending: queue behind them.
+            slots_.push_back(
+                Slot{dispatch_token_, true, std::move(r.response)});
           }
         }
         continue;  // keep executing the pipeline
@@ -166,6 +181,8 @@ bool Connection::ProcessFrames() {
         Fail(st == FrameStatus::kCrcMismatch ? "crc mismatch" : "bad framing");
         return false;
       }
+    } else if (deferred_blocked) {
+      input_exhausted = false;  // Complete() resumes dispatch
     } else {
       input_exhausted = false;  // stopped by backpressure, not input
     }
@@ -173,8 +190,9 @@ bool Connection::ProcessFrames() {
     if (pending_write_bytes() >= config_.write_high_watermark) {
       return true;  // EPOLLOUT resumes us
     }
+    if (deferred_blocked) return true;  // Complete() resumes us
     if (input_exhausted) {
-      if (draining_ && pending_write_bytes() == 0) {
+      if (draining_ && pending_write_bytes() == 0 && slots_.empty()) {
         Fail("drained");
         return false;
       }
@@ -182,6 +200,45 @@ bool Connection::ProcessFrames() {
     }
     // Backpressure cleared by the flush: loop and execute more frames.
   }
+}
+
+bool Connection::FlushSlots() {
+  while (!slots_.empty() && slots_.front().done) {
+    if (!slots_.front().response.empty()) {
+      out_.Push(std::move(slots_.front().response));
+    }
+    slots_.pop_front();
+    if (pending_write_bytes() > config_.write_hard_limit) {
+      Fail("write queue overflow");
+      return false;
+    }
+  }
+  return true;
+}
+
+void Connection::Complete(uint64_t token, FramePayload response) {
+  if (closing_) return;
+  for (Slot& s : slots_) {
+    if (s.token == token) {
+      s.done = true;
+      s.response = std::move(response);
+      break;
+    }
+  }
+  if (stall_token_ == token) stall_token_ = 0;
+  // A completion is a loop event of its own: flush what became ordered,
+  // resume the pipeline the deferral blocked, and tear down on failure
+  // or once a drain has nothing left in flight.
+  if (!FlushSlots()) {
+    FinishEvent();
+    return;
+  }
+  if (!ProcessFrames()) {
+    FinishEvent();
+    return;
+  }
+  UpdateInterest();
+  FinishEvent();
 }
 
 bool Connection::DoWrite() {

@@ -158,6 +158,33 @@ void EventLoop::Stop() {
   Wake();
 }
 
+void EventLoop::Post(std::function<void()> task) {
+  bool was_empty;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    was_empty = posted_.empty();
+    posted_.push_back(std::move(task));
+  }
+  // One wake per burst: followers see a non-empty queue and know the
+  // eventfd is already signalled.
+  if (was_empty) Wake();
+}
+
+void EventLoop::DrainPosted() {
+  // Swap out the batch so tasks may Post() (to this loop or peers)
+  // without deadlocking on post_mu_; tasks queued by this batch run next
+  // iteration (their Post() re-arms the wake eventfd).
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& task : batch) {
+    if (stop_.load(std::memory_order_relaxed)) break;
+    task();
+  }
+}
+
 void EventLoop::Run() {
   constexpr int kMaxEvents = 128;
   epoll_event events[kMaxEvents];
@@ -191,6 +218,7 @@ void EventLoop::Run() {
       auto handler = h->second;
       handler(events[i].events);
     }
+    DrainPosted();
     timers_.Advance(now_ms_);
   }
 }

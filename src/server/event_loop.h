@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -101,6 +102,13 @@ class EventLoop {
   /// async-signal-safe.
   void Wake();
 
+  /// Enqueues `task` to run on the loop thread, FIFO across all posting
+  /// threads. Thread-safe (not signal-safe: takes a mutex) — this is the
+  /// cross-shard handoff primitive: another thread packages work, Post()s
+  /// it, and the owning loop executes it between IO dispatches. Tasks
+  /// still queued when Run() returns are destroyed unrun.
+  void Post(std::function<void()> task);
+
   bool stopped() const { return stop_.load(std::memory_order_relaxed); }
 
   /// CLOCK_MONOTONIC milliseconds, cached once per loop iteration.
@@ -108,6 +116,7 @@ class EventLoop {
 
  private:
   uint64_t ReadClockMs() const;
+  void DrainPosted();
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  ///< eventfd; written by Wake()/Stop()
@@ -120,6 +129,10 @@ class EventLoop {
   /// Set via Stop() from any thread or a signal handler; lock-free
   /// relaxed atomics are both data-race-free and async-signal-safe.
   std::atomic<bool> stop_{false};
+  /// Cross-thread task queue (Post). Guarded by post_mu_; drained in one
+  /// swap per loop iteration so posters never block on running tasks.
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
 };
 
 }  // namespace reo

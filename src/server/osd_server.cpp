@@ -223,12 +223,14 @@ void OsdServer::OnAcceptReady() {
   }
 }
 
-FramePayload OsdServer::OnFrame(Connection& conn,
-                                std::span<const uint8_t> payload) {
+FrameResult OsdServer::OnFrame(Connection& conn,
+                               std::span<const uint8_t> payload) {
   // Admin frames ride the same framed transport but are not data
   // requests: dispatch them before the request counters so STATS polling
   // never skews server.requests or the derived per-op ratios.
-  if (IsAdminFrame(payload)) return HandleAdminFrame(conn, payload);
+  if (IsAdminFrame(payload)) {
+    return FrameResult{HandleAdminFrame(conn, payload)};
+  }
   ++stats_.requests;
   Inc(tel_requests_);
   auto decoded = DecodeCommand(payload);
@@ -244,8 +246,8 @@ FramePayload OsdServer::OnFrame(Connection& conn,
     err.sense = SenseCode::kFail;
     ++stats_.responses;
     EncodedResponseParts p = EncodeResponseParts(std::move(err));
-    return FramePayload{std::move(p.head), std::move(p.body),
-                        std::move(p.tail)};
+    return FrameResult{FramePayload{std::move(p.head), std::move(p.body),
+                                    std::move(p.tail)}};
   }
   // Device time starts when the command lands at the target, as with the
   // simulated link; the server stamps its own monotonic clock.
@@ -271,7 +273,8 @@ FramePayload OsdServer::OnFrame(Connection& conn,
   // The bulk data buffer is moved through EncodeResponseParts into the
   // frame queue's body span — no payload copy between cache and kernel.
   EncodedResponseParts p = EncodeResponseParts(std::move(resp));
-  return FramePayload{std::move(p.head), std::move(p.body), std::move(p.tail)};
+  return FrameResult{
+      FramePayload{std::move(p.head), std::move(p.body), std::move(p.tail)}};
 }
 
 std::string OsdServer::HealthJson() const {

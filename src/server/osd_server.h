@@ -111,8 +111,8 @@ class OsdServer final : private ConnectionHost {
 
  private:
   // ConnectionHost:
-  FramePayload OnFrame(Connection& conn,
-                       std::span<const uint8_t> payload) override;
+  FrameResult OnFrame(Connection& conn,
+                      std::span<const uint8_t> payload) override;
   void OnCorruptFrame(Connection& conn, FrameStatus status) override;
   void OnBytes(uint64_t bytes_in, uint64_t bytes_out) override;
   void OnClose(Connection& conn, std::string_view reason) override;

@@ -5,112 +5,141 @@
 
 namespace reo {
 
-CacheSimulator::CacheSimulator(const Trace& trace, SimulationConfig config)
-    : trace_(trace), config_(std::move(config)), tracer_(config_.tracer) {
-  uint64_t dataset = trace_.catalog.TotalBytes();
-  uint64_t raw_capacity = static_cast<uint64_t>(
-      config_.cache_fraction * static_cast<double>(dataset));
+void CacheSimulator::BuildShard(size_t index, uint64_t shard_capacity) {
+  shards_[index] = std::make_unique<ShardInstance>();
+  ShardInstance& s = *shards_[index];
 
   // Devices are far larger than the cache budget (the paper's 5 x 120 GB
   // array vs a ~1.7 GB configured cache): each simulated device could hold
   // the whole budget, and the budget itself is enforced logically by the
   // stripe manager. Failures therefore cost data, not allocatable space.
   FlashDeviceConfig dev = config_.device;
-  dev.capacity_bytes = std::max<uint64_t>(raw_capacity,
+  dev.capacity_bytes = std::max<uint64_t>(shard_capacity,
                                           4 * config_.chunk_logical_bytes);
-  array_ = std::make_unique<FlashArray>(config_.num_devices, dev);
+  s.array = std::make_unique<FlashArray>(config_.num_devices, dev);
 
   StripeManagerConfig smc;
   smc.chunk_logical_bytes = config_.chunk_logical_bytes;
   smc.scale_shift = config_.scale_shift;
-  smc.capacity_limit_bytes = raw_capacity;
-  stripes_ = std::make_unique<StripeManager>(*array_, smc);
+  smc.capacity_limit_bytes = shard_capacity;
+  s.stripes = std::make_unique<StripeManager>(*s.array, smc);
 
-  plane_ = std::make_unique<ReoDataPlane>(*stripes_,
-                                          RedundancyPolicy(config_.policy));
-  target_ = std::make_unique<OsdTarget>(*plane_);
-  backend_ = std::make_unique<BackendStore>(config_.hdd, config_.net);
+  s.plane = std::make_unique<ReoDataPlane>(*s.stripes,
+                                           RedundancyPolicy(config_.policy));
+  s.target = std::make_unique<OsdTarget>(*s.plane);
+  s.backend = std::make_unique<BackendStore>(config_.hdd, config_.net);
 
   if (config_.persistence.enabled()) {
-    auto persist = PersistenceManager::Open(config_.persistence);
+    // Each shard journals independently (shard K under data_dir/shardK
+    // when sharded, flat when not — matching reo_server's layout).
+    PersistenceConfig pc = config_.persistence;
+    if (shards_.size() > 1) {
+      pc.data_dir += "/shard" + std::to_string(index);
+    }
+    auto persist = PersistenceManager::Open(pc);
     // Simulator runs treat an unopenable data dir as a configuration
     // error; the REO_CHECK keeps misconfigured benches from silently
     // running without the durability they asked for.
     REO_CHECK(persist.ok());
-    persist_ = std::move(*persist);
-    persist_->AttachTelemetry(telemetry_);
-    plane_->AttachPersistence(persist_.get());
+    s.persist = std::move(*persist);
+    s.persist->AttachTelemetry(s.telemetry);
+    s.plane->AttachPersistence(s.persist.get());
   }
 
   if (!config_.faults.empty()) {
     // Deterministic fault injection: per-site seeded streams, so the same
     // spec + seed reproduces the exact same fault sequence (DESIGN.md
-    // "Fault model & partial-failure handling").
-    injector_ = std::make_unique<FaultInjector>(config_.faults);
-    failslow_ = std::make_unique<FailSlowDetector>(
+    // "Fault model & partial-failure handling"). Shard K reseeds with
+    // seed + K so shards do not fault in lockstep.
+    FaultSpec spec = config_.faults;
+    spec.seed += index;
+    s.injector = std::make_unique<FaultInjector>(spec);
+    s.failslow = std::make_unique<FailSlowDetector>(
         static_cast<uint32_t>(config_.num_devices), config_.failslow);
-    array_->AttachFaults(injector_.get(), failslow_.get());
-    backend_->AttachFaults(injector_.get());
-    if (persist_) persist_->AttachFaults(injector_.get());
-    injector_->AttachTelemetry(telemetry_);
-    failslow_->AttachTelemetry(telemetry_);
+    s.array->AttachFaults(s.injector.get(), s.failslow.get());
+    s.backend->AttachFaults(s.injector.get());
+    if (s.persist) s.persist->AttachFaults(s.injector.get());
+    s.injector->AttachTelemetry(s.telemetry);
+    s.failslow->AttachTelemetry(s.telemetry);
     // Seed the retry backoff jitter from the fault seed so the whole
     // failure/recovery interleaving is reproducible.
-    plane_->ConfigureRetry(plane_->retry_policy(), config_.faults.seed);
+    s.plane->ConfigureRetry(s.plane->retry_policy(), spec.seed);
   }
 
   CacheManagerConfig cmc = config_.cache;
   cmc.verify_hits = config_.verify_hits;
   cmc.failslow_demote = config_.failslow_demote;
-  cache_ = std::make_unique<CacheManager>(*target_, *plane_, *backend_, cmc);
-  if (persist_) cache_->AttachPersistence(persist_.get());
-  if (failslow_) cache_->AttachFaultDetector(failslow_.get());
+  s.cache = std::make_unique<CacheManager>(*s.target, *s.plane, *s.backend,
+                                           cmc);
+  if (s.persist) s.cache->AttachPersistence(s.persist.get());
+  if (s.failslow) s.cache->AttachFaultDetector(s.failslow.get());
 
   if (config_.admission.dram_bytes > 0) {
-    admit_ = std::make_unique<AdmissionTier>(config_.admission);
-    plane_->AttachAdmission(*admit_);
+    AdmissionConfig ac = config_.admission;
+    ac.dram_bytes = config_.admission.dram_bytes / shards_.size();
+    s.admit = std::make_unique<AdmissionTier>(ac);
+    s.plane->AttachAdmission(*s.admit);
     // Graduating objects classify from observed hotness, not the staged
     // cold-start guess.
-    cache_->AttachAdmission(*admit_);
+    s.cache->AttachAdmission(*s.admit);
   }
 
   if (config_.wire_transport) {
-    transport_ = std::make_unique<OsdTransport>(*target_, config_.net);
-    cache_->initiator_mutable().UseTransport(transport_.get());
+    s.transport = std::make_unique<OsdTransport>(*s.target, config_.net);
+    s.cache->initiator_mutable().UseTransport(s.transport.get());
   }
 
-  // Attach every layer to the run-wide registry (the cache manager attaches
+  // Attach every layer to the shard's registry (the cache manager attaches
   // its recovery scheduler itself).
-  array_->AttachTelemetry(telemetry_);
-  plane_->AttachTelemetry(telemetry_);
-  target_->AttachTelemetry(telemetry_);
-  cache_->AttachTelemetry(telemetry_);
-  if (transport_) transport_->AttachTelemetry(telemetry_);
-  if (admit_) admit_->AttachTelemetry(telemetry_);
+  s.array->AttachTelemetry(s.telemetry);
+  s.plane->AttachTelemetry(s.telemetry);
+  s.target->AttachTelemetry(s.telemetry);
+  s.cache->AttachTelemetry(s.telemetry);
+  if (s.transport) s.transport->AttachTelemetry(s.telemetry);
+  if (s.admit) s.admit->AttachTelemetry(s.telemetry);
 
   if (config_.enable_tracing) {
     // The cache manager fans out to the data plane (stripes + flash
     // devices) and the backend; the target and wire transport attach here.
-    cache_->AttachTracing(tracer_);
-    target_->AttachTracing(tracer_);
-    if (transport_) transport_->AttachTracing(tracer_);
-    sim_ev_ = &tracer_.events();
-    if (persist_) persist_->AttachEvents(tracer_.events());
+    // Replay is single-threaded, so every shard can share the one tracer.
+    s.cache->AttachTracing(tracer_);
+    s.target->AttachTracing(tracer_);
+    if (s.transport) s.transport->AttachTracing(tracer_);
+    if (s.persist) s.persist->AttachEvents(tracer_.events());
     // Partial-failure milestones (retry exhaustion, CRC repairs, scrub
     // findings, fail-slow flags) land in the same event log.
-    plane_->AttachEvents(tracer_.events());
-    if (injector_) injector_->AttachEvents(tracer_.events());
-    if (failslow_) failslow_->AttachEvents(tracer_.events());
-    if (admit_) admit_->AttachEvents(tracer_.events());
+    s.plane->AttachEvents(tracer_.events());
+    if (s.injector) s.injector->AttachEvents(tracer_.events());
+    if (s.failslow) s.failslow->AttachEvents(tracer_.events());
+    if (s.admit) s.admit->AttachEvents(tracer_.events());
   }
+}
 
-  // Register the catalog with the backend store.
+CacheSimulator::CacheSimulator(const Trace& trace, SimulationConfig config)
+    : trace_(trace),
+      config_(std::move(config)),
+      tracer_(config_.tracer),
+      router_(config_.shards == 0 ? 1 : config_.shards) {
+  uint64_t dataset = trace_.catalog.TotalBytes();
+  uint64_t raw_capacity = static_cast<uint64_t>(
+      config_.cache_fraction * static_cast<double>(dataset));
+
+  // Capacity splits evenly: each shard serves ~1/N of the dataset (hash
+  // partition), so its slice keeps the configured cache fraction.
+  shards_.resize(router_.num_shards());
+  uint64_t shard_capacity = raw_capacity / shards_.size();
+  for (size_t k = 0; k < shards_.size(); ++k) BuildShard(k, shard_capacity);
+
+  if (config_.enable_tracing) sim_ev_ = &tracer_.events();
+
+  // Register the catalog with each object's owning shard.
   for (uint32_t i = 0; i < trace_.catalog.count(); ++i) {
     ObjectId id = ObjectCatalog::IdFor(i);
     uint64_t logical = trace_.catalog.sizes[i];
-    backend_->RegisterObject(id, logical, stripes_->PhysicalSize(logical));
+    ShardInstance& s = *shards_[router_.ShardOf(id)];
+    s.backend->RegisterObject(id, logical, s.stripes->PhysicalSize(logical));
   }
-  cache_->Initialize(clock_.now());
+  for (auto& s : shards_) s->cache->Initialize(clock_.now());
 }
 
 CacheSimulator::~CacheSimulator() = default;
@@ -119,8 +148,9 @@ void CacheSimulator::ReplayUnmeasured() {
   for (const Request& req : trace_.requests) {
     ObjectId id = ObjectCatalog::IdFor(req.object);
     uint64_t size = trace_.catalog.sizes[req.object];
-    RequestResult r = req.is_write ? cache_->Put(id, size, clock_.now())
-                                   : cache_->Get(id, size, clock_.now());
+    CacheManager& cache = Route(id);
+    RequestResult r = req.is_write ? cache.Put(id, size, clock_.now())
+                                   : cache.Get(id, size, clock_.now());
     clock_.Advance(r.latency);
   }
 }
@@ -141,11 +171,16 @@ RunReport CacheSimulator::Run() {
   for (uint64_t i = 0; i < trace_.requests.size(); ++i) {
     while (next_failure < config_.failures.size() &&
            config_.failures[next_failure].at_request == i) {
+      // A device failure hits every shard: the shards partition one
+      // physical array, so losing a device loses its slice everywhere.
       Emit(sim_ev_, clock_.now(), EventSeverity::kWarn, "sim.fail_injected",
            "scripted device failure",
            {{"device", std::to_string(config_.failures[next_failure].device)},
             {"request", std::to_string(i)}});
-      cache_->OnDeviceFailure(config_.failures[next_failure].device, clock_.now());
+      for (auto& s : shards_) {
+        s->cache->OnDeviceFailure(config_.failures[next_failure].device,
+                                  clock_.now());
+      }
       ++failed_so_far;
       char label[48];
       if (config_.probe_window_requests > 0) {
@@ -169,13 +204,17 @@ RunReport CacheSimulator::Run() {
            "scripted spare insertion",
            {{"device", std::to_string(config_.spares[next_spare].device)},
             {"request", std::to_string(i)}});
-      cache_->OnSpareInserted(config_.spares[next_spare].device, clock_.now());
+      for (auto& s : shards_) {
+        s->cache->OnSpareInserted(config_.spares[next_spare].device,
+                                  clock_.now());
+      }
       ++next_spare;
     }
 
     const Request& req = trace_.requests[i];
     ObjectId id = ObjectCatalog::IdFor(req.object);
     uint64_t size = trace_.catalog.sizes[req.object];
+    CacheManager& cache = Route(id);
 
     // Closed loop: the next request starts when the previous finished.
     // Open loop: it arrives on schedule and may queue behind the server.
@@ -185,8 +224,8 @@ RunReport CacheSimulator::Run() {
       arrival = measure_start + i * config_.arrival_interval_ns;
       start = std::max(arrival, server_free_);
     }
-    RequestResult r = req.is_write ? cache_->Put(id, size, start)
-                                   : cache_->Get(id, size, start);
+    RequestResult r = req.is_write ? cache.Put(id, size, start)
+                                   : cache.Get(id, size, start);
     server_free_ = start + r.latency;
     SimTime observed = server_free_ - arrival;  // includes queueing
     clock_.AdvanceTo(server_free_);
@@ -196,8 +235,10 @@ RunReport CacheSimulator::Run() {
     // still repair it (the scrub itself charges device time).
     if (config_.scrub_interval_requests > 0 &&
         (i + 1) % config_.scrub_interval_requests == 0) {
-      auto scrub = cache_->RunScrub(clock_.now());
-      server_free_ = std::max(server_free_, scrub.complete);
+      for (auto& s : shards_) {
+        auto scrub = s->cache->RunScrub(clock_.now());
+        server_free_ = std::max(server_free_, scrub.complete);
+      }
       clock_.AdvanceTo(server_free_);
     }
   }
@@ -207,13 +248,47 @@ RunReport CacheSimulator::Run() {
   report.name = config_.name;
   report.total = metrics.total();
   report.windows = metrics.windows();
-  report.cache = cache_->stats();
-  report.space = stripes_->Space();
-  report.osd = target_->stats();
-  report.max_wear = array_->MaxWearFraction();
   report.dataset_bytes = trace_.catalog.TotalBytes();
-  report.raw_capacity_bytes = array_->total_capacity_bytes();
-  report.telemetry = telemetry_.Snapshot();
+  for (auto& sp : shards_) {
+    ShardInstance& s = *sp;
+    CacheStats cs = s.cache->stats();
+    report.cache.gets += cs.gets;
+    report.cache.hits += cs.hits;
+    report.cache.misses += cs.misses;
+    report.cache.writes += cs.writes;
+    report.cache.evictions += cs.evictions;
+    report.cache.lost_evictions += cs.lost_evictions;
+    report.cache.dirty_lost += cs.dirty_lost;
+    report.cache.degraded_reads += cs.degraded_reads;
+    report.cache.rebuilds += cs.rebuilds;
+    report.cache.flushes += cs.flushes;
+    report.cache.reclassifications += cs.reclassifications;
+    report.cache.verify_failures += cs.verify_failures;
+    report.cache.uncacheable += cs.uncacheable;
+    SpaceStats ss = s.stripes->Space();
+    report.space.user_bytes += ss.user_bytes;
+    report.space.redundancy_bytes += ss.redundancy_bytes;
+    report.space.capacity_bytes += ss.capacity_bytes;
+    report.space.free_bytes += ss.free_bytes;
+    OsdTargetStats os = s.target->stats();
+    report.osd.commands += os.commands;
+    report.osd.reads += os.reads;
+    report.osd.read_misses += os.read_misses;
+    report.osd.writes += os.writes;
+    report.osd.control_messages += os.control_messages;
+    report.osd.degraded_reads += os.degraded_reads;
+    report.osd.sense_errors += os.sense_errors;
+    report.max_wear = std::max(report.max_wear, s.array->MaxWearFraction());
+    report.raw_capacity_bytes += s.array->total_capacity_bytes();
+  }
+  if (shards_.size() == 1) {
+    report.telemetry = shards_[0]->telemetry.Snapshot();
+  } else {
+    std::vector<const MetricRegistry*> regs;
+    regs.reserve(shards_.size());
+    for (auto& s : shards_) regs.push_back(&s->telemetry);
+    report.telemetry = MetricRegistry::Merged(regs);
+  }
   report.trace = tracer_.Stats();
   return report;
 }

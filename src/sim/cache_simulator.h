@@ -5,6 +5,14 @@
 // — under the virtual clock, replays a trace closed-loop, injects device
 // failures / spare insertions at scripted request indices (paper §VI.C),
 // and reports the paper's metrics.
+//
+// With `shards` > 1 the simulator models the sharded server: the object
+// space is hash-partitioned (ShardRouter) across N independent stacks —
+// each with its own flash array, data plane, cache manager, and backend —
+// and the replay routes every request to its object's shard. Replay stays
+// single-threaded under the one virtual clock (the simulator measures
+// cache behavior, not thread scaling), so runs remain deterministic.
+// `shards = 1` is byte-identical to the pre-sharding simulator.
 #pragma once
 
 #include <memory>
@@ -18,6 +26,7 @@
 #include "fault/fault_injector.h"
 #include "fault/fault_spec.h"
 #include "persist/persistence.h"
+#include "shard/shard_router.h"
 #include "sim/metrics.h"
 #include "telemetry/metric_registry.h"
 #include "trace/tracer.h"
@@ -26,6 +35,9 @@
 namespace reo {
 
 /// Scripted fault events, by request index within the measured run.
+/// With shards > 1 a failure/spare fans out: device `device` fails in
+/// EVERY shard's array (the shards model one physical array partitioned
+/// logically, so a device loss touches every shard's slice).
 struct FailureEvent {
   uint64_t at_request = 0;
   DeviceIndex device = 0;
@@ -46,6 +58,11 @@ struct SimulationConfig {
   /// Physical payload scale (DESIGN.md "Scaling"): 0 for tests, 6 for the
   /// paper-scale benches.
   uint32_t scale_shift = 6;
+
+  /// Serving shards (DESIGN.md "Sharded serving"). Each shard is an
+  /// independent stack over its hash slice of the object space; capacity
+  /// and DRAM budgets split evenly. 1 = the classic single-stack run.
+  size_t shards = 1;
 
   // Device / backend models.
   FlashDeviceConfig device;      ///< capacity_bytes is overridden
@@ -90,6 +107,7 @@ struct SimulationConfig {
   /// Durable cache state (DESIGN.md "Persistence & restart recovery").
   /// The default (empty data_dir) is the null backend: no files are
   /// touched and the run is byte-identical to the in-memory simulator.
+  /// With shards > 1, shard K journals under data_dir/shardK.
   PersistenceConfig persistence;
 
   // Fault injection (DESIGN.md "Fault model & partial-failure handling").
@@ -109,7 +127,9 @@ struct SimulationConfig {
   AdmissionConfig admission;
 };
 
-/// Everything a bench/test needs from one run.
+/// Everything a bench/test needs from one run. With shards > 1 every
+/// counter below is the sum across shards, max_wear the max, and
+/// `telemetry` the bucket-level cross-shard merge (MetricRegistry::Merged).
 struct RunReport {
   std::string name;
   WindowMetrics total;
@@ -140,47 +160,65 @@ class CacheSimulator {
   /// Replays the trace (optionally after a warm-up pass) and reports.
   RunReport Run();
 
-  /// Component access for integration tests and examples.
-  CacheManager& cache() { return *cache_; }
-  StripeManager& stripes() { return *stripes_; }
-  FlashArray& array() { return *array_; }
-  BackendStore& backend() { return *backend_; }
-  OsdTarget& target() { return *target_; }
+  /// Component access for integration tests and examples; with shards > 1
+  /// these answer for shard 0 (use shard_count()/cache_of() to reach the
+  /// rest).
+  CacheManager& cache() { return *shards_[0]->cache; }
+  StripeManager& stripes() { return *shards_[0]->stripes; }
+  FlashArray& array() { return *shards_[0]->array; }
+  BackendStore& backend() { return *shards_[0]->backend; }
+  OsdTarget& target() { return *shards_[0]->target; }
   /// Live metric registry (all layers attached); snapshot at any time.
-  MetricRegistry& telemetry() { return telemetry_; }
+  /// Shard 0's registry with shards > 1 (RunReport carries the merge).
+  MetricRegistry& telemetry() { return shards_[0]->telemetry; }
   /// Tracing sink (spans + event log). Inert unless `enable_tracing`;
   /// export with ChromeTraceJson / TraceReportText after Run().
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
   /// Durable-state manager; null unless `persistence.data_dir` was set.
-  PersistenceManager* persistence() { return persist_.get(); }
+  PersistenceManager* persistence() { return shards_[0]->persist.get(); }
   /// Fault injector; null unless `faults` had rules.
-  FaultInjector* fault_injector() { return injector_.get(); }
+  FaultInjector* fault_injector() { return shards_[0]->injector.get(); }
   /// Fail-slow detector; null unless `faults` had rules.
-  FailSlowDetector* failslow_detector() { return failslow_.get(); }
+  FailSlowDetector* failslow_detector() { return shards_[0]->failslow.get(); }
   /// DRAM admission tier; null unless `admission.dram_bytes` was set.
-  AdmissionTier* admission_tier() { return admit_.get(); }
+  AdmissionTier* admission_tier() { return shards_[0]->admit.get(); }
+
+  size_t shard_count() const { return shards_.size(); }
+  const ShardRouter& router() const { return router_; }
+  CacheManager& cache_of(size_t shard) { return *shards_[shard]->cache; }
+  OsdTarget& target_of(size_t shard) { return *shards_[shard]->target; }
 
  private:
+  /// One shard's full stack; declaration order is destruction-safe
+  /// (registry before the components that cache pointers into it).
+  struct ShardInstance {
+    MetricRegistry telemetry;
+    std::unique_ptr<FlashArray> array;
+    std::unique_ptr<StripeManager> stripes;
+    std::unique_ptr<ReoDataPlane> plane;
+    std::unique_ptr<OsdTarget> target;
+    std::unique_ptr<OsdTransport> transport;  ///< only when wire_transport
+    std::unique_ptr<BackendStore> backend;
+    std::unique_ptr<PersistenceManager> persist;  ///< only when data_dir set
+    std::unique_ptr<FaultInjector> injector;      ///< only when faults set
+    std::unique_ptr<FailSlowDetector> failslow;   ///< only when faults set
+    std::unique_ptr<AdmissionTier> admit;  ///< only when dram_bytes > 0
+    std::unique_ptr<CacheManager> cache;
+  };
+
+  void BuildShard(size_t index, uint64_t shard_capacity);
   void ReplayUnmeasured();
+  CacheManager& Route(ObjectId id) {
+    return *shards_[router_.ShardOf(id)]->cache;
+  }
 
   const Trace& trace_;
   SimulationConfig config_;
 
-  /// Declared before the components so they outlive the cached pointers.
-  MetricRegistry telemetry_;
   Tracer tracer_;
-  std::unique_ptr<FlashArray> array_;
-  std::unique_ptr<StripeManager> stripes_;
-  std::unique_ptr<ReoDataPlane> plane_;
-  std::unique_ptr<OsdTarget> target_;
-  std::unique_ptr<OsdTransport> transport_;  ///< only when wire_transport
-  std::unique_ptr<BackendStore> backend_;
-  std::unique_ptr<PersistenceManager> persist_;  ///< only when data_dir set
-  std::unique_ptr<FaultInjector> injector_;      ///< only when faults set
-  std::unique_ptr<FailSlowDetector> failslow_;   ///< only when faults set
-  std::unique_ptr<AdmissionTier> admit_;         ///< only when dram_bytes > 0
-  std::unique_ptr<CacheManager> cache_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<ShardInstance>> shards_;
   /// Event sink for the injection script ("sim.*"); null when tracing off.
   EventLog* sim_ev_ = nullptr;
   SimClock clock_;

@@ -258,4 +258,61 @@ MetricSnapshot MetricRegistry::Snapshot() const {
   return snap;
 }
 
+MetricSnapshot MetricRegistry::Merged(
+    std::span<const MetricRegistry* const> regs) {
+  // Accumulate per name across registries, locking one registry at a
+  // time (no lock nesting; concurrent metric updates stay relaxed-atomic
+  // and never block on this).
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+  for (const MetricRegistry* reg : regs) {
+    if (reg == nullptr) continue;
+    std::lock_guard<std::mutex> lock(reg->mu_);
+    for (const auto& [name, c] : reg->counters_) {
+      counters[name] += static_cast<double>(c->value());
+    }
+    for (const auto& [name, g] : reg->gauges_) {
+      gauges[name] += g->value();
+    }
+    for (const auto& [name, h] : reg->histograms_) {
+      histograms[name].Merge(h->Merged());
+    }
+  }
+  MetricSnapshot snap;
+  snap.entries.reserve(counters.size() + gauges.size() + histograms.size());
+  for (const auto& [name, v] : counters) {
+    MetricSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricSnapshot::Kind::kCounter;
+    e.value = v;
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, v] : gauges) {
+    MetricSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricSnapshot::Kind::kGauge;
+    e.value = v;
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, merged] : histograms) {
+    MetricSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricSnapshot::Kind::kHistogram;
+    e.count = merged.count();
+    e.mean = merged.mean();
+    e.p50 = merged.Percentile(0.50);
+    e.p99 = merged.Percentile(0.99);
+    e.p999 = merged.Percentile(0.999);
+    e.max = merged.max();
+    e.sum = merged.sum();
+    snap.entries.push_back(std::move(e));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const MetricSnapshot::Entry& a, const MetricSnapshot::Entry& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
 }  // namespace reo

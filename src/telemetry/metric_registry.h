@@ -33,6 +33,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -217,6 +218,16 @@ class MetricRegistry {
   void Reset();
 
   MetricSnapshot Snapshot() const;
+
+  /// One snapshot merged across several registries — the multi-shard
+  /// ADMIN STATS view. Counters and gauges sum (gauges are levels of
+  /// per-shard resources — active connections, DRAM bytes — whose
+  /// whole-process reading is the sum); histograms merge at the BUCKET
+  /// level before summarizing, so merged percentiles are computed over
+  /// the union of samples, never averaged from per-shard summaries.
+  /// A name registered in only some registries merges with zero
+  /// contributions from the rest. Null registry pointers are skipped.
+  static MetricSnapshot Merged(std::span<const MetricRegistry* const> regs);
 
  private:
   enum class Kind : uint8_t { kCounter, kGauge, kHistogram };

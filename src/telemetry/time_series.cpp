@@ -16,21 +16,31 @@ TimeSeriesRing::TimeSeriesRing(TimeSeriesConfig cfg) : cfg_(cfg) {
 }
 
 void TimeSeriesRing::TrackCounter(std::string name, const Counter* c) {
+  TrackCounter(std::move(name), std::vector<const Counter*>{c});
+}
+
+void TimeSeriesRing::TrackCounter(std::string name,
+                                  std::vector<const Counter*> cs) {
   std::lock_guard<std::mutex> lock(mu_);
   Series s;
   s.kind = Kind::kCounter;
-  s.num.push_back(c);
-  s.prev_num = c->value();
+  s.num = std::move(cs);
+  s.prev_num = SumCounters(s.num);
   s.col0 = cols_.size();
   cols_.push_back({std::move(name), std::vector<double>(cfg_.capacity, 0.0)});
   series_.push_back(std::move(s));
 }
 
 void TimeSeriesRing::TrackGauge(std::string name, const Gauge* g) {
+  TrackGauge(std::move(name), std::vector<const Gauge*>{g});
+}
+
+void TimeSeriesRing::TrackGauge(std::string name,
+                                std::vector<const Gauge*> gs) {
   std::lock_guard<std::mutex> lock(mu_);
   Series s;
   s.kind = Kind::kGauge;
-  s.gauge = g;
+  s.gauges = std::move(gs);
   s.col0 = cols_.size();
   cols_.push_back({std::move(name), std::vector<double>(cfg_.capacity, 0.0)});
   series_.push_back(std::move(s));
@@ -53,11 +63,16 @@ void TimeSeriesRing::TrackRatio(std::string name,
 
 void TimeSeriesRing::TrackHistogram(std::string name,
                                     const ShardedHistogram* h) {
+  TrackHistogram(std::move(name), std::vector<const ShardedHistogram*>{h});
+}
+
+void TimeSeriesRing::TrackHistogram(std::string name,
+                                    std::vector<const ShardedHistogram*> hs) {
   std::lock_guard<std::mutex> lock(mu_);
   Series s;
   s.kind = Kind::kHistogram;
-  s.hist = h;
-  s.prev_hist = h->Merged();
+  s.hists = std::move(hs);
+  s.prev_hist = s.FoldHists();
   s.col0 = cols_.size();
   cols_.push_back({name + ".p50", std::vector<double>(cfg_.capacity, 0.0)});
   cols_.push_back({name + ".p99", std::vector<double>(cfg_.capacity, 0.0)});
@@ -70,6 +85,12 @@ uint64_t TimeSeriesRing::SumCounters(const std::vector<const Counter*>& cs) {
   uint64_t sum = 0;
   for (const Counter* c : cs) sum += c->value();
   return sum;
+}
+
+Histogram TimeSeriesRing::Series::FoldHists() const {
+  Histogram out;
+  for (const ShardedHistogram* h : hists) out.Merge(h->Merged());
+  return out;
 }
 
 void TimeSeriesRing::CloseWindow() {
@@ -93,9 +114,12 @@ void TimeSeriesRing::CloseWindow() {
         s.prev_num = cum;
         break;
       }
-      case Kind::kGauge:
-        cols_[s.col0].ring[slot] = s.gauge->value();
+      case Kind::kGauge: {
+        double level = 0.0;
+        for (const Gauge* g : s.gauges) level += g->value();
+        cols_[s.col0].ring[slot] = level;
         break;
+      }
       case Kind::kRatio: {
         uint64_t num_cum = SumCounters(s.num);
         uint64_t den_cum = SumCounters(s.den);
@@ -109,7 +133,7 @@ void TimeSeriesRing::CloseWindow() {
         break;
       }
       case Kind::kHistogram: {
-        Histogram folded = s.hist->Merged();
+        Histogram folded = s.FoldHists();
         Histogram delta = folded.DeltaSince(s.prev_hist);
         cols_[s.col0].ring[slot] = delta.Percentile(0.50);
         cols_[s.col0 + 1].ring[slot] = delta.Percentile(0.99);
@@ -132,7 +156,7 @@ void TimeSeriesRing::Advance(uint64_t now_ns) {
     for (Series& s : series_) {
       s.prev_num = SumCounters(s.num);
       s.prev_den = SumCounters(s.den);
-      if (s.hist) s.prev_hist = s.hist->Merged();
+      if (!s.hists.empty()) s.prev_hist = s.FoldHists();
     }
     return;
   }
@@ -223,8 +247,22 @@ std::string TimeSeriesRing::ToJson(size_t max_windows) const {
 
 void TrackServingDefaults(MetricRegistry& registry, TimeSeriesRing& ring,
                           size_t num_devices) {
+  MetricRegistry* regs[] = {&registry};
+  TrackServingDefaults(regs, ring, num_devices);
+}
+
+void TrackServingDefaults(std::span<MetricRegistry* const> registries,
+                          TimeSeriesRing& ring, size_t num_devices) {
+  // Every column sums the same-named metric across all registries; with
+  // one registry this collapses to the original single-stack wiring.
+  auto counters_named = [&](const std::string& name) {
+    std::vector<const Counter*> cs;
+    cs.reserve(registries.size());
+    for (MetricRegistry* r : registries) cs.push_back(&r->GetCounter(name));
+    return cs;
+  };
   auto counter = [&](const char* name) {
-    ring.TrackCounter(name, &registry.GetCounter(name));
+    ring.TrackCounter(name, counters_named(name));
   };
   counter("server.requests");
   counter("server.bytes_in");
@@ -244,31 +282,36 @@ void TrackServingDefaults(MetricRegistry& registry, TimeSeriesRing& ring,
   counter("scrub.chunks_repaired");
   counter("scrub.corrupt_found");
 
-  ring.TrackGauge("server.connections.active",
-                  &registry.GetGauge("server.connections.active"));
-
-  ring.TrackHistogram("server.latency.read_us",
-                      &registry.GetHistogram("server.latency.read_us"));
-  ring.TrackHistogram("server.latency.write_us",
-                      &registry.GetHistogram("server.latency.write_us"));
+  std::vector<const Gauge*> active;
+  std::vector<const ShardedHistogram*> lat_read, lat_write;
+  for (MetricRegistry* r : registries) {
+    active.push_back(&r->GetGauge("server.connections.active"));
+    lat_read.push_back(&r->GetHistogram("server.latency.read_us"));
+    lat_write.push_back(&r->GetHistogram("server.latency.write_us"));
+  }
+  ring.TrackGauge("server.connections.active", std::move(active));
+  ring.TrackHistogram("server.latency.read_us", std::move(lat_read));
+  ring.TrackHistogram("server.latency.write_us", std::move(lat_write));
 
   // Read miss ratio on the serving path (no cache_manager in reo_server:
   // the OSD target counts object-index misses directly).
-  ring.TrackRatio("osd.read_miss_ratio",
-                  {&registry.GetCounter("osd.read_misses")},
-                  {&registry.GetCounter("osd.reads")});
+  ring.TrackRatio("osd.read_miss_ratio", counters_named("osd.read_misses"),
+                  counters_named("osd.reads"));
 
   // Flash writes per server op: the paper's device-wear lens. Sums every
-  // device's write counter so the ratio survives device replacement.
+  // device's write counter (per shard) so the ratio survives device
+  // replacement and covers all shard arrays.
   std::vector<const Counter*> flash_writes;
-  flash_writes.reserve(num_devices);
+  flash_writes.reserve(num_devices * registries.size());
   for (size_t d = 0; d < num_devices; ++d) {
-    flash_writes.push_back(
-        &registry.GetCounter("flash.dev" + std::to_string(d) + ".writes"));
+    for (const Counter* c :
+         counters_named("flash.dev" + std::to_string(d) + ".writes")) {
+      flash_writes.push_back(c);
+    }
   }
   if (!flash_writes.empty()) {
     ring.TrackRatio("flash.writes_per_op", std::move(flash_writes),
-                    {&registry.GetCounter("server.requests")});
+                    counters_named("server.requests"));
   }
 
   // DRAM admission tier (all zero when the tier is off; the registry
@@ -277,9 +320,13 @@ void TrackServingDefaults(MetricRegistry& registry, TimeSeriesRing& ring,
   counter("admit.graduated");
   counter("admit.dropped");
   counter("dram.evictions");
-  ring.TrackRatio("dram.hit_ratio", {&registry.GetCounter("dram.hits")},
-                  {&registry.GetCounter("dram.hits"),
-                   &registry.GetCounter("dram.misses")});
+  std::vector<const Counter*> dram_hits = counters_named("dram.hits");
+  std::vector<const Counter*> dram_all = dram_hits;
+  for (const Counter* c : counters_named("dram.misses")) {
+    dram_all.push_back(c);
+  }
+  ring.TrackRatio("dram.hit_ratio", std::move(dram_hits),
+                  std::move(dram_all));
 }
 
 }  // namespace reo

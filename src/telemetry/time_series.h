@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -48,8 +49,18 @@ class TimeSeriesRing {
   /// Column `name`: per-window delta of the counter.
   void TrackCounter(std::string name, const Counter* c);
 
+  /// Column `name`: per-window delta of the SUM of several counters —
+  /// the multi-shard form (one same-named counter per shard registry).
+  /// Summing before the delta keeps every shard aligned on the same
+  /// window boundary by construction.
+  void TrackCounter(std::string name, std::vector<const Counter*> cs);
+
   /// Column `name`: gauge level sampled at window close.
   void TrackGauge(std::string name, const Gauge* g);
+
+  /// Column `name`: sum of several gauges sampled at window close (e.g.
+  /// active connections across every shard).
+  void TrackGauge(std::string name, std::vector<const Gauge*> gs);
 
   /// Column `name`: delta(sum of numerators) / delta(sum of denominators)
   /// per window; an empty-denominator window renders NaN (JSON null).
@@ -63,6 +74,12 @@ class TimeSeriesRing {
   /// successive folded snapshots; the delta's max is cumulative, so
   /// per-window percentiles clamp at the all-time max — see histogram.h).
   void TrackHistogram(std::string name, const ShardedHistogram* h);
+
+  /// Same columns over the BUCKET-level merge of several histograms (one
+  /// per shard registry): per-window percentiles are computed over the
+  /// union of samples, never averaged from per-shard percentiles.
+  void TrackHistogram(std::string name,
+                      std::vector<const ShardedHistogram*> hs);
 
   // --- Advancing time. The first call pins the epoch (opens the first
   // window); later calls close every window whose end <= now_ns.
@@ -97,12 +114,14 @@ class TimeSeriesRing {
     Kind kind = Kind::kCounter;
     std::vector<const Counter*> num;  // counter / ratio numerator
     std::vector<const Counter*> den;  // ratio denominator
-    const Gauge* gauge = nullptr;
-    const ShardedHistogram* hist = nullptr;
+    std::vector<const Gauge*> gauges;
+    std::vector<const ShardedHistogram*> hists;
     uint64_t prev_num = 0;
     uint64_t prev_den = 0;
     Histogram prev_hist;
     size_t col0 = 0;  // first owned column index (histogram owns 3)
+
+    Histogram FoldHists() const;  // bucket-level merge across hists
   };
 
   static uint64_t SumCounters(const std::vector<const Counter*>& cs);
@@ -131,5 +150,12 @@ class TimeSeriesRing {
 /// component AttachTelemetry order.
 void TrackServingDefaults(MetricRegistry& registry, TimeSeriesRing& ring,
                           size_t num_devices);
+
+/// Multi-shard form: the same columns, with every counter / gauge /
+/// histogram summed (bucket-merged) across one registry per shard, so the
+/// control-plane ring reports whole-process series and the paper ratios
+/// in reo_top stay correct under sharding. `num_devices` is per shard.
+void TrackServingDefaults(std::span<MetricRegistry* const> registries,
+                          TimeSeriesRing& ring, size_t num_devices);
 
 }  // namespace reo

@@ -153,6 +153,51 @@ TEST(Crc32cTest, SeededContinuationMatchesWholeBuffer) {
   }
 }
 
+// Differential for the PCLMULQDQ-folded bulk path: buffer sizes straddling
+// the fold threshold (the dispatch boundary between the plain SSE4.2 loop
+// and the 3-lane folded kernel), each at unaligned starting offsets, must
+// agree with the portable table. Runs regardless of CPU support — on
+// machines without PCLMULQDQ it degenerates to re-checking the SSE4.2 or
+// portable path, which keeps the test meaningful everywhere.
+TEST(Crc32cTest, ClmulFoldedPathMatchesPortableAcrossThreshold) {
+  Pcg32 rng(13);
+  std::vector<uint8_t> backing(4 * kCrc32cFoldThreshold + 64);
+  for (auto& b : backing) b = static_cast<uint8_t>(rng.Next());
+  const size_t lens[] = {
+      kCrc32cFoldThreshold - 1,      kCrc32cFoldThreshold,
+      kCrc32cFoldThreshold + 1,      kCrc32cFoldThreshold + 17,
+      2 * kCrc32cFoldThreshold - 5,  3 * kCrc32cFoldThreshold,
+      4 * kCrc32cFoldThreshold + 11,
+  };
+  for (size_t off : {size_t{0}, size_t{1}, size_t{3}, size_t{7}, size_t{9}}) {
+    for (size_t len : lens) {
+      ASSERT_LE(off + len, backing.size());
+      std::span<const uint8_t> data(backing.data() + off, len);
+      ASSERT_EQ(Crc32c(data), Crc32cPortable(data))
+          << "off=" << off << " len=" << len
+          << " clmul=" << Crc32cUsesClmul();
+    }
+  }
+}
+
+// Seeded continuation across the fold threshold: splitting a large buffer
+// so one side takes the folded path and the other the small-input path
+// must still compose to the whole-buffer CRC.
+TEST(Crc32cTest, ClmulSeededContinuationAcrossThreshold) {
+  Pcg32 rng(14);
+  std::vector<uint8_t> buf(3 * kCrc32cFoldThreshold);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.Next());
+  uint32_t whole = Crc32cPortable(buf);
+  EXPECT_EQ(Crc32c(buf), whole);
+  for (size_t split : {size_t{1}, size_t{64}, kCrc32cFoldThreshold - 1,
+                       kCrc32cFoldThreshold, kCrc32cFoldThreshold + 1,
+                       buf.size() - 7}) {
+    std::span<const uint8_t> head(buf.data(), split);
+    std::span<const uint8_t> tail(buf.data() + split, buf.size() - split);
+    EXPECT_EQ(Crc32c(tail, Crc32c(head)), whole) << "split=" << split;
+  }
+}
+
 // --- Pcg32 ------------------------------------------------------------------
 
 TEST(Pcg32Test, Deterministic) {

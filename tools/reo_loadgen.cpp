@@ -112,6 +112,10 @@ struct Options {
   double zipf_skew = 0.9;
   uint64_t object_bytes = 64 * 1024;
   uint64_t seed = 42;
+  /// Shard count of the server under test (reo_server --shards). Purely
+  /// descriptive: it labels the bench report / summary so scaling-curve
+  /// runs are self-describing. The wire protocol is shard-transparent.
+  size_t shards = 1;
   bool verify = true;
   std::string stats_out;
   std::string bench_out;  ///< write BENCH_serve.json here (see bench_json.h)
@@ -474,6 +478,8 @@ void Usage(const char* argv0) {
       "  --zipf S             Zipf popularity skew (default 0.9)\n"
       "  --object-kb N        object size in KiB (default 64)\n"
       "  --seed N             RNG seed (default 42)\n"
+      "  --shards N           shard count of the server under test; labels\n"
+      "                       the bench report for scaling curves (default 1)\n"
       "  --no-verify          skip read-payload content verification\n"
       "  --stats-out PATH     write the telemetry snapshot JSON\n"
       "  --bench-out PATH     write the BENCH_serve.json bench report\n"
@@ -514,6 +520,10 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--zipf")) opt.zipf_skew = std::atof(next());
     else if (!std::strcmp(argv[i], "--object-kb")) opt.object_bytes = std::strtoull(next(), nullptr, 10) * 1024;
     else if (!std::strcmp(argv[i], "--seed")) opt.seed = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--shards")) {
+      opt.shards = std::strtoull(next(), nullptr, 10);
+      if (opt.shards == 0) opt.shards = 1;
+    }
     else if (!std::strcmp(argv[i], "--no-verify")) opt.verify = false;
     else if (!std::strcmp(argv[i], "--stats-out")) opt.stats_out = next();
     else if (!std::strcmp(argv[i], "--bench-out")) opt.bench_out = next();
@@ -659,11 +669,12 @@ int main(int argc, char** argv) {
     char wl[160];
     std::snprintf(wl, sizeof(wl),
                   "%zuconn x %llureq, %u obj x %lluKiB, %.0f%% writes, "
-                  "zipf %.2f",
+                  "zipf %.2f, %zu shard%s",
                   opt.connections,
                   static_cast<unsigned long long>(opt.requests), opt.objects,
                   static_cast<unsigned long long>(opt.object_bytes >> 10),
-                  opt.write_ratio * 100, opt.zipf_skew);
+                  opt.write_ratio * 100, opt.zipf_skew, opt.shards,
+                  opt.shards == 1 ? "" : "s");
     report.workload = wl;
     report.ops = total_ops;
     report.wall_seconds = elapsed_sec;
