@@ -66,6 +66,10 @@ void Usage(const char* argv0) {
       "  --bind ADDR          listen address (default 127.0.0.1)\n"
       "  --port N             listen port; 0 picks an ephemeral one (default 0)\n"
       "  --port-file PATH     write the bound port to PATH (for scripts/CI)\n"
+      "  --node-id N          cluster node identity: attaches the cluster\n"
+      "                       directory (owner hints, ADMIN OWNERS, node_id\n"
+      "                       in HEALTH) for multi-node deployments\n"
+      "                       (default: single-node, no directory)\n"
       "  --shards N           serving shards (threads); the object space is\n"
       "                       hash-partitioned across N independent stacks\n"
       "                       (default 1: the single-threaded server).\n"
@@ -124,6 +128,7 @@ struct ShardStack {
   std::unique_ptr<FaultInjector> injector;
   std::unique_ptr<FailSlowDetector> failslow;
   std::unique_ptr<PersistenceManager> persist;
+  std::unique_ptr<ClusterDirectory> cluster;  ///< --node-id only
 };
 
 }  // namespace
@@ -140,6 +145,8 @@ int main(int argc, char** argv) {
   PersistenceConfig persist_cfg;
   FaultSpec fault_spec;
   bool telemetry_on = true;
+  bool cluster_on = false;
+  uint32_t node_id = 0;
   uint64_t trace_sample = 64;
   uint64_t series_window_ms = 1000;
   size_t series_windows = 300;
@@ -159,6 +166,9 @@ int main(int argc, char** argv) {
       server_cfg.port = static_cast<uint16_t>(std::strtoul(next(), nullptr, 10));
     } else if (!std::strcmp(argv[i], "--port-file")) {
       port_file = next();
+    } else if (!std::strcmp(argv[i], "--node-id")) {
+      node_id = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+      cluster_on = true;
     } else if (!std::strcmp(argv[i], "--shards")) {
       num_shards = std::strtoull(next(), nullptr, 10);
       if (num_shards == 0) num_shards = 1;
@@ -292,6 +302,15 @@ int main(int argc, char** argv) {
     s.plane->AttachEvents(events);
     if (s.admit->enabled()) s.admit->AttachEvents(events);
 
+    // Cluster mode: the per-shard directory holds this node's slice of
+    // the cluster's owner hints and recognizes refetch arrivals.
+    if (cluster_on) {
+      s.cluster = std::make_unique<ClusterDirectory>(node_id);
+      if (telemetry_on) s.cluster->AttachTelemetry(*s.telemetry);
+      s.cluster->AttachEvents(events);
+      s.target->AttachCluster(*s.cluster);
+    }
+
     // Per-stage latency attribution: sampled request traces feed
     // stage.<component>.span_us histograms. --trace-sample 0 turns it off.
     if (tracing_on) {
@@ -407,6 +426,7 @@ int main(int argc, char** argv) {
       server.AttachAdmin(s.telemetry.get(), &series);
     }
     if (tracing_on) server.AttachTracing(tracer);
+    if (cluster_on) server.AttachCluster(*s.cluster);
     Status st = server.Listen();
     if (!st.ok()) {
       std::fprintf(stderr, "listen failed: %s\n", st.to_string().c_str());
@@ -492,6 +512,12 @@ int main(int argc, char** argv) {
       TrackServingDefaults(std::span<MetricRegistry* const>(registries),
                            series, num_devices);
       server.AttachAdmin(registries, &series);
+    }
+    if (cluster_on) {
+      std::vector<const ClusterDirectory*> dirs;
+      dirs.reserve(num_shards);
+      for (ShardStack& s : stacks) dirs.push_back(s.cluster.get());
+      server.AttachCluster(std::move(dirs));
     }
     Status st = server.Listen();
     if (!st.ok()) {

@@ -1,0 +1,86 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+
+namespace reo {
+namespace {
+
+/// splitmix64 finalizer — the same mixer ObjectIdHash uses, applied to
+/// (node, replica) points so virtual nodes scatter independently.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+void HashRing::AddNode(uint32_t node) {
+  auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+  if (it != nodes_.end() && *it == node) return;
+  nodes_.insert(it, node);
+  points_.reserve(points_.size() + config_.virtual_nodes);
+  for (uint32_t v = 0; v < config_.virtual_nodes; ++v) {
+    // (node, v) pack into disjoint bit ranges; adding the odd constant
+    // keeps the input a bijection of the pair (OR would let the constant
+    // absorb low node bits and give two nodes identical points).
+    uint64_t point = Mix64((static_cast<uint64_t>(node) << 32) + v +
+                           0x9E3779B97F4A7C15ULL);
+    points_.emplace_back(point, node);
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+void HashRing::RemoveNode(uint32_t node) {
+  auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+  if (it == nodes_.end() || *it != node) return;
+  nodes_.erase(it);
+  std::erase_if(points_, [node](const auto& p) { return p.second == node; });
+}
+
+bool HashRing::Contains(uint32_t node) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), node);
+}
+
+uint64_t HashRing::KeyPoint(ObjectId id) const {
+  return static_cast<uint64_t>(ObjectIdHash{}(id));
+}
+
+std::optional<uint32_t> HashRing::OwnerOf(ObjectId id) const {
+  if (points_.empty()) return std::nullopt;
+  uint64_t point = KeyPoint(id);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), point,
+      [](const auto& p, uint64_t v) { return p.first < v; });
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return it->second;
+}
+
+std::vector<uint32_t> HashRing::ReplicasOf(ObjectId id, size_t count) const {
+  std::vector<uint32_t> out;
+  if (points_.empty() || count == 0) return out;
+  count = std::min(count, nodes_.size());
+  uint64_t point = KeyPoint(id);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), point,
+      [](const auto& p, uint64_t v) { return p.first < v; });
+  for (size_t walked = 0; walked < points_.size() && out.size() < count;
+       ++walked, ++it) {
+    if (it == points_.end()) it = points_.begin();  // wrap
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+std::optional<uint32_t> HashRing::SuccessorOf(ObjectId id) const {
+  auto replicas = ReplicasOf(id, 2);
+  if (replicas.size() < 2) return std::nullopt;
+  return replicas[1];
+}
+
+}  // namespace reo

@@ -1,0 +1,63 @@
+// Consistent-hash ring with virtual nodes: the cluster's placement
+// function.
+//
+// Each member node is hashed onto the ring at `virtual_nodes` points; a
+// key is owned by the first node point clockwise from the key's own hash.
+// Virtual nodes smooth the per-node share toward 1/N (the skew bound the
+// ring tests pin), and consistency bounds churn: adding or removing one
+// of N nodes remaps only ~1/N of the key space — every other key keeps
+// its owner, which is what makes node death a partial event instead of a
+// reshuffle.
+//
+// The ring is pure membership: it answers "who would own this key" for
+// the configured node set. Liveness is a separate concern (NodeHealth);
+// ClusterInitiator composes the two by walking ReplicasOf() until it
+// finds a usable node — so a dead node's keys land on its ring successor
+// without mutating the ring, and remap back the moment it returns.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/object_id.h"
+
+namespace reo {
+
+struct HashRingConfig {
+  uint32_t virtual_nodes = 128;  ///< ring points per member node
+};
+
+class HashRing {
+ public:
+  explicit HashRing(HashRingConfig config = {}) : config_(config) {}
+
+  /// Adds a member (no-op if present). O(V log V) re-sort.
+  void AddNode(uint32_t node);
+  /// Removes a member (no-op if absent).
+  void RemoveNode(uint32_t node);
+  bool Contains(uint32_t node) const;
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Ring owner of a key; nullopt on an empty ring.
+  std::optional<uint32_t> OwnerOf(ObjectId id) const;
+
+  /// Up to `count` distinct members clockwise from the key's point,
+  /// owner first — the failover order. The second entry is the ring
+  /// successor: the node that inherits the key if the owner leaves.
+  std::vector<uint32_t> ReplicasOf(ObjectId id, size_t count) const;
+
+  /// The key's ring successor (second distinct member clockwise);
+  /// nullopt with fewer than two members.
+  std::optional<uint32_t> SuccessorOf(ObjectId id) const;
+
+ private:
+  uint64_t KeyPoint(ObjectId id) const;
+
+  HashRingConfig config_;
+  std::vector<uint32_t> nodes_;  ///< sorted member ids
+  /// Sorted (ring point, node) pairs — the ring itself.
+  std::vector<std::pair<uint64_t, uint32_t>> points_;
+};
+
+}  // namespace reo

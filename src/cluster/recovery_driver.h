@@ -1,0 +1,81 @@
+// ClusterRecoveryDriver: cross-node differentiated recovery.
+//
+// The node-level analogue of the repo's device-level recovery scheduler
+// (core/recovery_scheduler.*): when a node dies, what it held is not
+// rebuilt from parity — survivors never stored its payload — but
+// *refetched from the backend*, and the differentiated-redundancy
+// classes decide what is worth the backend traffic:
+//
+//   class 0/1 (replicated / fsync-before-ack): proactively refetched,
+//     class 0 before class 1, hot before cold within a class — the same
+//     ordering the restart restore (persist/restore.h) uses;
+//   class 2/3 (clean): degrade to clean misses; the cache refills them
+//     on demand.
+//
+// The driver walks every survivor's cluster directory (ADMIN OWNERS —
+// the hints the clients placed on ring successors), filters the dead
+// node's objects, and writes the refetched payloads back through the
+// cluster, where routing lands them on each key's new owner: the very
+// node holding the hint, which detects the arrival and emits the
+// class-ordered `cluster.refetch` events the drill asserts on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster_initiator.h"
+#include "common/object_id.h"
+#include "common/status.h"
+
+namespace reo {
+
+/// One refetch work item parsed from a survivor's OWNERS dump.
+struct RefetchItem {
+  ObjectId id;
+  uint8_t class_id = 3;
+  uint64_t hotness = 0;
+};
+
+struct ClusterRecoveryReport {
+  uint64_t entries_scanned = 0;    ///< directory entries walked
+  uint64_t dead_entries = 0;       ///< entries owned by the dead node
+  uint64_t refetched_class0 = 0;
+  uint64_t refetched_class1 = 0;
+  uint64_t clean_miss_class2 = 0;  ///< degraded, not refetched
+  uint64_t clean_miss_class3 = 0;
+  uint64_t refetch_failures = 0;   ///< backend or write-path failures
+  uint64_t survivors_queried = 0;
+
+  uint64_t refetched() const { return refetched_class0 + refetched_class1; }
+};
+
+class ClusterRecoveryDriver {
+ public:
+  /// Backend fetch: payload bytes of `id` from the origin store (the
+  /// deterministic generator in the load driver; a real backend in
+  /// production). A failed fetch counts, never aborts the sweep.
+  using BackendFetch =
+      std::function<Result<std::vector<uint8_t>>(ObjectId id)>;
+
+  ClusterRecoveryDriver(ClusterInitiator& cluster, BackendFetch backend)
+      : cluster_(cluster), backend_(std::move(backend)) {}
+
+  /// Runs the full drill for `dead_node`: announce the death (survivors
+  /// mark + account), gather survivors' OWNERS, then refetch class-0/1
+  /// strictly class-ordered and hot-before-cold. Fails only when no
+  /// survivor is reachable.
+  Result<ClusterRecoveryReport> Recover(uint32_t dead_node);
+
+  /// The sorted class-0/1 work list for `dead_node` without executing it
+  /// (exposed for tests and dry runs). Also fills the class-2/3 miss
+  /// counts in `report`.
+  Result<std::vector<RefetchItem>> Plan(uint32_t dead_node,
+                                        ClusterRecoveryReport& report);
+
+ private:
+  ClusterInitiator& cluster_;
+  BackendFetch backend_;
+};
+
+}  // namespace reo

@@ -52,14 +52,29 @@ std::vector<uint8_t> EncodeControlMessage(const ControlMessage& msg) {
                   static_cast<unsigned>(set->class_id));
     return ToBytes(buf);
   }
-  const auto& q = std::get<QueryCommand>(msg);
-  std::snprintf(buf, sizeof(buf), "%s:0x%llx:0x%llx:%c:%llu:%llu",
-                std::string(kQueryHeader).c_str(),
-                static_cast<unsigned long long>(q.target.pid),
-                static_cast<unsigned long long>(q.target.oid),
-                q.is_write ? 'W' : 'R',
-                static_cast<unsigned long long>(q.offset),
-                static_cast<unsigned long long>(q.size));
+  if (const auto* q = std::get_if<QueryCommand>(&msg)) {
+    std::snprintf(buf, sizeof(buf), "%s:0x%llx:0x%llx:%c:%llu:%llu",
+                  std::string(kQueryHeader).c_str(),
+                  static_cast<unsigned long long>(q->target.pid),
+                  static_cast<unsigned long long>(q->target.oid),
+                  q->is_write ? 'W' : 'R',
+                  static_cast<unsigned long long>(q->offset),
+                  static_cast<unsigned long long>(q->size));
+    return ToBytes(buf);
+  }
+  if (const auto* h = std::get_if<OwnerHintCommand>(&msg)) {
+    std::snprintf(buf, sizeof(buf), "%s:0x%llx:0x%llx:%u:%llu:%u",
+                  std::string(kOwnerHeader).c_str(),
+                  static_cast<unsigned long long>(h->target.pid),
+                  static_cast<unsigned long long>(h->target.oid),
+                  static_cast<unsigned>(h->class_id),
+                  static_cast<unsigned long long>(h->hotness),
+                  static_cast<unsigned>(h->owner));
+    return ToBytes(buf);
+  }
+  const auto& d = std::get<NodeDownCommand>(msg);
+  std::snprintf(buf, sizeof(buf), "%s:%u", std::string(kNodeDownHeader).c_str(),
+                static_cast<unsigned>(d.node));
   return ToBytes(buf);
 }
 
@@ -99,6 +114,36 @@ Result<ControlMessage> DecodeControlMessage(std::span<const uint8_t> wire) {
                                        .is_write = op == "W",
                                        .offset = *offset,
                                        .size = *size}};
+  }
+  if (fields[0] == kOwnerHeader) {
+    if (fields.size() != 6) {
+      return Status{ErrorCode::kInvalidArgument, "OWNER needs 6 fields"};
+    }
+    auto pid = ParseU64(fields[1]);
+    auto oid = ParseU64(fields[2]);
+    auto cid = ParseU64(fields[3]);
+    auto hot = ParseU64(fields[4]);
+    auto owner = ParseU64(fields[5]);
+    if (!pid.ok() || !oid.ok() || !cid.ok() || !hot.ok() || !owner.ok() ||
+        *cid > 0xFF || *owner > 0xFFFFFFFFull) {
+      return Status{ErrorCode::kInvalidArgument, "bad OWNER field"};
+    }
+    return ControlMessage{OwnerHintCommand{
+        .target = {*pid, *oid},
+        .class_id = static_cast<uint8_t>(*cid),
+        .hotness = *hot,
+        .owner = static_cast<uint32_t>(*owner)}};
+  }
+
+  if (fields[0] == kNodeDownHeader) {
+    if (fields.size() != 2) {
+      return Status{ErrorCode::kInvalidArgument, "NODEDOWN needs 2 fields"};
+    }
+    auto node = ParseU64(fields[1]);
+    if (!node.ok() || *node > 0xFFFFFFFFull) {
+      return Status{ErrorCode::kInvalidArgument, "bad NODEDOWN field"};
+    }
+    return ControlMessage{NodeDownCommand{.node = static_cast<uint32_t>(*node)}};
   }
   return Status{ErrorCode::kInvalidArgument, "unknown control header"};
 }

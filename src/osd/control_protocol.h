@@ -2,12 +2,21 @@
 //
 // All management/control traffic between the cache manager and the object
 // storage is encoded as small messages written synchronously to the
-// reserved communication object (OID 0x10004). Two commands exist:
+// reserved communication object (OID 0x10004). Four commands exist:
 //
-//   Classification: "#SETID#"  <PID> <OID> <CID>
-//   Query:          "#QUERY#"  <PID> <OID> <R|W> <offset> <size>
+//   Classification: "#SETID#"    <PID> <OID> <CID>
+//   Query:          "#QUERY#"    <PID> <OID> <R|W> <offset> <size>
+//   Owner hint:     "#OWNER#"    <PID> <OID> <CID> <hotness> <node>
+//   Node down:      "#NODEDOWN#" <node>
 //
-// This header provides encode/decode for that wire format.
+// The first two are the paper's cache-manager protocol. The last two are
+// the cluster extension: an owner hint records, on a ring-successor node,
+// that object (PID, OID) of class CID lives on cluster node <node> — the
+// metadata a survivor needs to drive cross-node differentiated recovery
+// when <node> dies; a node-down announcement tells a survivor to account
+// the dead node's hinted objects (class 0/1 pending refetch, class 2/3
+// degraded to clean misses). This header provides encode/decode for that
+// wire format.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +32,8 @@ namespace reo {
 
 inline constexpr std::string_view kSetIdHeader = "#SETID#";
 inline constexpr std::string_view kQueryHeader = "#QUERY#";
+inline constexpr std::string_view kOwnerHeader = "#OWNER#";
+inline constexpr std::string_view kNodeDownHeader = "#NODEDOWN#";
 
 /// Classification command: assigns class CID to the target object.
 struct SetIdCommand {
@@ -40,7 +51,28 @@ struct QueryCommand {
   friend bool operator==(const QueryCommand&, const QueryCommand&) = default;
 };
 
-using ControlMessage = std::variant<SetIdCommand, QueryCommand>;
+/// Cluster owner hint: object `target` of class `class_id` lives on
+/// cluster node `owner`; `hotness` is the writer's read-popularity
+/// estimate, re-hinted as it grows so survivors can refetch hot-first.
+struct OwnerHintCommand {
+  ObjectId target;
+  uint8_t class_id = 0;
+  uint64_t hotness = 0;
+  uint32_t owner = 0;
+  friend bool operator==(const OwnerHintCommand&,
+                         const OwnerHintCommand&) = default;
+};
+
+/// Cluster node-down announcement: node `node` is considered dead; the
+/// receiver accounts its hinted objects per class.
+struct NodeDownCommand {
+  uint32_t node = 0;
+  friend bool operator==(const NodeDownCommand&,
+                         const NodeDownCommand&) = default;
+};
+
+using ControlMessage =
+    std::variant<SetIdCommand, QueryCommand, OwnerHintCommand, NodeDownCommand>;
 
 /// Serializes a control message to its wire bytes.
 std::vector<uint8_t> EncodeControlMessage(const ControlMessage& msg);

@@ -72,6 +72,7 @@ OsdResponse OsdTarget::Execute(const OsdCommand& cmd) {
       if (!data.ok() && data.code() != ErrorCode::kNotFound) {
         resp.sense = SenseFromStatus(data);
       }
+      if (cluster_) cluster_->OnLocalRemove(cmd.id);
       break;
     }
 
@@ -163,6 +164,18 @@ OsdResponse OsdTarget::HandleControlWrite(const OsdCommand& cmd) {
     return resp;
   }
 
+  if (const auto* hint = std::get_if<OwnerHintCommand>(&*msg)) {
+    // Cluster owner hint: accepted (and fsync'd like any control write)
+    // even without an attached directory so single-node servers tolerate
+    // cluster clients; the metadata is simply not retained.
+    if (cluster_) cluster_->RecordHint(*hint, cmd.now);
+    return resp;
+  }
+  if (const auto* down = std::get_if<NodeDownCommand>(&*msg)) {
+    if (cluster_) cluster_->OnNodeDown(*down, cmd.now);
+    return resp;
+  }
+
   const auto& q = std::get<QueryCommand>(*msg);
   if (q.target == kControlObject) {
     // Querying the control object itself reports recovery state:
@@ -216,6 +229,7 @@ OsdResponse OsdTarget::HandleWrite(const OsdCommand& cmd) {
 
   (*rec)->logical_size = cmd.logical_size;
   (*rec)->attributes.SetU64(kAttrLogicalSize, cmd.logical_size);
+  if (cluster_) cluster_->OnLocalWrite(cmd.id, cmd.now);
   OsdResponse resp;
   resp.complete = io->complete;
   return resp;

@@ -16,6 +16,7 @@
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "osd/attribute_store.h"
+#include "osd/cluster_directory.h"
 #include "osd/control_protocol.h"
 #include "osd/object_store.h"
 #include "osd/sense.h"
@@ -156,6 +157,11 @@ class OsdTarget {
     trace_ = &tracer.RecorderFor(TraceComponent::kOsdTarget);
   }
 
+  /// Cluster mode: routes #OWNER#/#NODEDOWN# control messages into the
+  /// directory and notifies it of local writes/removes (refetch
+  /// detection). Must outlive the target.
+  void AttachCluster(ClusterDirectory& directory) { cluster_ = &directory; }
+
  private:
   OsdResponse HandleControlWrite(const OsdCommand& command);
   OsdResponse HandleWrite(const OsdCommand& command);
@@ -164,6 +170,7 @@ class OsdTarget {
   DataPlane& data_plane_;
   ObjectStore store_;
   OsdTargetStats stats_;
+  ClusterDirectory* cluster_ = nullptr;
 
   // Telemetry (null when un-attached).
   Counter* tel_commands_ = nullptr;

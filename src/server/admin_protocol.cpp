@@ -46,7 +46,7 @@ Result<AdminCommand> DecodeAdminCommand(std::span<const uint8_t> wire) {
   }
   AdminCommand cmd;
   uint8_t op = wire[4];
-  if (op > static_cast<uint8_t>(AdminOp::kHealth)) {
+  if (op > static_cast<uint8_t>(AdminOp::kOwners)) {
     return Status{ErrorCode::kCorrupted, "admin request: unknown op"};
   }
   cmd.op = static_cast<AdminOp>(op);

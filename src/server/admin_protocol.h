@@ -37,6 +37,7 @@ enum class AdminOp : uint8_t {
   kSeries = 1,  ///< TimeSeriesRing JSON (arg = max windows, 0 = all)
   kEvents = 2,  ///< EventLog JSON (arg = max events, 0 = all)
   kHealth = 3,  ///< liveness summary JSON
+  kOwners = 4,  ///< cluster directory dump ("reo.owners.v1")
 };
 
 constexpr std::string_view to_string(AdminOp op) {
@@ -45,6 +46,7 @@ constexpr std::string_view to_string(AdminOp op) {
     case AdminOp::kSeries: return "series";
     case AdminOp::kEvents: return "events";
     case AdminOp::kHealth: return "health";
+    case AdminOp::kOwners: return "owners";
   }
   return "unknown";
 }

@@ -289,6 +289,9 @@ std::string OsdServer::HealthJson() const {
   out += JsonNum(started_ns_ ? static_cast<double>(NowNs() - started_ns_) / 1e6
                              : 0.0);
   out += ",\"port\":" + std::to_string(port_);
+  if (cluster_ != nullptr) {
+    out += ",\"node_id\":" + std::to_string(cluster_->local_node());
+  }
   out += ",\"connections\":" + std::to_string(connections_.size());
   out += ",\"accepted\":" + std::to_string(stats_.accepted);
   out += ",\"requests\":" + std::to_string(stats_.requests);
@@ -345,6 +348,14 @@ FramePayload OsdServer::HandleAdminFrame(Connection& conn,
         break;
       case AdminOp::kHealth:
         out.json = HealthJson();
+        break;
+      case AdminOp::kOwners:
+        if (cluster_ != nullptr) {
+          out.json = cluster_->ToJson();
+        } else {
+          out.status = 1;
+          out.json = "{\"error\":\"no cluster directory attached\"}";
+        }
         break;
     }
   }

@@ -100,6 +100,12 @@ class OsdServer final : private ConnectionHost {
   /// its windows on a loop timer at the ring's own window interval.
   void AttachAdmin(MetricRegistry* registry, TimeSeriesRing* series);
 
+  /// Cluster mode: the ADMIN OWNERS command answers from this directory,
+  /// and HealthJson reports the node id. Must outlive the server.
+  void AttachCluster(const ClusterDirectory& directory) {
+    cluster_ = &directory;
+  }
+
   /// Opens a sampled root span (the transport track) around every data
   /// command, with the same clock stamps the service-latency histograms
   /// observe — so with sample_every == 1 the stage.transport totals match
@@ -147,6 +153,7 @@ class OsdServer final : private ConnectionHost {
   // Admin plane (null when un-attached).
   MetricRegistry* admin_registry_ = nullptr;
   TimeSeriesRing* series_ = nullptr;
+  const ClusterDirectory* cluster_ = nullptr;
 
   // Tracing (null when un-attached).
   Tracer* tracer_ = nullptr;

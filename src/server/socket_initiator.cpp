@@ -10,7 +10,9 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
@@ -283,6 +285,24 @@ bool IdempotentRead(OsdOp op) {
 
 }  // namespace
 
+uint32_t ReconnectBackoffMs(const SocketInitiatorConfig& config,
+                            uint32_t retry, Pcg32& rng) {
+  // Cap the exponent before multiplying: 2^retry overflows every integer
+  // width long before max_retries runs out, and the wraparound would
+  // synchronize the very reconnect storm the jitter exists to spread.
+  double base = static_cast<double>(config.retry_backoff_ms) *
+                std::pow(2.0, std::min(retry, 30u));
+  double jitter = 0.5 + rng.NextDouble();  // [0.5, 1.5)
+  double delay = base * jitter;
+  double cap = static_cast<double>(config.retry_backoff_max_ms);
+  if (cap > 0.0 && delay > cap) delay = cap;
+  // Uncapped configs still must not overflow the uint32 (casting an
+  // out-of-range double is undefined behavior, not a saturation).
+  constexpr double kMax = 4294967295.0;
+  if (delay > kMax) delay = kMax;
+  return delay > 0.0 ? static_cast<uint32_t>(delay) : 0u;
+}
+
 OsdResponse SocketInitiator::Roundtrip(const OsdCommand& command) {
   auto attempt = [&]() -> Result<OsdResponse> {
     REO_RETURN_IF_ERROR(Send(command));
@@ -295,11 +315,8 @@ OsdResponse SocketInitiator::Roundtrip(const OsdCommand& command) {
     // reads, reconnect (jittered exponential backoff) and resend; a write
     // may have been applied before the cut, so it is never replayed here.
     for (uint32_t r = 0; r < config_.max_retries && !resp.ok(); ++r) {
-      double jitter = 0.5 + retry_rng_.NextDouble();  // [0.5, 1.5)
-      int sleep_ms = static_cast<int>(
-          static_cast<double>(config_.retry_backoff_ms) * jitter *
-          static_cast<double>(1u << r));
-      if (sleep_ms > 0) (void)poll(nullptr, 0, sleep_ms);
+      uint32_t sleep_ms = ReconnectBackoffMs(config_, r, retry_rng_);
+      if (sleep_ms > 0) (void)poll(nullptr, 0, static_cast<int>(sleep_ms));
       if (!Connect(host_, port_).ok()) continue;
       ++stats_.reconnects;
       Inc(tel_reconnects_);

@@ -47,9 +47,20 @@ struct SocketInitiatorConfig {
   uint32_t max_retries = 0;
   /// Base backoff between reconnect attempts (real sleep, jittered ±50%).
   uint32_t retry_backoff_ms = 50;
+  /// Ceiling on any single reconnect sleep, jitter included. Without the
+  /// cap the doubling makes deep retry counts sleep for minutes — and N
+  /// clients hammering one dead node would synchronize on the overflow
+  /// wraparound. 0 disables the cap.
+  uint32_t retry_backoff_max_ms = 2000;
   /// Jitter seed, so concurrent workers don't reconnect in lockstep.
   uint64_t seed = 1;
 };
+
+/// Sleep before reconnect-retry number `retry` (0-based), in ms:
+/// `retry_backoff_ms * 2^retry`, jittered ±50% (retry.h convention),
+/// saturating at `retry_backoff_max_ms`. Exposed for the bound tests.
+uint32_t ReconnectBackoffMs(const SocketInitiatorConfig& config,
+                            uint32_t retry, Pcg32& rng);
 
 class SocketInitiator {
  public:

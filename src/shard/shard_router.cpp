@@ -33,6 +33,15 @@ ShardRoute ShardRouter::RouteOf(const OsdCommand& cmd) const {
         if (const auto* set = std::get_if<SetIdCommand>(&*msg)) {
           return ShardRoute{false, ShardOf(set->target)};
         }
+        if (const auto* hint = std::get_if<OwnerHintCommand>(&*msg)) {
+          // Owner hints live with the object's shard so a later write of
+          // the same id (the refetch) lands on the shard holding the hint.
+          return ShardRoute{false, ShardOf(hint->target)};
+        }
+        if (std::holds_alternative<NodeDownCommand>(*msg)) {
+          // Every shard's directory holds a slice of the hint space.
+          return ShardRoute{true, 0};
+        }
         const auto& q = std::get<QueryCommand>(*msg);
         if (q.target == kControlObject) {
           // Recovery-state probe: reconstruction may be running on any

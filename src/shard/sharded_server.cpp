@@ -616,6 +616,9 @@ std::string ShardedServer::HealthJson(const ShardWorker& home) const {
   out += JsonNum(started_ns_ ? static_cast<double>(NowNs() - started_ns_) / 1e6
                              : 0.0);
   out += ",\"port\":" + std::to_string(port_);
+  if (!cluster_dirs_.empty() && cluster_dirs_[0] != nullptr) {
+    out += ",\"node_id\":" + std::to_string(cluster_dirs_[0]->local_node());
+  }
   out += ",\"shard\":" + std::to_string(home.index());
   out += ",\"shards\":" + std::to_string(workers_.size());
   out += ",\"connections\":" +
@@ -685,6 +688,14 @@ FramePayload ShardedServer::HandleAdminFrame(
         break;
       case AdminOp::kHealth:
         out.json = HealthJson(home);
+        break;
+      case AdminOp::kOwners:
+        if (!cluster_dirs_.empty()) {
+          out.json = ClusterDirectory::MergedJson(cluster_dirs_);
+        } else {
+          out.status = 1;
+          out.json = "{\"error\":\"no cluster directory attached\"}";
+        }
         break;
     }
   }

@@ -144,6 +144,14 @@ class ShardedServer {
   void AttachAdmin(std::vector<MetricRegistry*> registries,
                    TimeSeriesRing* series);
 
+  /// Cluster mode: `directories[k]` is shard k's slice of this node's
+  /// hint space; ADMIN OWNERS answers their merge (directories are
+  /// thread-safe, so any shard's loop can snapshot all of them) and
+  /// HealthJson reports the node id. Each must outlive the server.
+  void AttachCluster(std::vector<const ClusterDirectory*> directories) {
+    cluster_dirs_ = std::move(directories);
+  }
+
   /// Counters summed across every shard (safe to call after Run()
   /// returns, or concurrently — per-shard counters are relaxed atomics).
   ShardedServerStats stats() const;
@@ -198,6 +206,7 @@ class ShardedServer {
   EventLog* events_ = nullptr;
   std::vector<MetricRegistry*> registries_;
   TimeSeriesRing* series_ = nullptr;
+  std::vector<const ClusterDirectory*> cluster_dirs_;
   Counter* tel_rejected_ = nullptr;  ///< shard 0's registry (acceptor-side)
 };
 

@@ -268,7 +268,7 @@ std::vector<AdminResponse> SampleAdminResponses() {
 }
 
 TEST(ProtocolFuzzTest, AdminCommandsRoundTripForEveryOpAndArg) {
-  for (uint8_t op = 0; op < 4; ++op) {
+  for (uint8_t op = 0; op < 5; ++op) {
     for (uint32_t arg : {0u, 1u, 17u, 0xFFFFFFFFu}) {
       AdminCommand cmd{static_cast<AdminOp>(op), arg};
       std::vector<uint8_t> wire = EncodeAdminCommand(cmd);
@@ -290,7 +290,7 @@ TEST(ProtocolFuzzTest, AdminCommandsRoundTripForEveryOpAndArg) {
 // Every prefix of every valid admin encoding must be rejected cleanly —
 // same truncation sweep the OSD codecs get, both wire directions.
 TEST(ProtocolFuzzTest, TruncatedAdminFramesFailCleanlyAtEveryOffset) {
-  for (uint8_t op = 0; op < 4; ++op) {
+  for (uint8_t op = 0; op < 5; ++op) {
     std::vector<uint8_t> wire =
         EncodeAdminCommand(AdminCommand{static_cast<AdminOp>(op), 7});
     ASSERT_TRUE(DecodeAdminCommand(wire).ok());

@@ -631,6 +631,36 @@ TEST(InitiatorFaultTest, IdempotentReadReconnectsAfterMidFlightKill) {
   close(lfd);
 }
 
+TEST(InitiatorFaultTest, ReconnectBackoffGrowsWithJitterAndCap) {
+  // Mirrors fault/retry.h's bound test: exponential growth, jitter in
+  // [0.5x, 1.5x), and — the reconnect-storm guard — a hard cap that
+  // holds even at exponents that would overflow every integer width.
+  SocketInitiatorConfig cfg;
+  cfg.retry_backoff_ms = 20;
+  cfg.retry_backoff_max_ms = 2000;
+  Pcg32 rng(11, 4);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint32_t b0 = ReconnectBackoffMs(cfg, 0, rng);
+    EXPECT_GE(b0, 10u);   // 20 * 0.5
+    EXPECT_LT(b0, 30u);   // 20 * 1.5
+    uint32_t b3 = ReconnectBackoffMs(cfg, 3, rng);
+    EXPECT_GE(b3, 80u);   // 20 * 2^3 * 0.5
+    EXPECT_LT(b3, 240u);  // 20 * 2^3 * 1.5
+    // Deep retries saturate at the cap instead of wrapping around to
+    // tiny sleeps (2^retry overflows long before max_retries runs out).
+    for (uint32_t retry : {8u, 31u, 64u, 1000u}) {
+      EXPECT_EQ(ReconnectBackoffMs(cfg, retry, rng), 2000u);
+    }
+  }
+  // Cap disabled (0): still no overflow, the exponent is clamped.
+  cfg.retry_backoff_max_ms = 0;
+  uint32_t huge = ReconnectBackoffMs(cfg, 1000, rng);
+  EXPECT_GT(huge, 0u);
+  // A zero base never sleeps, whatever the retry count.
+  cfg.retry_backoff_ms = 0;
+  EXPECT_EQ(ReconnectBackoffMs(cfg, 5, rng), 0u);
+}
+
 TEST(InitiatorFaultTest, WritesAreNeverBlindlyResent) {
   // The same mid-flight kill, but for a WRITE: the command may have been
   // applied before the cut, so Roundtrip must fail instead of replaying.

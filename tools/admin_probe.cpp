@@ -1,12 +1,17 @@
 // admin_probe: one-shot in-band admin query against a live reo_server.
 //
 // Connects over the framed OSD wire, issues one ADMIN command (STATS /
-// SERIES / EVENTS / HEALTH), prints the JSON reply, and optionally
-// asserts on it — the CI smoke job's probe. Examples:
+// SERIES / EVENTS / HEALTH / OWNERS), prints the JSON reply, and
+// optionally asserts on it — the CI smoke job's probe. With
+// --endpoints it probes every node of a cluster: each reply prints
+// under a per-node header, assertions apply to every node, and a
+// merged view (numeric fields summed across nodes) prints last.
+// Examples:
 //
 //   admin_probe --port 9555 health
 //   admin_probe --port-file port.txt --lint stats
 //   admin_probe --port-file port.txt --arg 10 series
+//   admin_probe --endpoints 127.0.0.1:9555,127.0.0.1:9556 health
 //   admin_probe --port-file port.txt --lint \
 //       --expect-zero counters.server.crc_errors \
 //       --expect-zero counters.fault.crc_unrepaired stats
@@ -14,12 +19,14 @@
 // Exit codes: 0 ok; 1 an --expect-zero value was nonzero; 2 usage /
 // connect / protocol error (including status!=0 replies); 3 the reply
 // failed --lint or could not be parsed for --expect-zero.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_initiator.h"
 #include "common/file_util.h"
 #include "server/socket_initiator.h"
 #include "telemetry/json_scan.h"
@@ -32,10 +39,14 @@ namespace {
 void Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [options] stats|series|events|health\n"
+      "usage: %s [options] stats|series|events|health|owners\n"
       "  --host ADDR        server address (default 127.0.0.1)\n"
       "  --port N           server port\n"
       "  --port-file PATH   read the port from PATH (reo_server --port-file)\n"
+      "  --endpoints LIST   probe every node of a cluster; LIST is\n"
+      "                     host:port,host:port,... — prints per-node\n"
+      "                     replies plus a merged (summed) view, and\n"
+      "                     applies --lint/--expect-* to every node\n"
       "  --arg N            series: newest N windows; events: newest N\n"
       "                     events (default 0 = all retained)\n"
       "  --timeout-ms N     connect/receive deadline (default 5000)\n"
@@ -67,11 +78,165 @@ int ResolvePath(const JsonDoc& doc, const std::string& path) {
   return doc.member(doc.root(), path);
 }
 
+void AppendJsonNumber(std::string& out, double v) {
+  char buf[40];
+  // Counters are integral; keep them exact instead of drifting into
+  // scientific notation past 1e6.
+  if (std::floor(v) == v && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Re-serializes one node of a parsed reply (the merged view needs to
+/// echo sub-trees it cannot sum).
+void EmitNode(const JsonDoc& doc, int node, std::string& out) {
+  switch (doc.type(node)) {
+    case JsonDoc::Type::kNull: out += "null"; break;
+    case JsonDoc::Type::kBool: out += doc.boolean(node) ? "true" : "false"; break;
+    case JsonDoc::Type::kNumber: AppendJsonNumber(out, doc.number(node)); break;
+    case JsonDoc::Type::kString: AppendJsonString(out, doc.str(node)); break;
+    case JsonDoc::Type::kArray:
+      out += '[';
+      for (size_t i = 0; i < doc.size(node); ++i) {
+        if (i) out += ',';
+        EmitNode(doc, doc.item(node, i), out);
+      }
+      out += ']';
+      break;
+    case JsonDoc::Type::kObject:
+      out += '{';
+      for (size_t i = 0; i < doc.size(node); ++i) {
+        if (i) out += ',';
+        AppendJsonString(out, doc.key(node, i));
+        out += ':';
+        EmitNode(doc, doc.value(node, i), out);
+      }
+      out += '}';
+      break;
+  }
+}
+
+/// Merges the same position across per-node replies: numbers sum,
+/// objects recurse over the union of keys, scalars all nodes agree on
+/// pass through, and anything else (arrays, disagreeing strings) emits
+/// as a per-node column array so nothing is silently dropped.
+void MergeEmit(const std::vector<JsonDoc>& docs, const std::vector<int>& nodes,
+               std::string& out) {
+  bool all_number = true, all_object = true, all_scalar_equal = true;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    if (nodes[i] == JsonDoc::kInvalid) continue;
+    JsonDoc::Type t = docs[i].type(nodes[i]);
+    if (t != JsonDoc::Type::kNumber) all_number = false;
+    if (t != JsonDoc::Type::kObject) all_object = false;
+    if (t == JsonDoc::Type::kArray || t == JsonDoc::Type::kObject) {
+      all_scalar_equal = false;
+    }
+  }
+  if (all_number) {
+    double sum = 0;
+    for (size_t i = 0; i < docs.size(); ++i) {
+      if (nodes[i] != JsonDoc::kInvalid) sum += docs[i].number(nodes[i]);
+    }
+    AppendJsonNumber(out, sum);
+    return;
+  }
+  if (all_object) {
+    // Union of keys, first-seen order, so a metric present on only
+    // some nodes still shows up in the merge.
+    std::vector<std::string> keys;
+    for (size_t i = 0; i < docs.size(); ++i) {
+      if (nodes[i] == JsonDoc::kInvalid) continue;
+      for (size_t k = 0; k < docs[i].size(nodes[i]); ++k) {
+        const std::string& key = docs[i].key(nodes[i], k);
+        bool seen = false;
+        for (const std::string& have : keys) {
+          if (have == key) { seen = true; break; }
+        }
+        if (!seen) keys.push_back(key);
+      }
+    }
+    out += '{';
+    for (size_t k = 0; k < keys.size(); ++k) {
+      if (k) out += ',';
+      AppendJsonString(out, keys[k]);
+      out += ':';
+      std::vector<int> children(docs.size(), JsonDoc::kInvalid);
+      for (size_t i = 0; i < docs.size(); ++i) {
+        if (nodes[i] != JsonDoc::kInvalid) {
+          children[i] = docs[i].member(nodes[i], keys[k]);
+        }
+      }
+      MergeEmit(docs, children, out);
+    }
+    out += '}';
+    return;
+  }
+  if (all_scalar_equal) {
+    int first_doc = -1;
+    bool equal = true;
+    for (size_t i = 0; i < docs.size(); ++i) {
+      if (nodes[i] == JsonDoc::kInvalid) continue;
+      if (first_doc < 0) {
+        first_doc = static_cast<int>(i);
+        continue;
+      }
+      const JsonDoc& a = docs[static_cast<size_t>(first_doc)];
+      int an = nodes[static_cast<size_t>(first_doc)];
+      if (docs[i].type(nodes[i]) != a.type(an) ||
+          docs[i].str(nodes[i]) != a.str(an) ||
+          docs[i].boolean(nodes[i]) != a.boolean(an)) {
+        equal = false;
+        break;
+      }
+    }
+    if (first_doc >= 0 && equal) {
+      EmitNode(docs[static_cast<size_t>(first_doc)],
+               nodes[static_cast<size_t>(first_doc)], out);
+      return;
+    }
+  }
+  out += '[';
+  bool first = true;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    if (nodes[i] == JsonDoc::kInvalid) continue;
+    if (!first) out += ',';
+    first = false;
+    EmitNode(docs[i], nodes[i], out);
+  }
+  out += ']';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   std::string port_file;
+  std::string endpoints_arg;
   uint16_t port = 0;
   uint32_t arg = 0;
   uint32_t timeout_ms = 5000;
@@ -95,6 +260,8 @@ int main(int argc, char** argv) {
       port = static_cast<uint16_t>(std::strtoul(next(), nullptr, 10));
     } else if (!std::strcmp(argv[i], "--port-file")) {
       port_file = next();
+    } else if (!std::strcmp(argv[i], "--endpoints")) {
+      endpoints_arg = next();
     } else if (!std::strcmp(argv[i], "--arg")) {
       arg = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (!std::strcmp(argv[i], "--timeout-ms")) {
@@ -130,75 +297,120 @@ int main(int argc, char** argv) {
   else if (!std::strcmp(op_name, "series")) op = AdminOp::kSeries;
   else if (!std::strcmp(op_name, "events")) op = AdminOp::kEvents;
   else if (!std::strcmp(op_name, "health")) op = AdminOp::kHealth;
+  else if (!std::strcmp(op_name, "owners")) op = AdminOp::kOwners;
   else {
     std::fprintf(stderr, "unknown command %s\n", op_name);
     return 2;
   }
-  if (!port_file.empty()) {
-    auto text = ReadFileToString(port_file);
-    if (!text.ok()) {
-      std::fprintf(stderr, "port file: %s\n",
-                   text.status().to_string().c_str());
+  std::vector<ClusterEndpoint> endpoints;
+  if (!endpoints_arg.empty()) {
+    endpoints = ParseClusterEndpoints(endpoints_arg);
+    if (endpoints.empty()) {
+      std::fprintf(stderr, "bad --endpoints list: %s\n", endpoints_arg.c_str());
       return 2;
     }
-    port = static_cast<uint16_t>(std::strtoul(text->c_str(), nullptr, 10));
+  } else {
+    if (!port_file.empty()) {
+      auto text = ReadFileToString(port_file);
+      if (!text.ok()) {
+        std::fprintf(stderr, "port file: %s\n",
+                     text.status().to_string().c_str());
+        return 2;
+      }
+      port = static_cast<uint16_t>(std::strtoul(text->c_str(), nullptr, 10));
+    }
+    if (port == 0) {
+      std::fprintf(stderr, "need --port, --port-file, or --endpoints\n");
+      return 2;
+    }
+    endpoints.push_back(ClusterEndpoint{host, port});
   }
-  if (port == 0) {
-    std::fprintf(stderr, "need --port or --port-file\n");
-    return 2;
-  }
+  const bool cluster = endpoints.size() > 1;
 
-  SocketInitiatorConfig cfg;
-  cfg.connect_timeout_ms = timeout_ms;
-  cfg.receive_timeout_ms = timeout_ms;
-  SocketInitiator client(cfg);
-  Status st = client.Connect(host, port);
-  if (!st.ok()) {
-    std::fprintf(stderr, "connect %s:%u: %s\n", host.c_str(), port,
-                 st.to_string().c_str());
-    return 2;
-  }
-  auto resp = client.AdminRoundtrip(op, arg);
-  if (!resp.ok()) {
-    std::fprintf(stderr, "%s failed: %s\n", op_name,
-                 resp.status().to_string().c_str());
-    return 2;
-  }
-  if (!quiet) std::printf("%s\n", resp->json.c_str());
-  if (resp->status != 0) {
-    std::fprintf(stderr, "%s answered status %u: %s\n", op_name, resp->status,
-                 resp->json.c_str());
-    return 2;
+  // One reply per node; a probe asserts the whole cluster, so any
+  // connect / roundtrip / status failure is fatal.
+  std::vector<std::string> replies;
+  for (size_t n = 0; n < endpoints.size(); ++n) {
+    SocketInitiatorConfig cfg;
+    cfg.connect_timeout_ms = timeout_ms;
+    cfg.receive_timeout_ms = timeout_ms;
+    SocketInitiator client(cfg);
+    Status st = client.Connect(endpoints[n].host, endpoints[n].port);
+    if (!st.ok()) {
+      std::fprintf(stderr, "connect %s:%u: %s\n", endpoints[n].host.c_str(),
+                   endpoints[n].port, st.to_string().c_str());
+      return 2;
+    }
+    auto resp = client.AdminRoundtrip(op, arg);
+    if (!resp.ok()) {
+      std::fprintf(stderr, "node %zu %s failed: %s\n", n, op_name,
+                   resp.status().to_string().c_str());
+      return 2;
+    }
+    if (!quiet) {
+      if (cluster) {
+        std::printf("--- node %zu %s:%u ---\n", n, endpoints[n].host.c_str(),
+                    endpoints[n].port);
+      }
+      std::printf("%s\n", resp->json.c_str());
+    }
+    if (resp->status != 0) {
+      std::fprintf(stderr, "node %zu %s answered status %u: %s\n", n, op_name,
+                   resp->status, resp->json.c_str());
+      return 2;
+    }
+    replies.push_back(std::move(resp->json));
   }
 
   if (lint) {
-    JsonLintResult lr = LintJson(resp->json);
-    if (!lr.ok) {
-      std::fprintf(stderr, "%s reply is not valid JSON at byte %zu: %s\n",
-                   op_name, lr.error_offset, lr.error.c_str());
-      return 3;
+    for (size_t n = 0; n < replies.size(); ++n) {
+      JsonLintResult lr = LintJson(replies[n]);
+      if (!lr.ok) {
+        std::fprintf(stderr,
+                     "node %zu %s reply is not valid JSON at byte %zu: %s\n",
+                     n, op_name, lr.error_offset, lr.error.c_str());
+        return 3;
+      }
     }
   }
-  if (!expect_zero.empty() || !expect_sum.empty()) {
-    auto doc = JsonDoc::Parse(resp->json);
-    if (!doc) {
-      std::fprintf(stderr, "%s reply did not parse\n", op_name);
-      return 3;
+
+  std::vector<JsonDoc> docs;
+  const bool need_docs = cluster || !expect_zero.empty() || !expect_sum.empty();
+  if (need_docs) {
+    for (size_t n = 0; n < replies.size(); ++n) {
+      auto doc = JsonDoc::Parse(replies[n]);
+      if (!doc) {
+        std::fprintf(stderr, "node %zu %s reply did not parse\n", n, op_name);
+        return 3;
+      }
+      docs.push_back(std::move(*doc));
     }
-    int violations = 0;
+  }
+
+  if (cluster && !quiet) {
+    std::vector<int> roots(docs.size(), 0);
+    std::string merged;
+    MergeEmit(docs, roots, merged);
+    std::printf("--- merged (%zu nodes) ---\n%s\n", docs.size(),
+                merged.c_str());
+  }
+
+  int violations = 0;
+  for (size_t n = 0; n < docs.size() && need_docs; ++n) {
+    const JsonDoc& doc = docs[n];
     for (const std::string& path : expect_zero) {
-      int node = ResolvePath(*doc, path);
+      int node = ResolvePath(doc, path);
       if (node == JsonDoc::kInvalid) continue;  // never registered: zero
-      double v = doc->number(node);
+      double v = doc.number(node);
       if (v != 0.0) {
-        std::fprintf(stderr, "expect-zero violated: %s = %g\n", path.c_str(),
-                     v);
+        std::fprintf(stderr, "node %zu expect-zero violated: %s = %g\n", n,
+                     path.c_str(), v);
         ++violations;
       }
     }
     auto value_at = [&doc](const std::string& path) -> double {
-      int node = ResolvePath(*doc, path);
-      return node == JsonDoc::kInvalid ? 0.0 : doc->number(node);
+      int node = ResolvePath(doc, path);
+      return node == JsonDoc::kInvalid ? 0.0 : doc.number(node);
     };
     for (const std::string& spec : expect_sum) {
       size_t eq = spec.find('=');
@@ -217,12 +429,13 @@ int main(int argc, char** argv) {
       }
       double rhs = value_at(spec.substr(eq + 1));
       if (lhs != rhs) {
-        std::fprintf(stderr, "expect-sum violated: %s (lhs %g != rhs %g)\n",
-                     spec.c_str(), lhs, rhs);
+        std::fprintf(stderr,
+                     "node %zu expect-sum violated: %s (lhs %g != rhs %g)\n",
+                     n, spec.c_str(), lhs, rhs);
         ++violations;
       }
     }
-    if (violations > 0) return 1;
   }
+  if (violations > 0) return 1;
   return 0;
 }

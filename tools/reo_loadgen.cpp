@@ -22,6 +22,16 @@
 //   # after restart: verify every acknowledged object is readable with
 //   # the correct contents (exit 4 on any loss):
 //   reo_loadgen --port N --verify-manifest acks.txt
+//
+// Cluster mode (used by the CI cluster-smoke job): workers route through
+// a consistent-hash ClusterInitiator over the listed nodes; --kill-node
+// SIGKILLs one node mid-burst, after which the loadgen runs the
+// cross-node differentiated recovery (survivor OWNERS -> backend refetch
+// of class 0/1) and drain-verifies every acked object per class:
+//
+//   reo_loadgen --cluster 127.0.0.1:9551,127.0.0.1:9552,127.0.0.1:9553
+//       --class-cycle --kill-node 1 --kill-after 200
+//       --kill-pid-file node1.pid
 #include <signal.h>
 #include <sys/resource.h>
 
@@ -39,6 +49,8 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster_initiator.h"
+#include "cluster/recovery_driver.h"
 #include "common/file_util.h"
 #include "common/histogram.h"
 #include "common/rng.h"
@@ -133,7 +145,26 @@ struct Options {
   /// and finishes with a drain-verify pass proving that no acknowledged
   /// write was lost (exit 4) or corrupted (exit 3) despite the injection.
   bool chaos = false;
+
+  /// Cluster mode: route every request through a ClusterInitiator over
+  /// these nodes instead of one SocketInitiator (--cluster host:port,...).
+  std::vector<ClusterEndpoint> cluster;
+  /// Classify rank r into class r % 4 during populate, so every
+  /// redundancy class is represented in the node-kill drill.
+  bool class_cycle = false;
+  /// Ring index of the node --kill-after SIGKILLs (its pid comes from
+  /// --kill-pid-file). After the burst the loadgen announces the death,
+  /// runs the differentiated cross-node recovery, and drain-verifies.
+  int kill_node = -1;
 };
+
+/// The redundancy class `rank` was assigned at populate, -1 = never
+/// classified (server default). The drill's per-class verdict hangs off
+/// this: 0/1 must survive a node kill, 2/3 may degrade to clean misses.
+int ClassOfRank(const Options& opt, uint32_t rank) {
+  if (opt.class_cycle) return static_cast<int>(rank % 4);
+  return opt.write_class;
+}
 
 /// Client-side tolerance posture for chaos runs.
 SocketInitiatorConfig ChaosInitiatorConfig(const Options& opt, uint64_t salt) {
@@ -182,6 +213,7 @@ struct WorkerResult {
   uint64_t verify_errors = 0;
   std::vector<uint32_t> acked_ranks;  ///< writes the server acknowledged
   SocketInitiatorStats wire;
+  ClusterInitiatorStats cluster;  ///< cluster mode only (failovers etc.)
   Status fatal = Status::Ok();
 };
 
@@ -390,9 +422,10 @@ Status Populate(const Options& opt, std::vector<uint32_t>* acked_ranks) {
       return Status{ErrorCode::kInternal,
                     "CREATE failed for rank " + std::to_string(rank)};
     }
-    if (opt.write_class >= 0) {
+    int cls = ClassOfRank(opt, rank);
+    if (cls >= 0) {
       REO_RETURN_IF_ERROR(
-          Classify(opt, client, rank, static_cast<uint8_t>(opt.write_class)));
+          Classify(opt, client, rank, static_cast<uint8_t>(cls)));
     }
     OsdResponse wr =
         RoundtripWithRetry(opt, client, MakeWrite(rank, opt.object_bytes), 4);
@@ -408,6 +441,217 @@ Status Populate(const Options& opt, std::vector<uint32_t>* acked_ranks) {
     return Status{ErrorCode::kCorrupted, "wire errors during populate"};
   }
   return Status::Ok();
+}
+
+// --- Cluster mode -----------------------------------------------------------
+
+/// Cluster client posture: receive deadlines so a killed node fails fast
+/// instead of hanging a worker; per-instance seeds keep the reconnect
+/// jitter streams distinct (on top of the per-node streams inside).
+ClusterInitiatorConfig ClusterConfigFor(const Options& opt, uint64_t salt) {
+  ClusterInitiatorConfig cfg;
+  cfg.session.receive_timeout_ms = 15000;
+  cfg.session.retry_backoff_ms = 20;
+  cfg.session.seed = opt.seed + salt;
+  return cfg;
+}
+
+/// Cluster populate: FORMAT fans out to every member; each object is
+/// then created + classified (placing its #OWNER# hint on the ring
+/// successor) + written on its ring owner. Runs pre-kill on a healthy
+/// cluster, so failures are setup errors, not tolerated faults.
+Status ClusterPopulate(const Options& opt, std::vector<uint32_t>* acked_ranks) {
+  ClusterInitiator cluster(opt.cluster, ClusterConfigFor(opt, 0x90b));
+  REO_RETURN_IF_ERROR(cluster.ConnectAll());
+  OsdCommand format;
+  format.op = OsdOp::kFormat;
+  format.capacity_bytes = 4 * opt.objects * opt.object_bytes;
+  if (!cluster.Roundtrip(format).ok()) {
+    return Status{ErrorCode::kInternal, "cluster FORMAT failed"};
+  }
+  for (uint32_t rank = 0; rank < opt.objects; ++rank) {
+    OsdCommand create;
+    create.op = OsdOp::kCreate;
+    create.id = IdForRank(rank);
+    create.logical_size = opt.object_bytes;
+    if (!cluster.Roundtrip(create).ok()) {
+      return Status{ErrorCode::kInternal,
+                    "cluster CREATE failed for rank " + std::to_string(rank)};
+    }
+    int cls = ClassOfRank(opt, rank);
+    if (cls >= 0 &&
+        !cluster.Classify(IdForRank(rank), static_cast<uint8_t>(cls)).ok()) {
+      return Status{ErrorCode::kInternal,
+                    "cluster SETID failed for rank " + std::to_string(rank)};
+    }
+    if (!cluster.Roundtrip(MakeWrite(rank, opt.object_bytes)).ok()) {
+      return Status{ErrorCode::kInternal,
+                    "cluster populate WRITE failed for rank " +
+                        std::to_string(rank)};
+    }
+    if (acked_ranks != nullptr) acked_ranks->push_back(rank);
+  }
+  SocketInitiatorStats w = cluster.WireStats();
+  if (w.crc_errors + w.frame_errors + w.decode_errors > 0) {
+    return Status{ErrorCode::kCorrupted, "wire errors during cluster populate"};
+  }
+  return Status::Ok();
+}
+
+/// Cluster-mode worker: the same closed loop as Worker, routed through
+/// the ring with failover. Mid-run failures are the point of the drill:
+/// a failed op counts as a sense error (or, post-kill, as expected
+/// fallout) and the loop keeps going — the ClusterInitiator re-routes
+/// around the dead node on its own.
+void ClusterWorker(const Options& opt, const ZipfSampler& zipf,
+                   const PayloadCache& payloads, size_t index,
+                   WorkerResult* out) {
+  ClusterInitiator cluster(opt.cluster, ClusterConfigFor(opt, 0x100 + index));
+  Status st = cluster.ConnectAll();
+  if (!st.ok()) {
+    out->fatal = st;
+    return;
+  }
+  // Seed the classes populate assigned, so power-of-two read counts
+  // re-hint hotness to the survivors (hot-before-cold refetch ordering).
+  for (uint32_t rank = 0; rank < opt.objects; ++rank) {
+    int cls = ClassOfRank(opt, rank);
+    if (cls >= 0) cluster.NoteObject(IdForRank(rank), static_cast<uint8_t>(cls));
+  }
+  Pcg32 rng(opt.seed + 0x1000 + index, /*stream=*/index);
+  for (uint64_t i = 0; i < opt.requests; ++i) {
+    uint32_t rank = zipf.Sample(rng);
+    bool is_write = rng.NextDouble() < opt.write_ratio;
+    OsdCommand cmd;
+    if (is_write) {
+      std::span<const uint8_t> p = payloads.Of(rank);
+      cmd.op = OsdOp::kWrite;
+      cmd.id = IdForRank(rank);
+      cmd.logical_size = p.size();
+      cmd.data.assign(p.begin(), p.end());
+    } else {
+      cmd.op = OsdOp::kRead;
+      cmd.id = IdForRank(rank);
+    }
+    auto start = std::chrono::steady_clock::now();
+    OsdResponse resp = cluster.Roundtrip(cmd);
+    double us = std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    (is_write ? out->write_us : out->read_us).Add(us);
+    out->all_us.Add(us);
+    ++(is_write ? out->writes : out->reads);
+    if (is_write && resp.ok()) {
+      // Same ack contract as single-node: the owning node committed (and
+      // for class 0/1, fsync'd) before answering. A write the ring could
+      // not place is NOT acked — never blindly resent to another node.
+      out->acked_ranks.push_back(rank);
+      uint64_t acked = g_acked_writes.fetch_add(1) + 1;
+      if (opt.kill_after > 0 && acked == opt.kill_after) KillServer(opt);
+    }
+    if (!resp.ok()) {
+      if (!g_killed.load()) ++out->sense_errors;
+    } else if (!is_write && opt.verify) {
+      std::span<const uint8_t> want = payloads.Of(rank);
+      if (resp.data.size() < want.size() ||
+          !std::equal(want.begin(), want.end(), resp.data.begin())) {
+        ++out->verify_errors;
+      }
+    }
+  }
+  out->wire = cluster.WireStats();
+  out->cluster = cluster.stats();
+}
+
+/// The "backend" of the node-kill drill: the deterministic payload
+/// generator, keyed back from ObjectId to rank — exactly what a real
+/// origin store would serve for a cache refetch.
+Result<std::vector<uint8_t>> OriginFetch(const Options& opt, ObjectId id) {
+  const uint64_t base = kFirstUserId + 0x1000;
+  if (id.pid != kFirstUserId || id.oid < base ||
+      id.oid >= base + opt.objects) {
+    return Status{ErrorCode::kNotFound,
+                  "no such origin object " + id.ToString()};
+  }
+  return PayloadFor(static_cast<uint32_t>(id.oid - base), opt.object_bytes);
+}
+
+/// Reads each acked rank back through the ring and applies the per-class
+/// contract: class 0/1 must be served with exact bytes (post-recovery,
+/// without any backend fall-through); class 2/3 may degrade to clean
+/// misses; anything served must byte-match. Exit 3 corrupt, 4 lost.
+int ClusterVerifyRanks(const Options& opt, ClusterInitiator& cluster,
+                       const std::set<uint32_t>& ranks, const char* label) {
+  uint64_t missing = 0, mismatched = 0, degraded = 0;
+  for (uint32_t rank : ranks) {
+    OsdCommand read;
+    read.op = OsdOp::kRead;
+    read.id = IdForRank(rank);
+    OsdResponse resp = cluster.Roundtrip(read);
+    int cls = ClassOfRank(opt, rank);
+    if (!resp.ok()) {
+      if (cls == 0 || cls == 1) {
+        ++missing;
+        std::fprintf(stderr,
+                     "rank %u (class %d): acked object lost in %s (sense"
+                     " %s)\n", rank, cls, label,
+                     std::string(to_string(resp.sense)).c_str());
+      } else {
+        ++degraded;  // clean miss: the cache refills it from the backend
+      }
+      continue;
+    }
+    std::vector<uint8_t> want = PayloadFor(rank, opt.object_bytes);
+    if (resp.data.size() < want.size() ||
+        !std::equal(want.begin(), want.end(), resp.data.begin())) {
+      ++mismatched;
+      std::fprintf(stderr, "rank %u (class %d): payload corrupt in %s\n",
+                   rank, cls, label);
+    }
+  }
+  std::printf("%s: %zu acked objects, %llu lost (class 0/1), %llu corrupt,"
+              " %llu degraded to clean misses (class 2/3)\n",
+              label, ranks.size(), static_cast<unsigned long long>(missing),
+              static_cast<unsigned long long>(mismatched),
+              static_cast<unsigned long long>(degraded));
+  if (mismatched > 0) return 3;
+  if (missing > 0) return 4;
+  return 0;
+}
+
+/// Post-kill phase of the node-kill drill: announce the death to the
+/// survivors, run the differentiated cross-node recovery (class 0/1
+/// refetched from the origin, class 0 before 1, hot before cold; 2/3
+/// degrade), then drain-verify every acked object per class.
+int ClusterRecoverAndVerify(const Options& opt,
+                            const std::set<uint32_t>& acked) {
+  ClusterInitiator cluster(opt.cluster, ClusterConfigFor(opt, 0xd7a1));
+  Status st = cluster.ConnectAll();
+  if (!st.ok()) {
+    std::fprintf(stderr, "cluster recovery connect failed: %s\n",
+                 st.to_string().c_str());
+    return 1;
+  }
+  ClusterRecoveryDriver driver(
+      cluster, [&opt](ObjectId id) { return OriginFetch(opt, id); });
+  auto report = driver.Recover(static_cast<uint32_t>(opt.kill_node));
+  if (!report.ok()) {
+    std::fprintf(stderr, "cluster recovery failed: %s\n",
+                 report.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("cluster recovery: %llu survivors answered OWNERS, %llu"
+              " dead-node objects; refetched %llu class-0 + %llu class-1"
+              " (hot first), degraded %llu class-2 + %llu class-3 to clean"
+              " misses, %llu refetch failures\n",
+              static_cast<unsigned long long>(report->survivors_queried),
+              static_cast<unsigned long long>(report->dead_entries),
+              static_cast<unsigned long long>(report->refetched_class0),
+              static_cast<unsigned long long>(report->refetched_class1),
+              static_cast<unsigned long long>(report->clean_miss_class2),
+              static_cast<unsigned long long>(report->clean_miss_class3),
+              static_cast<unsigned long long>(report->refetch_failures));
+  return ClusterVerifyRanks(opt, cluster, acked, "cluster drain-verify");
 }
 
 /// Verify-only mode: reads every rank listed in the manifest back and
@@ -427,6 +671,18 @@ int VerifyManifest(const Options& opt) {
   while (std::getline(lines, line)) {
     if (line.empty()) continue;
     ranks.insert(static_cast<uint32_t>(std::strtoul(line.c_str(), nullptr, 10)));
+  }
+  if (!opt.cluster.empty()) {
+    // Cluster manifests verify through the ring with the per-class
+    // contract (a killed member may still be down when this runs).
+    ClusterInitiator cluster(opt.cluster, ClusterConfigFor(opt, 0x3e1f));
+    Status st = cluster.ConnectAll();
+    if (!st.ok()) {
+      std::fprintf(stderr, "cluster connect failed: %s\n",
+                   st.to_string().c_str());
+      return 1;
+    }
+    return ClusterVerifyRanks(opt, cluster, ranks, "cluster manifest-verify");
   }
   SocketInitiator client;
   Status st = client.Connect(opt.host, opt.port);
@@ -495,7 +751,19 @@ void Usage(const char* argv0) {
       "                       (reo_server --fault-spec). Turns on client\n"
       "                       tolerance (timeouts, reconnect-retry) and a\n"
       "                       final drain-verify of every acked write:\n"
-      "                       exit 3 on corruption, 4 on acked-write loss\n",
+      "                       exit 3 on corruption, 4 on acked-write loss\n"
+      "cluster mode:\n"
+      "  --cluster LIST       route through a consistent-hash ring over the\n"
+      "                       comma-separated host:port members (replaces\n"
+      "                       --host/--port)\n"
+      "  --class-cycle        classify rank r into class r%%4 at populate,\n"
+      "                       so the node-kill drill covers every class\n"
+      "  --kill-node K        ring index of the member --kill-after kills\n"
+      "                       (pid from --kill-pid-file); afterwards the\n"
+      "                       loadgen announces the death, runs the\n"
+      "                       differentiated cross-node recovery (class\n"
+      "                       0/1 refetched hot-first; 2/3 clean misses),\n"
+      "                       and drain-verifies per class (exit 3/4)\n",
       argv0);
 }
 
@@ -532,6 +800,15 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--kill-pid-file")) opt.kill_pid_file = next();
     else if (!std::strcmp(argv[i], "--ack-manifest")) opt.ack_manifest = next();
     else if (!std::strcmp(argv[i], "--verify-manifest")) opt.verify_manifest = next();
+    else if (!std::strcmp(argv[i], "--cluster")) {
+      opt.cluster = ParseClusterEndpoints(next());
+      if (opt.cluster.empty()) {
+        std::fprintf(stderr, "bad --cluster list (want host:port,...)\n");
+        return 2;
+      }
+    }
+    else if (!std::strcmp(argv[i], "--class-cycle")) opt.class_cycle = true;
+    else if (!std::strcmp(argv[i], "--kill-node")) opt.kill_node = std::atoi(next());
     else if (!std::strcmp(argv[i], "--chaos-spec")) {
       // Validate the spec (same parser the server uses) so a typo fails
       // here rather than silently running a chaos test with no chaos.
@@ -556,9 +833,15 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (opt.port == 0) {
-    std::fprintf(stderr, "--port is required\n");
+  if (opt.port == 0 && opt.cluster.empty()) {
+    std::fprintf(stderr, "--port (or --cluster) is required\n");
     Usage(argv[0]);
+    return 2;
+  }
+  if (opt.kill_node >= 0 &&
+      (opt.cluster.empty() ||
+       opt.kill_node >= static_cast<int>(opt.cluster.size()))) {
+    std::fprintf(stderr, "--kill-node needs --cluster with that member\n");
     return 2;
   }
   if (!opt.verify_manifest.empty()) return VerifyManifest(opt);
@@ -568,7 +851,8 @@ int main(int argc, char** argv) {
   }
 
   std::vector<uint32_t> populate_acks;
-  Status setup = Populate(opt, &populate_acks);
+  Status setup = opt.cluster.empty() ? Populate(opt, &populate_acks)
+                                     : ClusterPopulate(opt, &populate_acks);
   if (!setup.ok()) {
     std::fprintf(stderr, "populate failed: %s\n", setup.to_string().c_str());
     return 1;
@@ -590,7 +874,8 @@ int main(int argc, char** argv) {
     std::vector<std::thread> threads;
     threads.reserve(opt.connections);
     for (size_t i = 0; i < opt.connections; ++i) {
-      threads.emplace_back(Worker, std::cref(opt), std::cref(zipf),
+      threads.emplace_back(opt.cluster.empty() ? Worker : ClusterWorker,
+                           std::cref(opt), std::cref(zipf),
                            std::cref(payloads), i, &results[i]);
     }
     for (auto& t : threads) t.join();
@@ -618,6 +903,12 @@ int main(int argc, char** argv) {
   Counter& crc_errors = registry.GetCounter("loadgen.wire.crc_errors");
   Counter& frame_errors = registry.GetCounter("loadgen.wire.frame_errors");
   Counter& decode_errors = registry.GetCounter("loadgen.wire.decode_errors");
+  Counter& read_failovers =
+      registry.GetCounter("loadgen.cluster.read_failovers");
+  Counter& transport_failures =
+      registry.GetCounter("loadgen.cluster.transport_failures");
+  Counter& failed_writes = registry.GetCounter("loadgen.cluster.failed_writes");
+  Counter& hints_sent = registry.GetCounter("loadgen.cluster.hints_sent");
   int fatal = 0;
   for (const WorkerResult& r : results) {
     read_us.Merge(r.read_us);
@@ -632,6 +923,10 @@ int main(int argc, char** argv) {
     crc_errors.Inc(r.wire.crc_errors);
     frame_errors.Inc(r.wire.frame_errors);
     decode_errors.Inc(r.wire.decode_errors);
+    read_failovers.Inc(r.cluster.read_failovers);
+    transport_failures.Inc(r.cluster.transport_failures);
+    failed_writes.Inc(r.cluster.failed_writes);
+    hints_sent.Inc(r.cluster.hints_sent);
     if (!r.fatal.ok()) {
       std::fprintf(stderr, "worker failed: %s\n", r.fatal.to_string().c_str());
       fatal = 1;
@@ -659,6 +954,14 @@ int main(int argc, char** argv) {
                 " (mean %.0f, max %.0f)\n",
                 lat->p50, lat->p99, lat->p999, lat->mean, lat->max);
   }
+  if (!opt.cluster.empty()) {
+    std::printf("cluster: %llu read failovers, %llu transport failures,"
+                " %llu unacked writes, %llu hints placed\n",
+                static_cast<unsigned long long>(read_failovers.value()),
+                static_cast<unsigned long long>(transport_failures.value()),
+                static_cast<unsigned long long>(failed_writes.value()),
+                static_cast<unsigned long long>(hints_sent.value()));
+  }
   std::printf("cost: %.2f s CPU, %.1f allocations/op\n", cpu_sec,
               total_ops > 0
                   ? static_cast<double>(allocs) / static_cast<double>(total_ops)
@@ -676,6 +979,10 @@ int main(int argc, char** argv) {
                   opt.write_ratio * 100, opt.zipf_skew, opt.shards,
                   opt.shards == 1 ? "" : "s");
     report.workload = wl;
+    if (!opt.cluster.empty()) {
+      report.workload +=
+          ", " + std::to_string(opt.cluster.size()) + "-node cluster";
+    }
     report.ops = total_ops;
     report.wall_seconds = elapsed_sec;
     report.cpu_seconds = cpu_sec;
@@ -752,8 +1059,20 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(opt.kill_after));
   }
   if (code != 0) return code;
-  // Kill mode ends here: the server is gone, there is nothing to drain.
-  if (outcome.kill_mode) return 0;
+  if (outcome.kill_mode) {
+    // Cluster kill mode keeps going: the survivors are still serving, so
+    // the cross-node recovery and the per-class drain-verify run now.
+    if (!opt.cluster.empty() && opt.kill_node >= 0) {
+      std::set<uint32_t> acked(populate_acks.begin(), populate_acks.end());
+      for (const WorkerResult& r : results) {
+        acked.insert(r.acked_ranks.begin(), r.acked_ranks.end());
+      }
+      return ClusterRecoverAndVerify(opt, acked);
+    }
+    // Single-node kill mode ends here: the server is gone, nothing to
+    // drain.
+    return 0;
+  }
   if (opt.chaos) {
     std::set<uint32_t> acked(populate_acks.begin(), populate_acks.end());
     for (const WorkerResult& r : results) {

@@ -8,6 +8,13 @@
 //   reo_top --port 9555
 //   reo_top --port-file port.txt --interval-ms 500
 //   reo_top --port-file port.txt --iterations 2 --plain   # CI / logs
+//   reo_top --endpoints 127.0.0.1:9555,127.0.0.1:9556     # cluster view
+//
+// With --endpoints the dashboard switches to cluster mode: one column
+// row per node (status, connections, requests, wire errors, ops/s) plus
+// a merged totals row whose sparkline is the element-wise sum of the
+// nodes' per-window rates. Down nodes render as "down" and are re-dialed
+// every frame, so a killed node's recovery is visible live.
 //
 // Plain mode appends frames instead of redrawing in place, so the output
 // is greppable. Exit code 0 after --iterations frames (or on server
@@ -18,9 +25,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_initiator.h"
 #include "common/file_util.h"
 #include "server/socket_initiator.h"
 #include "telemetry/json_scan.h"
@@ -36,6 +45,8 @@ void Usage(const char* argv0) {
       "  --host ADDR        server address (default 127.0.0.1)\n"
       "  --port N           server port\n"
       "  --port-file PATH   read the port from PATH\n"
+      "  --endpoints LIST   cluster mode: host:port,... — per-node rows\n"
+      "                     plus a merged totals row\n"
       "  --interval-ms N    poll/redraw interval (default 1000)\n"
       "  --iterations N     frames to draw, 0 = until interrupted"
       " (default 0)\n"
@@ -96,11 +107,135 @@ double NumberAt(const JsonDoc& doc, std::initializer_list<std::string_view> p,
   return node == JsonDoc::kInvalid ? fallback : doc.number(node);
 }
 
+/// Element-wise sum of per-node series columns, aligned at the tail
+/// (nodes restarted mid-run have shorter histories).
+std::vector<double> SumTail(const std::vector<std::vector<double>>& cols) {
+  size_t len = 0;
+  for (const auto& c : cols) {
+    if (c.size() > len) len = c.size();
+  }
+  std::vector<double> out(len, NAN);
+  for (const auto& c : cols) {
+    for (size_t i = 0; i < c.size(); ++i) {
+      size_t j = len - c.size() + i;
+      if (std::isnan(c[i])) continue;
+      out[j] = std::isnan(out[j]) ? c[i] : out[j] + c[i];
+    }
+  }
+  return out;
+}
+
+/// Cluster dashboard: one row per node plus a merged totals row. Nodes
+/// that fail to connect or answer render as "down" and are re-dialed
+/// next frame — the loop never exits just because a node died.
+int RunClusterTop(const std::vector<ClusterEndpoint>& endpoints,
+                  uint32_t interval_ms, uint64_t iterations, size_t width,
+                  bool plain) {
+  const size_t n = endpoints.size();
+  std::vector<std::unique_ptr<SocketInitiator>> clients(n);
+  for (uint64_t frame = 0; iterations == 0 || frame < iterations; ++frame) {
+    struct Row {
+      bool up = false;
+      std::string status = "down";
+      double uptime = NAN, conns = 0, requests = 0, responses = 0;
+      double wire_errors = 0;
+      double ops_rate = NAN;
+      std::vector<double> ops_col;
+    };
+    std::vector<Row> rows(n);
+    size_t up = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!clients[i]) {
+        SocketInitiatorConfig cfg;
+        cfg.connect_timeout_ms = 2000;
+        cfg.receive_timeout_ms = 2000;
+        auto c = std::make_unique<SocketInitiator>(cfg);
+        if (c->Connect(endpoints[i].host, endpoints[i].port).ok()) {
+          clients[i] = std::move(c);
+        }
+      }
+      if (!clients[i]) continue;
+      auto health = clients[i]->AdminRoundtrip(AdminOp::kHealth);
+      auto series = clients[i]->AdminRoundtrip(
+          AdminOp::kSeries, static_cast<uint32_t>(width));
+      if (!health.ok() || health->status != 0) {
+        clients[i].reset();  // re-dial next frame
+        continue;
+      }
+      auto hdoc = JsonDoc::Parse(health->json);
+      if (!hdoc) {
+        clients[i].reset();
+        continue;
+      }
+      Row& r = rows[i];
+      r.up = true;
+      ++up;
+      r.status = hdoc->str(hdoc->member(hdoc->root(), "status"));
+      r.uptime = NumberAt(*hdoc, {"uptime_ms"}, NAN);
+      r.conns = NumberAt(*hdoc, {"connections"});
+      r.requests = NumberAt(*hdoc, {"requests"});
+      r.responses = NumberAt(*hdoc, {"responses"});
+      r.wire_errors = NumberAt(*hdoc, {"crc_errors"}) +
+                      NumberAt(*hdoc, {"frame_errors"}) +
+                      NumberAt(*hdoc, {"decode_errors"});
+      if (series.ok() && series->status == 0) {
+        if (auto rdoc = JsonDoc::Parse(series->json)) {
+          double window_ms = NumberAt(*rdoc, {"window_ms"}, 1000);
+          double scale = window_ms > 0 ? 1000.0 / window_ms : 1.0;
+          r.ops_col = Column(*rdoc, "server.requests");
+          for (double& v : r.ops_col) v *= scale;
+          r.ops_rate = LastOr(r.ops_col, NAN);
+        }
+      }
+    }
+    if (up == 0 && frame == 0) {
+      std::fprintf(stderr, "no cluster node reachable\n");
+      return 2;
+    }
+
+    if (!plain) std::printf("\x1b[2J\x1b[H");
+    std::printf("reo_top — cluster %zu nodes, %zu up\n", n, up);
+    std::printf("%-4s %-21s %-8s %9s %6s %9s %9s %5s %9s\n", "node",
+                "endpoint", "status", "up(ms)", "conns", "reqs", "resps",
+                "werr", "ops/s");
+    Row sum;
+    std::vector<std::vector<double>> ops_cols;
+    for (size_t i = 0; i < n; ++i) {
+      const Row& r = rows[i];
+      char ep[64];
+      std::snprintf(ep, sizeof(ep), "%s:%u", endpoints[i].host.c_str(),
+                    endpoints[i].port);
+      std::printf("%-4zu %-21s %-8s %9s %6.0f %9s %9s %5.0f %9s\n", i, ep,
+                  r.status.c_str(), Human(r.uptime).c_str(), r.conns,
+                  Human(r.requests).c_str(), Human(r.responses).c_str(),
+                  r.wire_errors, Human(r.ops_rate).c_str());
+      if (!r.up) continue;
+      sum.conns += r.conns;
+      sum.requests += r.requests;
+      sum.responses += r.responses;
+      sum.wire_errors += r.wire_errors;
+      if (!r.ops_col.empty()) ops_cols.push_back(r.ops_col);
+    }
+    std::vector<double> merged_ops = SumTail(ops_cols);
+    std::printf("%-4s %-21s %-8s %9s %6.0f %9s %9s %5.0f %9s  %s\n", "sum",
+                "", up == n ? "all-up" : "degraded", "", sum.conns,
+                Human(sum.requests).c_str(), Human(sum.responses).c_str(),
+                sum.wire_errors, Human(LastOr(merged_ops, NAN)).c_str(),
+                Sparkline(merged_ops, width).c_str());
+    std::fflush(stdout);
+    if (iterations == 0 || frame + 1 < iterations) {
+      (void)poll(nullptr, 0, static_cast<int>(interval_ms));
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   std::string port_file;
+  std::string endpoints_arg;
   uint16_t port = 0;
   uint32_t interval_ms = 1000;
   uint64_t iterations = 0;
@@ -119,6 +254,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--port"))
       port = static_cast<uint16_t>(std::strtoul(next(), nullptr, 10));
     else if (!std::strcmp(argv[i], "--port-file")) port_file = next();
+    else if (!std::strcmp(argv[i], "--endpoints")) endpoints_arg = next();
     else if (!std::strcmp(argv[i], "--interval-ms"))
       interval_ms = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
     else if (!std::strcmp(argv[i], "--iterations"))
@@ -135,6 +271,19 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (!endpoints_arg.empty()) {
+    std::vector<ClusterEndpoint> endpoints =
+        ParseClusterEndpoints(endpoints_arg);
+    if (endpoints.empty()) {
+      std::fprintf(stderr, "bad --endpoints list: %s\n", endpoints_arg.c_str());
+      return 2;
+    }
+    if (endpoints.size() > 1) {
+      return RunClusterTop(endpoints, interval_ms, iterations, width, plain);
+    }
+    host = endpoints[0].host;  // single endpoint: full detail view
+    port = endpoints[0].port;
+  }
   if (!port_file.empty()) {
     auto text = ReadFileToString(port_file);
     if (!text.ok()) {
@@ -145,7 +294,7 @@ int main(int argc, char** argv) {
     port = static_cast<uint16_t>(std::strtoul(text->c_str(), nullptr, 10));
   }
   if (port == 0) {
-    std::fprintf(stderr, "need --port or --port-file\n");
+    std::fprintf(stderr, "need --port, --port-file, or --endpoints\n");
     return 2;
   }
 
